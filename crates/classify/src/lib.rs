@@ -1,0 +1,37 @@
+//! Graph classification on significant patterns (Section V of the paper),
+//! plus the two baselines it is evaluated against (Section VI-D).
+//!
+//! * [`knn`] — the paper's classifier (Algorithms 3–4): mine significant
+//!   sub-feature vectors from the positive and negative training sets, then
+//!   score a query graph by its k closest significant vectors with a
+//!   distance-weighted vote.
+//! * [`eval`] — ROC / AUC, stratified k-fold cross-validation, and the
+//!   balanced-training-set sampling protocol of Table VI.
+//! * [`svm`] — a from-scratch SMO support-vector machine (the paper uses
+//!   LIBSVM for both baselines).
+//! * [`hungarian`] — O(n³) Hungarian algorithm for optimal assignment.
+//! * [`oa`] — the optimal-assignment graph kernel baseline (Fröhlich et
+//!   al.): neighborhood-aware atom similarity + Hungarian matching + SVM.
+//! * [`leap`] — the LEAP-style discriminative-pattern baseline (Yan et
+//!   al.): frequent patterns scored by their frequency leap between
+//!   classes, binary containment features + SVM.
+//! * [`frequent`] — the frequency-only strawman of Section V's motivation
+//!   (benzene is frequent but not discriminative).
+
+pub mod eval;
+pub mod frequent;
+pub mod heap;
+pub mod hungarian;
+pub mod knn;
+pub mod leap;
+pub mod oa;
+pub mod svm;
+
+pub use eval::{auc_from_scores, balanced_sample, best_threshold_youden, pr_curve, roc_curve, stratified_folds, Confusion};
+pub use frequent::{FrequentConfig, FrequentPatternClassifier};
+pub use heap::BoundedMinK;
+pub use hungarian::hungarian_max;
+pub use knn::{min_dist, GraphSigClassifier, KnnConfig};
+pub use leap::{LeapClassifier, LeapConfig};
+pub use oa::{OaClassifier, OaConfig};
+pub use svm::{Kernel, Svm, SvmConfig};

@@ -1,0 +1,316 @@
+//! A from-scratch SMO support-vector machine.
+//!
+//! Stands in for LIBSVM in the baseline classifiers (the paper plugs both
+//! the OA kernel and LEAP's pattern features into LIBSVM). This is the
+//! simplified sequential-minimal-optimization algorithm (Platt 1998, in the
+//! well-known simplified form): pairs of Lagrange multipliers are optimized
+//! analytically until no KKT violations remain. Training operates on a
+//! precomputed Gram matrix so arbitrary (even non-PSD, like OA) kernels can
+//! be used; prediction needs only kernel evaluations against the training
+//! set.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Kernel functions over dense feature vectors, for callers that don't
+/// precompute the Gram matrix themselves.
+#[derive(Debug, Clone, Copy)]
+pub enum Kernel {
+    /// Dot product.
+    Linear,
+    /// `exp(-gamma * ||x - y||^2)`.
+    Rbf {
+        /// Width parameter.
+        gamma: f64,
+    },
+}
+
+impl Kernel {
+    /// Evaluate the kernel.
+    pub fn eval(&self, x: &[f64], y: &[f64]) -> f64 {
+        match *self {
+            Kernel::Linear => x.iter().zip(y).map(|(a, b)| a * b).sum(),
+            Kernel::Rbf { gamma } => {
+                let d2: f64 = x.iter().zip(y).map(|(a, b)| (a - b) * (a - b)).sum();
+                (-gamma * d2).exp()
+            }
+        }
+    }
+
+    /// Gram matrix over a sample set.
+    pub fn gram(&self, xs: &[Vec<f64>]) -> Vec<Vec<f64>> {
+        let n = xs.len();
+        let mut g = vec![vec![0.0; n]; n];
+        for i in 0..n {
+            for j in i..n {
+                let v = self.eval(&xs[i], &xs[j]);
+                g[i][j] = v;
+                g[j][i] = v;
+            }
+        }
+        g
+    }
+}
+
+/// SMO hyper-parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct SvmConfig {
+    /// Soft-margin penalty `C`.
+    pub c: f64,
+    /// KKT violation tolerance.
+    pub tol: f64,
+    /// Consecutive passes without updates before declaring convergence.
+    pub max_passes: usize,
+    /// Hard cap on outer iterations.
+    pub max_iters: usize,
+    /// RNG seed for the second-multiplier choice (deterministic training).
+    pub seed: u64,
+}
+
+impl Default for SvmConfig {
+    fn default() -> Self {
+        Self {
+            c: 1.0,
+            tol: 1e-3,
+            max_passes: 5,
+            max_iters: 2_000,
+            seed: 0x5EED,
+        }
+    }
+}
+
+/// A trained SVM: dual coefficients over the training set plus the bias.
+#[derive(Debug, Clone)]
+pub struct Svm {
+    /// `alpha_i * y_i` per training sample.
+    coef: Vec<f64>,
+    /// Bias term.
+    b: f64,
+}
+
+impl Svm {
+    /// Train on a precomputed Gram matrix and labels in `{-1, +1}`.
+    ///
+    /// # Panics
+    /// Panics on size mismatches or labels outside `{-1, +1}`.
+    pub fn train(gram: &[Vec<f64>], y: &[f64], cfg: SvmConfig) -> Self {
+        let n = y.len();
+        assert_eq!(gram.len(), n, "gram/label size mismatch");
+        assert!(gram.iter().all(|r| r.len() == n), "gram must be square");
+        assert!(
+            y.iter().all(|&v| v == 1.0 || v == -1.0),
+            "labels must be -1/+1"
+        );
+        assert!(n > 0, "empty training set");
+        let mut rng = SmallRng::seed_from_u64(cfg.seed);
+        let mut alpha = vec![0.0f64; n];
+        let mut b = 0.0f64;
+        let f = |alpha: &[f64], b: f64, i: usize| -> f64 {
+            let mut s = b;
+            for j in 0..n {
+                if alpha[j] != 0.0 {
+                    s += alpha[j] * y[j] * gram[i][j];
+                }
+            }
+            s
+        };
+        let mut passes = 0usize;
+        let mut iters = 0usize;
+        while passes < cfg.max_passes && iters < cfg.max_iters {
+            iters += 1;
+            let mut changed = 0usize;
+            for i in 0..n {
+                let ei = f(&alpha, b, i) - y[i];
+                if !((y[i] * ei < -cfg.tol && alpha[i] < cfg.c)
+                    || (y[i] * ei > cfg.tol && alpha[i] > 0.0))
+                {
+                    continue;
+                }
+                // Pick a distinct second multiplier.
+                let mut j = rng.gen_range(0..n - 1);
+                if j >= i {
+                    j += 1;
+                }
+                let ej = f(&alpha, b, j) - y[j];
+                let (ai_old, aj_old) = (alpha[i], alpha[j]);
+                let (lo, hi) = if y[i] != y[j] {
+                    (
+                        (alpha[j] - alpha[i]).max(0.0),
+                        (cfg.c + alpha[j] - alpha[i]).min(cfg.c),
+                    )
+                } else {
+                    (
+                        (alpha[i] + alpha[j] - cfg.c).max(0.0),
+                        (alpha[i] + alpha[j]).min(cfg.c),
+                    )
+                };
+                if lo >= hi {
+                    continue;
+                }
+                let eta = 2.0 * gram[i][j] - gram[i][i] - gram[j][j];
+                if eta >= 0.0 {
+                    continue;
+                }
+                let mut aj = aj_old - y[j] * (ei - ej) / eta;
+                aj = aj.clamp(lo, hi);
+                if (aj - aj_old).abs() < 1e-7 {
+                    continue;
+                }
+                let ai = ai_old + y[i] * y[j] * (aj_old - aj);
+                alpha[i] = ai;
+                alpha[j] = aj;
+                let b1 = b - ei
+                    - y[i] * (ai - ai_old) * gram[i][i]
+                    - y[j] * (aj - aj_old) * gram[i][j];
+                let b2 = b - ej
+                    - y[i] * (ai - ai_old) * gram[i][j]
+                    - y[j] * (aj - aj_old) * gram[j][j];
+                b = if 0.0 < ai && ai < cfg.c {
+                    b1
+                } else if 0.0 < aj && aj < cfg.c {
+                    b2
+                } else {
+                    (b1 + b2) / 2.0
+                };
+                changed += 1;
+            }
+            if changed == 0 {
+                passes += 1;
+            } else {
+                passes = 0;
+            }
+        }
+        let coef = alpha.iter().zip(y).map(|(&a, &yy)| a * yy).collect();
+        Self { coef, b }
+    }
+
+    /// Decision value for a test point, given its kernel evaluations
+    /// against every training sample (`k_row[i] = K(x, x_i)`).
+    pub fn decision(&self, k_row: &[f64]) -> f64 {
+        assert_eq!(k_row.len(), self.coef.len(), "kernel row size mismatch");
+        self.coef
+            .iter()
+            .zip(k_row)
+            .map(|(&c, &k)| c * k)
+            .sum::<f64>()
+            + self.b
+    }
+
+    /// Hard prediction in `{-1, +1}`.
+    pub fn predict(&self, k_row: &[f64]) -> f64 {
+        if self.decision(k_row) >= 0.0 {
+            1.0
+        } else {
+            -1.0
+        }
+    }
+
+    /// Number of training samples with non-zero dual coefficient.
+    pub fn support_vector_count(&self) -> usize {
+        self.coef.iter().filter(|&&c| c.abs() > 1e-9).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Train on explicit features with a kernel, classify the same points.
+    fn train_on(xs: &[Vec<f64>], y: &[f64], kernel: Kernel) -> (Svm, Vec<Vec<f64>>) {
+        let gram = kernel.gram(xs);
+        let svm = Svm::train(&gram, y, SvmConfig::default());
+        (svm, gram)
+    }
+
+    #[test]
+    fn linearly_separable_1d() {
+        let xs: Vec<Vec<f64>> = vec![
+            vec![-3.0],
+            vec![-2.0],
+            vec![-1.0],
+            vec![1.0],
+            vec![2.0],
+            vec![3.0],
+        ];
+        let y = vec![-1.0, -1.0, -1.0, 1.0, 1.0, 1.0];
+        let (svm, gram) = train_on(&xs, &y, Kernel::Linear);
+        for (i, (row, want)) in gram.iter().zip(&y).enumerate() {
+            assert_eq!(svm.predict(row), *want, "sample {i}");
+        }
+        // Generalization to held-out points.
+        let krow = |x: &Vec<f64>| xs.iter().map(|t| Kernel::Linear.eval(x, t)).collect::<Vec<_>>();
+        assert_eq!(svm.predict(&krow(&vec![10.0])), 1.0);
+        assert_eq!(svm.predict(&krow(&vec![-10.0])), -1.0);
+    }
+
+    #[test]
+    fn xor_needs_rbf() {
+        let xs = vec![
+            vec![0.0, 0.0],
+            vec![1.0, 1.0],
+            vec![0.0, 1.0],
+            vec![1.0, 0.0],
+        ];
+        let y = vec![-1.0, -1.0, 1.0, 1.0];
+        let k = Kernel::Rbf { gamma: 2.0 };
+        let gram = k.gram(&xs);
+        let svm = Svm::train(
+            &gram,
+            &y,
+            SvmConfig {
+                c: 10.0,
+                ..Default::default()
+            },
+        );
+        for (i, (row, want)) in gram.iter().zip(&y).enumerate() {
+            assert_eq!(svm.predict(row), *want, "sample {i}");
+        }
+    }
+
+    #[test]
+    fn training_is_deterministic() {
+        let xs: Vec<Vec<f64>> = (0..20)
+            .map(|i| vec![(i as f64) / 10.0 - 1.0, ((i * 7) % 13) as f64 / 13.0])
+            .collect();
+        let y: Vec<f64> = xs.iter().map(|v| if v[0] > 0.0 { 1.0 } else { -1.0 }).collect();
+        let gram = Kernel::Linear.gram(&xs);
+        let a = Svm::train(&gram, &y, SvmConfig::default());
+        let b = Svm::train(&gram, &y, SvmConfig::default());
+        assert_eq!(a.coef, b.coef);
+        assert_eq!(a.b, b.b);
+    }
+
+    #[test]
+    fn support_vectors_are_sparse() {
+        let xs: Vec<Vec<f64>> = (0..30).map(|i| vec![i as f64 - 15.0]).collect();
+        let y: Vec<f64> = xs.iter().map(|v| if v[0] > 0.0 { 1.0 } else { -1.0 }).collect();
+        let (svm, _) = train_on(&xs, &y, Kernel::Linear);
+        // Far-away points should not all become support vectors.
+        assert!(svm.support_vector_count() < xs.len());
+    }
+
+    #[test]
+    fn gram_is_symmetric() {
+        let xs = vec![vec![1.0, 2.0], vec![3.0, 4.0], vec![0.0, -1.0]];
+        for k in [Kernel::Linear, Kernel::Rbf { gamma: 0.7 }] {
+            let g = k.gram(&xs);
+            for (i, row) in g.iter().enumerate() {
+                for (j, &v) in row.iter().enumerate() {
+                    assert!((v - g[j][i]).abs() < 1e-12);
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "labels must be")]
+    fn bad_labels_rejected() {
+        Svm::train(&[vec![1.0]], &[0.5], SvmConfig::default());
+    }
+
+    #[test]
+    #[should_panic(expected = "size mismatch")]
+    fn mismatched_gram_rejected() {
+        Svm::train(&[vec![1.0]], &[1.0, -1.0], SvmConfig::default());
+    }
+}

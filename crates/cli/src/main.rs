@@ -1,0 +1,302 @@
+//! `graphsig` — command-line significant-subgraph mining.
+//!
+//! ```text
+//! graphsig mine <transactions.txt> [--max-pvalue 0.1] [--min-freq 0.001]
+//!               [--radius 8] [--fsm-freq 0.8] [--threads N] [--top N]
+//! graphsig stats <transactions.txt>
+//! graphsig generate aids  <n> [--seed S]        # emit a synthetic dataset
+//! graphsig generate screen <NAME> <scale>       # one of the Table V screens
+//! ```
+//!
+//! Input files use the classic gSpan transaction format
+//! (`t # id` / `v id label` / `e u v label`). `mine` prints each
+//! significant subgraph as a transaction block preceded by a comment line
+//! with its statistics, so the output is itself parseable.
+
+use std::process::ExitCode;
+
+use graphsig_classify::{GraphSigClassifier, KnnConfig};
+use graphsig_core::{GraphSig, GraphSigConfig};
+use graphsig_graph::{parse_transactions, write_transactions, GraphDb};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("mine") => cmd_mine(&args[1..]),
+        Some("stats") => cmd_stats(&args[1..]),
+        Some("generate") => cmd_generate(&args[1..]),
+        Some("classify") => cmd_classify(&args[1..]),
+        Some("--help") | Some("-h") | None => {
+            print_usage();
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown command '{other}' (try --help)")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("graphsig: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn print_usage() {
+    eprintln!(
+        "graphsig — mine statistically significant subgraphs (Ranu & Singh, ICDE 2009)\n\
+         \n\
+         USAGE:\n\
+         \x20 graphsig mine <file> [--max-pvalue P] [--min-freq F] [--radius R]\n\
+         \x20                      [--fsm-freq F] [--threads N] [--top N] [--backend fsg|gspan]\n\
+         \x20 graphsig stats <file>\n\
+         \x20 graphsig classify <pos.txt> <neg.txt> <query.txt> [--k K] [--min-freq F]\n\
+         \x20 graphsig generate aids <n> [--seed S]\n\
+         \x20 graphsig generate screen <NAME> <scale> (names: MCF-7 MOLT-4 NCI-H23 OVCAR-8\n\
+         \x20                      P388 PC-3 SF-295 SN12C SW-620 UACC-257 Yeast)\n\
+         \n\
+         Files use the gSpan transaction format: t / v / e lines."
+    );
+}
+
+/// Pull `--flag value` pairs out of an argument list; returns remaining
+/// positional arguments.
+fn take_flags(args: &[String], flags: &mut [(&str, &mut Option<String>)]) -> Result<Vec<String>, String> {
+    let mut positional = Vec::new();
+    let mut i = 0;
+    'outer: while i < args.len() {
+        for (name, slot) in flags.iter_mut() {
+            if args[i] == *name {
+                let v = args
+                    .get(i + 1)
+                    .ok_or_else(|| format!("{name} needs a value"))?;
+                **slot = Some(v.clone());
+                i += 2;
+                continue 'outer;
+            }
+        }
+        if args[i].starts_with("--") {
+            return Err(format!("unknown flag {}", args[i]));
+        }
+        positional.push(args[i].clone());
+        i += 1;
+    }
+    Ok(positional)
+}
+
+fn parse_or<T: std::str::FromStr>(v: &Option<String>, default: T, what: &str) -> Result<T, String> {
+    match v {
+        None => Ok(default),
+        Some(s) => s.parse().map_err(|_| format!("bad value for {what}: {s}")),
+    }
+}
+
+fn load_db(path: &str) -> Result<GraphDb, String> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    parse_transactions(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+fn cmd_mine(args: &[String]) -> Result<(), String> {
+    let (mut max_pvalue, mut min_freq, mut radius, mut fsm_freq) = (None, None, None, None);
+    let (mut threads, mut top, mut backend) = (None, None, None);
+    let positional = take_flags(
+        args,
+        &mut [
+            ("--max-pvalue", &mut max_pvalue),
+            ("--min-freq", &mut min_freq),
+            ("--radius", &mut radius),
+            ("--fsm-freq", &mut fsm_freq),
+            ("--threads", &mut threads),
+            ("--top", &mut top),
+            ("--backend", &mut backend),
+        ],
+    )?;
+    let [path] = positional.as_slice() else {
+        return Err("mine needs exactly one input file".into());
+    };
+    let db = load_db(path)?;
+    let defaults = GraphSigConfig::default();
+    let cfg = GraphSigConfig {
+        max_pvalue: parse_or(&max_pvalue, defaults.max_pvalue, "--max-pvalue")?,
+        min_freq: parse_or(&min_freq, defaults.min_freq, "--min-freq")?,
+        radius: parse_or(&radius, defaults.radius, "--radius")?,
+        fsm_freq: parse_or(&fsm_freq, defaults.fsm_freq, "--fsm-freq")?,
+        threads: parse_or(&threads, 1, "--threads")?,
+        fsm_backend: match backend.as_deref() {
+            None | Some("fsg") => graphsig_core::FsmBackend::Fsg,
+            Some("gspan") => graphsig_core::FsmBackend::GSpan,
+            Some(other) => return Err(format!("unknown backend {other}")),
+        },
+        ..defaults
+    };
+    let top: usize = parse_or(&top, usize::MAX, "--top")?;
+
+    let result = GraphSig::new(cfg).mine(&db);
+    eprintln!(
+        "# {} graphs, {} vectors, {} significant vectors, {} region sets \
+         ({} pruned, {} truncated), {} significant subgraphs",
+        db.len(),
+        result.stats.vectors,
+        result.stats.significant_vectors,
+        result.stats.region_sets,
+        result.stats.pruned_sets,
+        result.stats.truncated_sets,
+        result.subgraphs.len()
+    );
+    let (r, f, m) = result.profile.percentages();
+    eprintln!("# profile: RWR {r:.0}% | feature analysis {f:.0}% | FSM {m:.0}%");
+
+    for (i, sg) in result.subgraphs.iter().take(top).enumerate() {
+        println!(
+            "# subgraph {i}: p-value {:.6e}, support {} graphs ({:.3}%), {} edges",
+            sg.vector_pvalue,
+            sg.gids.len(),
+            100.0 * sg.frequency(db.len()),
+            sg.graph.edge_count()
+        );
+        let one = GraphDb::from_parts(vec![sg.graph.clone()], db.labels().clone());
+        print!("{}", write_transactions(&one));
+    }
+    Ok(())
+}
+
+fn cmd_stats(args: &[String]) -> Result<(), String> {
+    let [path] = args else {
+        return Err("stats needs exactly one input file".into());
+    };
+    let db = load_db(path)?;
+    let s = db.stats();
+    println!("graphs:               {}", s.graph_count);
+    println!("total nodes:          {}", s.total_nodes);
+    println!("total edges:          {}", s.total_edges);
+    println!("avg nodes per graph:  {:.2}", s.avg_nodes);
+    println!("avg edges per graph:  {:.2}", s.avg_edges);
+    println!("distinct node labels: {}", s.distinct_node_labels);
+    println!("distinct edge labels: {}", s.distinct_edge_labels);
+    let rings: usize = db.graphs().iter().map(graphsig_graph::cycle_rank).sum();
+    let max_diameter = db
+        .graphs()
+        .iter()
+        .filter_map(graphsig_graph::diameter)
+        .max()
+        .unwrap_or(0);
+    println!("total rings:          {rings}");
+    println!("max graph diameter:   {max_diameter}");
+    println!("\natom coverage (Fig. 4 curve):");
+    for (rank, (label, count, cum)) in db.atom_coverage_curve().into_iter().enumerate() {
+        println!(
+            "  {:>2}. {:<4} {:>8}  {:>6.2}%",
+            rank + 1,
+            db.labels().node_name(label).unwrap_or("?"),
+            count,
+            cum * 100.0
+        );
+    }
+    Ok(())
+}
+
+fn cmd_generate(args: &[String]) -> Result<(), String> {
+    let (mut seed, mut split) = (None, None);
+    let positional = take_flags(args, &mut [("--seed", &mut seed), ("--split", &mut split)])?;
+    let seed: u64 = parse_or(&seed, 42, "--seed")?;
+    let data = match positional.as_slice() {
+        [kind, n] if kind == "aids" => {
+            let n: usize = n.parse().map_err(|_| "bad molecule count".to_string())?;
+            graphsig_datagen::aids_like(n, seed)
+        }
+        [kind, name, scale] if kind == "screen" => {
+            let scale: f64 = scale.parse().map_err(|_| "bad scale".to_string())?;
+            graphsig_datagen::cancer_screen(name, scale)
+        }
+        _ => return Err("generate needs: aids <n> | screen <NAME> <scale>".into()),
+    };
+    eprintln!("# {} molecules, {} active", data.len(), data.active_count());
+    match split {
+        // --split PREFIX writes PREFIX.pos.txt / PREFIX.neg.txt for the
+        // classify workflow; stdout still carries the full database.
+        Some(prefix) => {
+            let (pos, neg) = data.to_transactions_split();
+            let (pp, np) = (format!("{prefix}.pos.txt"), format!("{prefix}.neg.txt"));
+            std::fs::write(&pp, pos).map_err(|e| format!("cannot write {pp}: {e}"))?;
+            std::fs::write(&np, neg).map_err(|e| format!("cannot write {np}: {e}"))?;
+            eprintln!("# wrote {pp} and {np}");
+        }
+        None => print!("{}", write_transactions(&data.db)),
+    }
+    Ok(())
+}
+
+fn cmd_classify(args: &[String]) -> Result<(), String> {
+    let (mut k, mut min_freq, mut max_pvalue, mut threads) = (None, None, None, None);
+    let positional = take_flags(
+        args,
+        &mut [
+            ("--k", &mut k),
+            ("--min-freq", &mut min_freq),
+            ("--max-pvalue", &mut max_pvalue),
+            ("--threads", &mut threads),
+        ],
+    )?;
+    let [pos_path, neg_path, query_path] = positional.as_slice() else {
+        return Err("classify needs <positive.txt> <negative.txt> <query.txt>".into());
+    };
+    let pos = load_db(pos_path)?;
+    let neg = load_db(neg_path)?;
+    let query = load_db(query_path)?;
+    let defaults = GraphSigConfig::default();
+    let cfg = KnnConfig {
+        k: parse_or(&k, 9, "--k")?,
+        mining: GraphSigConfig {
+            min_freq: parse_or(&min_freq, 0.05, "--min-freq")?,
+            max_pvalue: parse_or(&max_pvalue, defaults.max_pvalue, "--max-pvalue")?,
+            threads: parse_or(&threads, 1, "--threads")?,
+            ..defaults
+        },
+        ..Default::default()
+    };
+    let clf = GraphSigClassifier::train(&pos, &neg, cfg);
+    let (np, nn) = clf.model_sizes();
+    eprintln!("# trained on {} positive / {} negative graphs; {np}/{nn} significant vectors", pos.len(), neg.len());
+    println!("graph_id\tscore\tclass");
+    for (i, g) in query.graphs().iter().enumerate() {
+        let score = clf.score(g);
+        println!(
+            "{i}\t{score:.6}\t{}",
+            if score > 0.0 { "positive" } else { "negative" }
+        );
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn take_flags_extracts_pairs_and_positionals() {
+        let args: Vec<String> = ["a.txt", "--k", "5", "b.txt"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let mut k = None;
+        let pos = take_flags(&args, &mut [("--k", &mut k)]).unwrap();
+        assert_eq!(pos, vec!["a.txt".to_string(), "b.txt".to_string()]);
+        assert_eq!(k.as_deref(), Some("5"));
+    }
+
+    #[test]
+    fn take_flags_rejects_unknown_and_dangling() {
+        let args: Vec<String> = vec!["--bogus".into()];
+        assert!(take_flags(&args, &mut []).is_err());
+        let args: Vec<String> = vec!["--k".into()];
+        let mut k = None;
+        assert!(take_flags(&args, &mut [("--k", &mut k)]).is_err());
+    }
+
+    #[test]
+    fn parse_or_defaults_and_errors() {
+        assert_eq!(parse_or::<usize>(&None, 7, "x").unwrap(), 7);
+        assert_eq!(parse_or::<usize>(&Some("3".into()), 7, "x").unwrap(), 3);
+        assert!(parse_or::<usize>(&Some("zzz".into()), 7, "x").is_err());
+    }
+}

@@ -1,0 +1,111 @@
+//! End-to-end tests of the `graphsig` binary.
+
+use std::process::Command;
+
+fn graphsig() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_graphsig"))
+}
+
+fn run(args: &[&str]) -> (String, String, bool) {
+    let out = graphsig().args(args).output().expect("binary runs");
+    (
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+        out.status.success(),
+    )
+}
+
+#[test]
+fn help_lists_commands() {
+    let (_, err, ok) = run(&["--help"]);
+    assert!(ok);
+    for cmd in ["mine", "stats", "classify", "generate"] {
+        assert!(err.contains(cmd), "help missing {cmd}");
+    }
+}
+
+#[test]
+fn unknown_command_fails() {
+    let (_, err, ok) = run(&["frobnicate"]);
+    assert!(!ok);
+    assert!(err.contains("unknown command"));
+}
+
+#[test]
+fn generate_stats_mine_roundtrip() {
+    let dir = std::env::temp_dir().join(format!("graphsig-cli-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let file = dir.join("tiny.txt");
+
+    // generate
+    let (out, err, ok) = run(&["generate", "aids", "120", "--seed", "5"]);
+    assert!(ok, "generate failed: {err}");
+    assert!(out.starts_with("t # 0"));
+    assert!(err.contains("120 molecules"));
+    std::fs::write(&file, &out).unwrap();
+
+    // stats
+    let (out, _, ok) = run(&["stats", file.to_str().unwrap()]);
+    assert!(ok);
+    assert!(out.contains("graphs:               120"));
+    assert!(out.contains("atom coverage"));
+
+    // mine (fast thresholds) — output must itself be parseable transactions
+    let (out, err, ok) = run(&[
+        "mine",
+        file.to_str().unwrap(),
+        "--min-freq",
+        "0.2",
+        "--max-pvalue",
+        "0.05",
+        "--radius",
+        "3",
+        "--top",
+        "3",
+    ]);
+    assert!(ok, "mine failed: {err}");
+    assert!(err.contains("significant subgraphs"));
+    if out.contains("t # 0") {
+        graphsig_graph::parse_transactions(
+            &out.lines()
+                .filter(|l| !l.starts_with('#'))
+                .collect::<Vec<_>>()
+                .join("\n"),
+        )
+        .expect("mine output parses as transactions");
+    }
+
+    // classify: split then score the positives against themselves
+    let prefix = dir.join("split");
+    let (_, err, ok) = run(&[
+        "generate",
+        "screen",
+        "PC-3",
+        "0.01",
+        "--split",
+        prefix.to_str().unwrap(),
+    ]);
+    assert!(ok, "split generate failed: {err}");
+    let pos = format!("{}.pos.txt", prefix.to_str().unwrap());
+    let neg = format!("{}.neg.txt", prefix.to_str().unwrap());
+    let (out, err, ok) = run(&["classify", &pos, &neg, &pos, "--min-freq", "0.2"]);
+    assert!(ok, "classify failed: {err}");
+    assert!(out.starts_with("graph_id"));
+    assert!(out.lines().count() > 1);
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn missing_file_is_a_clean_error() {
+    let (_, err, ok) = run(&["stats", "/nonexistent/file.txt"]);
+    assert!(!ok);
+    assert!(err.contains("cannot read"));
+}
+
+#[test]
+fn bad_flag_value_is_a_clean_error() {
+    let (_, err, ok) = run(&["mine", "whatever.txt", "--min-freq", "abc"]);
+    assert!(!ok);
+    assert!(err.contains("bad value") || err.contains("cannot read"));
+}

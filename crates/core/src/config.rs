@@ -1,0 +1,170 @@
+//! GraphSig configuration — the paper's Table IV.
+
+use graphsig_features::RwrConfig;
+
+/// How the sliding window captures a node's neighborhood.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WindowKind {
+    /// Random walk with restart (the paper's method, Sec. II-C):
+    /// proximity-weighted feature distribution.
+    Rwr,
+    /// Plain occurrence counting inside the hop-radius window — the
+    /// strawman the paper argues against; kept for the ablation experiment.
+    Count {
+        /// Hop radius of the counting window.
+        radius: usize,
+    },
+}
+
+/// Which frequent-subgraph miner runs on the region sets (Alg. 2 line 13).
+/// The paper uses FSG; gSpan is provided as a drop-in alternative.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FsmBackend {
+    /// Level-wise apriori miner (`graphsig-fsg`) — the paper's choice.
+    Fsg,
+    /// DFS-code pattern growth (`graphsig-gspan`).
+    GSpan,
+}
+
+/// All GraphSig parameters. `Default` reproduces Table IV of the paper:
+///
+/// | parameter | description | value |
+/// |---|---|---|
+/// | `alpha` | restart probability of the random walk | 0.25 |
+/// | `max_pvalue` | p-value threshold for FVMine | 0.1 |
+/// | `min_freq` | frequency threshold for FVMine | 0.1% |
+/// | `radius` | CutGraph radius around a described node | 8 |
+/// | `fsm_freq` | frequency threshold for maximal FSM on region sets | 80% |
+#[derive(Debug, Clone)]
+pub struct GraphSigConfig {
+    /// Random-walk-with-restart parameters (`alpha` of Table IV).
+    pub rwr: RwrConfig,
+    /// Window mechanism (RWR by default; counting for the ablation).
+    pub window: WindowKind,
+    /// Number of most-frequent atom types whose mutual edge types become
+    /// features (the paper selects 5 via Fig. 4).
+    pub top_k_atoms: usize,
+    /// FVMine p-value threshold (`maxPvalue`).
+    pub max_pvalue: f64,
+    /// FVMine support threshold as a fraction of the label group size
+    /// (`minFreq`; Table IV: 0.1%). The absolute support is never allowed
+    /// below 2 — a "common" sub-feature vector needs at least two regions.
+    pub min_freq: f64,
+    /// `CutGraph` radius (hops).
+    pub radius: usize,
+    /// Frequency threshold for the maximal-FSM step on each region set
+    /// (`fsgFreq`; Table IV: 80%).
+    pub fsm_freq: f64,
+    /// Which miner to run on the region sets.
+    pub fsm_backend: FsmBackend,
+    /// Edge cap for patterns grown by the FSM step (guards worst-case
+    /// region sets; generous by default).
+    pub max_pattern_edges: usize,
+    /// Per-region-set cap on patterns enumerated by the FSM step. Tiny,
+    /// highly homogeneous sets can share a large common subgraph whose
+    /// frequent-subgraph lattice is combinatorial; hitting the cap
+    /// truncates that set's enumeration (counted in
+    /// `RunStats::truncated_sets`) and returns the maximal patterns of
+    /// what was enumerated.
+    pub max_patterns_per_set: usize,
+    /// Worker threads for the RWR pass (the embarrassingly parallel 20% of
+    /// the pipeline per Fig. 10). `1` = sequential.
+    pub threads: usize,
+}
+
+impl Default for GraphSigConfig {
+    fn default() -> Self {
+        Self {
+            rwr: RwrConfig::default(), // alpha = 0.25
+            window: WindowKind::Rwr,
+            top_k_atoms: 5,
+            max_pvalue: 0.1,
+            min_freq: 0.001, // 0.1%
+            radius: 8,
+            fsm_freq: 0.8, // 80%
+            fsm_backend: FsmBackend::Fsg,
+            max_pattern_edges: 25,
+            max_patterns_per_set: 20_000,
+            threads: 1,
+        }
+    }
+}
+
+impl GraphSigConfig {
+    /// Validate ranges; called by [`crate::GraphSig::new`].
+    pub fn validate(&self) {
+        assert!(
+            self.max_pvalue >= 0.0 && self.max_pvalue <= 1.0,
+            "max_pvalue must be in [0,1]"
+        );
+        assert!(
+            self.min_freq > 0.0 && self.min_freq <= 1.0,
+            "min_freq must be in (0,1]"
+        );
+        assert!(
+            self.fsm_freq > 0.0 && self.fsm_freq <= 1.0,
+            "fsm_freq must be in (0,1]"
+        );
+        assert!(self.top_k_atoms >= 1, "top_k_atoms must be >= 1");
+        assert!(self.threads >= 1, "threads must be >= 1");
+    }
+
+    /// Absolute FVMine support threshold for a group of `group_size`
+    /// vectors: `ceil(min_freq * size)`, floored at 2.
+    pub fn fvmine_support(&self, group_size: usize) -> usize {
+        ((self.min_freq * group_size as f64).ceil() as usize).max(2)
+    }
+
+    /// Absolute FSM support threshold for a region set of `set_size`:
+    /// `ceil(fsm_freq * size)`, floored at 2.
+    pub fn fsm_support(&self, set_size: usize) -> usize {
+        ((self.fsm_freq * set_size as f64).ceil() as usize).max(2)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_table_iv() {
+        let c = GraphSigConfig::default();
+        assert!((c.rwr.alpha - 0.25).abs() < 1e-12);
+        assert!((c.max_pvalue - 0.1).abs() < 1e-12);
+        assert!((c.min_freq - 0.001).abs() < 1e-12);
+        assert_eq!(c.radius, 8);
+        assert!((c.fsm_freq - 0.8).abs() < 1e-12);
+        assert_eq!(c.fsm_backend, FsmBackend::Fsg);
+        assert_eq!(c.top_k_atoms, 5);
+    }
+
+    #[test]
+    fn support_thresholds() {
+        let c = GraphSigConfig::default();
+        assert_eq!(c.fvmine_support(10_000), 10); // 0.1% of 10k
+        assert_eq!(c.fvmine_support(100), 2); // floored at 2
+        assert_eq!(c.fsm_support(10), 8); // 80% of 10
+        assert_eq!(c.fsm_support(1), 2); // floored at 2
+        assert_eq!(c.fsm_support(11), 9); // ceil(8.8)
+    }
+
+    #[test]
+    #[should_panic(expected = "min_freq")]
+    fn bad_min_freq_rejected() {
+        let c = GraphSigConfig {
+            min_freq: 0.0,
+            ..Default::default()
+        };
+        c.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "fsm_freq")]
+    fn bad_fsm_freq_rejected() {
+        let c = GraphSigConfig {
+            fsm_freq: 1.5,
+            ..Default::default()
+        };
+        c.validate();
+    }
+}

@@ -1,0 +1,173 @@
+//! The synthetic atom/bond alphabet.
+//!
+//! Calibrated against the paper's Fig. 4: the AIDS screen has 58 distinct
+//! atom types but the 5 most frequent cover ~99% of all atoms. We use a
+//! 20-type alphabet whose top five (C, O, N, H, S) carry 99% of the weight,
+//! with 15 rare heteroatoms (including the Sb/Bi pair featured in Fig. 15)
+//! splitting the remaining 1%.
+
+use graphsig_graph::{EdgeLabel, LabelTable, NodeLabel};
+
+/// One atom type: name, sampling weight, and valence cap (maximum degree in
+/// generated molecules).
+#[derive(Debug, Clone, Copy)]
+pub struct AtomSpec {
+    /// Chemical symbol used as the node label string.
+    pub name: &'static str,
+    /// Relative sampling weight.
+    pub weight: f64,
+    /// Maximum degree for generated molecules.
+    pub valence: u8,
+}
+
+/// The 20 atom types. The first five carry 99% of the mass.
+pub const ATOMS: [AtomSpec; 20] = [
+    AtomSpec { name: "C", weight: 0.44, valence: 4 },
+    AtomSpec { name: "O", weight: 0.20, valence: 2 },
+    AtomSpec { name: "N", weight: 0.18, valence: 3 },
+    AtomSpec { name: "H", weight: 0.09, valence: 1 },
+    AtomSpec { name: "S", weight: 0.08, valence: 2 },
+    // 1% of rare heteroatoms.
+    AtomSpec { name: "P", weight: 0.01 / 15.0, valence: 5 },
+    AtomSpec { name: "F", weight: 0.01 / 15.0, valence: 1 },
+    AtomSpec { name: "Cl", weight: 0.01 / 15.0, valence: 1 },
+    AtomSpec { name: "Br", weight: 0.01 / 15.0, valence: 1 },
+    AtomSpec { name: "I", weight: 0.01 / 15.0, valence: 1 },
+    AtomSpec { name: "Sb", weight: 0.01 / 15.0, valence: 3 },
+    AtomSpec { name: "Bi", weight: 0.01 / 15.0, valence: 3 },
+    AtomSpec { name: "Na", weight: 0.01 / 15.0, valence: 1 },
+    AtomSpec { name: "Se", weight: 0.01 / 15.0, valence: 2 },
+    AtomSpec { name: "Si", weight: 0.01 / 15.0, valence: 4 },
+    AtomSpec { name: "B", weight: 0.01 / 15.0, valence: 3 },
+    AtomSpec { name: "K", weight: 0.01 / 15.0, valence: 1 },
+    AtomSpec { name: "Zn", weight: 0.01 / 15.0, valence: 2 },
+    AtomSpec { name: "Cu", weight: 0.01 / 15.0, valence: 2 },
+    AtomSpec { name: "Fe", weight: 0.01 / 15.0, valence: 3 },
+];
+
+/// Bond types: name and sampling weight (single bonds dominate).
+pub const BONDS: [(&str, f64); 4] = [("s", 0.75), ("d", 0.15), ("a", 0.08), ("t", 0.02)];
+
+/// The interned alphabet shared by every generated dataset: atom/bond ids
+/// are stable across datasets, so feature sets and motifs are portable.
+#[derive(Debug, Clone)]
+pub struct Alphabet {
+    labels: LabelTable,
+    valences: Vec<u8>,
+    atom_weights: Vec<f64>,
+    bond_weights: Vec<f64>,
+}
+
+impl Alphabet {
+    /// Intern the standard atoms and bonds into a fresh table, in the fixed
+    /// order of [`ATOMS`] and [`BONDS`] (so `C = 0`, `O = 1`, ...).
+    pub fn standard() -> Self {
+        let mut labels = LabelTable::new();
+        let mut valences = Vec::new();
+        let mut atom_weights = Vec::new();
+        for a in ATOMS {
+            labels.intern_node(a.name);
+            valences.push(a.valence);
+            atom_weights.push(a.weight);
+        }
+        let mut bond_weights = Vec::new();
+        for (b, w) in BONDS {
+            labels.intern_edge(b);
+            bond_weights.push(w);
+        }
+        Self {
+            labels,
+            valences,
+            atom_weights,
+            bond_weights,
+        }
+    }
+
+    /// The interned label table (clone it into generated databases).
+    pub fn labels(&self) -> &LabelTable {
+        &self.labels
+    }
+
+    /// Valence cap of an atom label.
+    pub fn valence(&self, l: NodeLabel) -> u8 {
+        self.valences[l as usize]
+    }
+
+    /// Atom sampling weights, indexed by label id.
+    pub fn atom_weights(&self) -> &[f64] {
+        &self.atom_weights
+    }
+
+    /// Bond sampling weights, indexed by label id.
+    pub fn bond_weights(&self) -> &[f64] {
+        &self.bond_weights
+    }
+
+    /// Node label id for an atom name.
+    ///
+    /// # Panics
+    /// Panics if the name is not in the alphabet.
+    pub fn atom(&self, name: &str) -> NodeLabel {
+        self.labels
+            .node_id(name)
+            .unwrap_or_else(|| panic!("unknown atom {name}"))
+    }
+
+    /// Edge label id for a bond name.
+    ///
+    /// # Panics
+    /// Panics if the name is not in the alphabet.
+    pub fn bond(&self, name: &str) -> EdgeLabel {
+        self.labels
+            .edge_id(name)
+            .unwrap_or_else(|| panic!("unknown bond {name}"))
+    }
+}
+
+/// Convenience: the standard alphabet.
+pub fn standard_alphabet() -> Alphabet {
+    Alphabet::standard()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn top_five_cover_99_percent() {
+        let total: f64 = ATOMS.iter().map(|a| a.weight).sum();
+        let top5: f64 = ATOMS.iter().take(5).map(|a| a.weight).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        assert!((top5 - 0.99).abs() < 1e-9);
+    }
+
+    #[test]
+    fn alphabet_has_twenty_atoms_and_four_bonds() {
+        let a = standard_alphabet();
+        assert_eq!(a.labels().node_label_count(), 20);
+        assert_eq!(a.labels().edge_label_count(), 4);
+    }
+
+    #[test]
+    fn ids_are_stable_and_named() {
+        let a = standard_alphabet();
+        assert_eq!(a.atom("C"), 0);
+        assert_eq!(a.atom("O"), 1);
+        assert_eq!(a.bond("s"), 0);
+        assert_eq!(a.labels().node_name(a.atom("Sb")), Some("Sb"));
+    }
+
+    #[test]
+    fn valences_are_sane() {
+        let a = standard_alphabet();
+        assert_eq!(a.valence(a.atom("C")), 4);
+        assert_eq!(a.valence(a.atom("H")), 1);
+        assert!(ATOMS.iter().all(|s| s.valence >= 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown atom")]
+    fn unknown_atom_panics() {
+        standard_alphabet().atom("Xx");
+    }
+}

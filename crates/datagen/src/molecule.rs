@@ -1,0 +1,299 @@
+//! Random molecule-like graph generation.
+//!
+//! Molecules are grown as random trees under per-atom valence budgets, then
+//! sprinkled with ring-closing edges; optionally a motif graph is grafted
+//! on via a single bridge bond. Sizes follow a clipped normal roughly
+//! matching the AIDS screen (mean 25.4 atoms / 27.3 bonds).
+
+use rand::distributions::{Distribution, WeightedIndex};
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+use crate::alphabet::Alphabet;
+use graphsig_graph::{Graph, GraphBuilder, NodeId};
+
+/// Shape parameters for one random molecule.
+#[derive(Debug, Clone)]
+pub struct MoleculeConfig {
+    /// Mean number of atoms (before any motif grafting).
+    pub avg_nodes: f64,
+    /// Standard deviation of the atom count.
+    pub std_nodes: f64,
+    /// Expected number of ring-closing extra edges.
+    pub avg_rings: f64,
+    /// Expected number of random substituent atoms decorating each grafted
+    /// motif. Decorations vary the motif's context between molecules (real
+    /// drug cores carry diverse substituents) without destroying the core:
+    /// subgraph monomorphism still finds the undecorated motif.
+    pub avg_motif_decorations: f64,
+}
+
+impl Default for MoleculeConfig {
+    fn default() -> Self {
+        Self {
+            avg_nodes: 25.0,
+            std_nodes: 6.0,
+            avg_rings: 1.5,
+            avg_motif_decorations: 2.5,
+        }
+    }
+}
+
+/// Reusable molecule generator bound to an alphabet.
+pub struct MoleculeGen<'a> {
+    alphabet: &'a Alphabet,
+    cfg: MoleculeConfig,
+    atom_dist: WeightedIndex<f64>,
+    bond_dist: WeightedIndex<f64>,
+}
+
+impl<'a> MoleculeGen<'a> {
+    /// Create a generator.
+    pub fn new(alphabet: &'a Alphabet, cfg: MoleculeConfig) -> Self {
+        let atom_dist = WeightedIndex::new(alphabet.atom_weights().iter().copied())
+            .expect("atom weights are positive");
+        let bond_dist = WeightedIndex::new(alphabet.bond_weights().iter().copied())
+            .expect("bond weights are positive");
+        Self {
+            alphabet,
+            cfg,
+            atom_dist,
+            bond_dist,
+        }
+    }
+
+    /// Generate one molecule without a motif.
+    pub fn molecule(&self, rng: &mut SmallRng) -> Graph {
+        self.molecule_with_motifs(rng, &[])
+    }
+
+    /// Generate one molecule, grafting `motif` (if given) onto a random
+    /// attachment point via one single bond. The motif's structure is
+    /// preserved verbatim, so it remains findable by subgraph isomorphism.
+    pub fn molecule_with_motif(&self, rng: &mut SmallRng, motif: Option<&Graph>) -> Graph {
+        match motif {
+            Some(m) => self.molecule_with_motifs(rng, &[m]),
+            None => self.molecule_with_motifs(rng, &[]),
+        }
+    }
+
+    /// Generate one molecule, grafting each motif in turn (each via its own
+    /// single-bond bridge into the base molecule).
+    pub fn molecule_with_motifs(&self, rng: &mut SmallRng, motifs: &[&Graph]) -> Graph {
+        let n_target = self.sample_size(rng);
+        let mut b = GraphBuilder::new();
+        // Remaining valence per node.
+        let mut room: Vec<u8> = Vec::new();
+
+        // Root: an atom that can hold at least 2 bonds, so chains can grow.
+        let root_label = loop {
+            let l = self.atom_dist.sample(rng) as u16;
+            if self.alphabet.valence(l) >= 2 || n_target <= 2 {
+                break l;
+            }
+        };
+        b.add_node(root_label);
+        room.push(self.alphabet.valence(root_label));
+
+        // Tree growth.
+        while b.node_count() < n_target {
+            let open: Vec<NodeId> = (0..b.node_count() as NodeId)
+                .filter(|&i| room[i as usize] >= 1)
+                .collect();
+            let Some(&parent) = pick(rng, &open) else {
+                break; // fully saturated early
+            };
+            let label = self.atom_dist.sample(rng) as u16;
+            let child = b.add_node(label);
+            room.push(self.alphabet.valence(label));
+            b.add_edge(parent, child, self.bond_dist.sample(rng) as u16);
+            room[parent as usize] -= 1;
+            room[child as usize] -= 1;
+        }
+
+        // Ring closures: extra edges between non-adjacent open nodes.
+        // GraphBuilder only detects duplicate edges at build() time, so we
+        // keep our own adjacency set for the edges added so far.
+        let mut adjacent: std::collections::HashSet<(NodeId, NodeId)> =
+            b.clone()
+                .build()
+                .edges()
+                .iter()
+                .map(|e| (e.u.min(e.v), e.u.max(e.v)))
+                .collect();
+        let rings = sample_poissonish(rng, self.cfg.avg_rings);
+        for _ in 0..rings {
+            for _attempt in 0..10 {
+                let open: Vec<NodeId> = (0..b.node_count() as NodeId)
+                    .filter(|&i| room[i as usize] >= 1)
+                    .collect();
+                if open.len() < 2 {
+                    break;
+                }
+                let u = *pick(rng, &open).expect("non-empty");
+                let v = *pick(rng, &open).expect("non-empty");
+                if u == v || adjacent.contains(&(u.min(v), u.max(v))) {
+                    continue;
+                }
+                b.add_edge(u, v, self.bond_dist.sample(rng) as u16);
+                adjacent.insert((u.min(v), u.max(v)));
+                room[u as usize] -= 1;
+                room[v as usize] -= 1;
+                break;
+            }
+        }
+
+        // Motif grafting: append each motif verbatim, bridged by one bond.
+        for m in motifs {
+            let offset = b.node_count() as NodeId;
+            for &l in m.node_labels() {
+                b.add_node(l);
+                // The motif keeps one unit of slack so a later motif's
+                // bridge can attach to it if the base is saturated.
+                room.push(1);
+            }
+            for e in m.edges() {
+                b.add_edge(offset + e.u, offset + e.v, e.label);
+            }
+            // Bridge: random open base node — or the root if saturated — to
+            // a random motif node.
+            let open: Vec<NodeId> = (0..offset).filter(|&i| room[i as usize] >= 1).collect();
+            let base = pick(rng, &open).copied().unwrap_or(0);
+            let motif_node = offset + rng.gen_range(0..m.node_count()) as NodeId;
+            b.add_edge(base, motif_node, self.bond_dist.sample(rng) as u16);
+            room[base as usize] = room[base as usize].saturating_sub(1);
+            room[motif_node as usize] = room[motif_node as usize].saturating_sub(1);
+
+            // Decorations: random substituent atoms on motif vertices, so
+            // identical cores sit in varied contexts across molecules.
+            let decorations = sample_poissonish(rng, self.cfg.avg_motif_decorations);
+            for _ in 0..decorations {
+                let target = offset + rng.gen_range(0..m.node_count()) as NodeId;
+                let label = self.atom_dist.sample(rng) as u16;
+                let child = b.add_node(label);
+                room.push(0);
+                b.add_edge(target, child, self.bond_dist.sample(rng) as u16);
+            }
+        }
+
+        b.build()
+    }
+
+    fn sample_size(&self, rng: &mut SmallRng) -> usize {
+        let z = sample_standard_normal(rng);
+        let n = self.cfg.avg_nodes + self.cfg.std_nodes * z;
+        n.round().clamp(2.0, 4.0 * self.cfg.avg_nodes) as usize
+    }
+}
+
+/// Box–Muller standard normal.
+fn sample_standard_normal(rng: &mut SmallRng) -> f64 {
+    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// Small-mean integer sample: floor(mean) plus a Bernoulli on the fraction,
+/// a cheap stand-in for Poisson that preserves the mean.
+fn sample_poissonish(rng: &mut SmallRng, mean: f64) -> usize {
+    let base = mean.floor() as usize;
+    let frac = mean - mean.floor();
+    base + usize::from(rng.gen_bool(frac.clamp(0.0, 1.0)))
+}
+
+fn pick<'a, T>(rng: &mut SmallRng, xs: &'a [T]) -> Option<&'a T> {
+    if xs.is_empty() {
+        None
+    } else {
+        Some(&xs[rng.gen_range(0..xs.len())])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alphabet::standard_alphabet;
+    use crate::motifs;
+    use graphsig_graph::iso::contains;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> SmallRng {
+        SmallRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn molecules_are_connected_and_valence_bounded() {
+        let a = standard_alphabet();
+        let gen = MoleculeGen::new(&a, MoleculeConfig::default());
+        let mut r = rng(7);
+        for _ in 0..50 {
+            let g = gen.molecule(&mut r);
+            assert!(g.is_connected());
+            assert!(g.node_count() >= 2);
+            for n in g.nodes() {
+                assert!(
+                    g.degree(n) <= a.valence(g.node_label(n)) as usize,
+                    "degree exceeds valence"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sizes_average_near_target() {
+        let a = standard_alphabet();
+        let gen = MoleculeGen::new(&a, MoleculeConfig::default());
+        let mut r = rng(11);
+        let sizes: Vec<usize> = (0..300).map(|_| gen.molecule(&mut r).node_count()).collect();
+        let mean = sizes.iter().sum::<usize>() as f64 / sizes.len() as f64;
+        assert!((mean - 25.0).abs() < 3.0, "mean size {mean}");
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = standard_alphabet();
+        let gen = MoleculeGen::new(&a, MoleculeConfig::default());
+        let g1 = gen.molecule(&mut rng(42));
+        let g2 = gen.molecule(&mut rng(42));
+        assert_eq!(g1.node_labels(), g2.node_labels());
+        assert_eq!(g1.edges(), g2.edges());
+    }
+
+    #[test]
+    fn motif_is_preserved_verbatim() {
+        let a = standard_alphabet();
+        let gen = MoleculeGen::new(&a, MoleculeConfig::default());
+        let motif = motifs::azt_like(&a);
+        let mut r = rng(3);
+        for _ in 0..20 {
+            let g = gen.molecule_with_motif(&mut r, Some(&motif));
+            assert!(contains(&g, &motif), "motif lost in generated molecule");
+            assert!(g.is_connected());
+        }
+    }
+
+    #[test]
+    fn plain_molecules_rarely_contain_rare_motifs() {
+        let a = standard_alphabet();
+        let gen = MoleculeGen::new(&a, MoleculeConfig::default());
+        let motif = motifs::sb_motif(&a);
+        let mut r = rng(5);
+        let hits = (0..100)
+            .filter(|_| contains(&gen.molecule(&mut r), &motif))
+            .count();
+        assert_eq!(hits, 0, "Sb motif appeared spontaneously");
+    }
+
+    #[test]
+    fn ring_edges_appear() {
+        let a = standard_alphabet();
+        let gen = MoleculeGen::new(&a, MoleculeConfig::default());
+        let mut r = rng(13);
+        // With avg_rings = 1.5 some molecule in 20 must have e >= n edges.
+        let any_cyclic = (0..20).any(|_| {
+            let g = gen.molecule(&mut r);
+            g.edge_count() >= g.node_count()
+        });
+        assert!(any_cyclic);
+    }
+}

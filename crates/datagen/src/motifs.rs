@@ -1,0 +1,254 @@
+//! The planted-motif library.
+//!
+//! Each motif is a small conserved substructure standing in for the real
+//! drug cores the paper recovers (Figs. 13–15): an AZT-like azido ring, its
+//! fluorinated FDT analog, a methyl-triphenyl-phosphonium star, and the
+//! antimony/bismuth pair that differs in exactly one metal atom. A plain
+//! benzene ring is included for the Fig. 16 experiment: embedded
+//! class-independently, it is frequent but not significant.
+
+use crate::alphabet::Alphabet;
+use graphsig_graph::{Graph, GraphBuilder};
+
+/// Benzene: a 6-carbon aromatic ring (the paper's Fig. 5).
+pub fn benzene(a: &Alphabet) -> Graph {
+    let c = a.atom("C");
+    let ar = a.bond("a");
+    let mut b = GraphBuilder::new();
+    let n: Vec<_> = (0..6).map(|_| b.add_node(c)).collect();
+    for i in 0..6 {
+        b.add_edge(n[i], n[(i + 1) % 6], ar);
+    }
+    b.build()
+}
+
+/// AZT-like core (Fig. 13(a) stand-in): a pyrimidine-like C/N ring with a
+/// carbonyl oxygen and an azide-like N-N-N tail.
+pub fn azt_like(a: &Alphabet) -> Graph {
+    let (c, n, o) = (a.atom("C"), a.atom("N"), a.atom("O"));
+    let (s, d) = (a.bond("s"), a.bond("d"));
+    let mut b = GraphBuilder::new();
+    // Ring: C-N-C-N-C-C.
+    let ring = [c, n, c, n, c, c].map(|l| b.add_node(l));
+    for i in 0..6 {
+        b.add_edge(ring[i], ring[(i + 1) % 6], s);
+    }
+    // Carbonyl O on ring position 2.
+    let o1 = b.add_node(o);
+    b.add_edge(ring[2], o1, d);
+    // Azide tail N=N=N hanging off ring position 4.
+    let n1 = b.add_node(n);
+    let n2 = b.add_node(n);
+    let n3 = b.add_node(n);
+    b.add_edge(ring[4], n1, s);
+    b.add_edge(n1, n2, d);
+    b.add_edge(n2, n3, d);
+    b.build()
+}
+
+/// FDT-like core (Fig. 13(b) stand-in): the AZT scaffold with the azide
+/// tail replaced by a fluorine — "a fluorinated analog of AZT".
+pub fn fdt_like(a: &Alphabet) -> Graph {
+    let (c, n, o, f) = (a.atom("C"), a.atom("N"), a.atom("O"), a.atom("F"));
+    let (s, d) = (a.bond("s"), a.bond("d"));
+    let mut b = GraphBuilder::new();
+    let ring = [c, n, c, n, c, c].map(|l| b.add_node(l));
+    for i in 0..6 {
+        b.add_edge(ring[i], ring[(i + 1) % 6], s);
+    }
+    let o1 = b.add_node(o);
+    b.add_edge(ring[2], o1, d);
+    let f1 = b.add_node(f);
+    b.add_edge(ring[4], f1, s);
+    b.build()
+}
+
+/// Methyl-triphenyl-phosphonium core (Fig. 14 stand-in): a phosphorus
+/// center bonded to three short carbon chains (phenyl stand-ins) and one
+/// free methyl carbon.
+pub fn phosphonium(a: &Alphabet) -> Graph {
+    let (c, p) = (a.atom("C"), a.atom("P"));
+    let s = a.bond("s");
+    let mut b = GraphBuilder::new();
+    let center = b.add_node(p);
+    // Three 2-carbon arms.
+    for _ in 0..3 {
+        let c1 = b.add_node(c);
+        let c2 = b.add_node(c);
+        b.add_edge(center, c1, s);
+        b.add_edge(c1, c2, s);
+    }
+    // The free methyl carbon where binding occurs.
+    let methyl = b.add_node(c);
+    b.add_edge(center, methyl, s);
+    b.build()
+}
+
+/// Antimony variant of the Fig. 15 pair: Sb bridging two oxygens on a
+/// carbon scaffold.
+pub fn sb_motif(a: &Alphabet) -> Graph {
+    metal_motif(a, "Sb")
+}
+
+/// Bismuth variant of the Fig. 15 pair — identical scaffold with Bi in
+/// place of Sb (both are group-15 metals, the paper's point).
+pub fn bi_motif(a: &Alphabet) -> Graph {
+    metal_motif(a, "Bi")
+}
+
+fn metal_motif(a: &Alphabet, metal: &str) -> Graph {
+    let (c, o, m) = (a.atom("C"), a.atom("O"), a.atom(metal));
+    let s = a.bond("s");
+    let mut b = GraphBuilder::new();
+    let center = b.add_node(m);
+    let o1 = b.add_node(o);
+    let o2 = b.add_node(o);
+    let c1 = b.add_node(c);
+    let c2 = b.add_node(c);
+    let c3 = b.add_node(c);
+    b.add_edge(center, o1, s);
+    b.add_edge(center, o2, s);
+    b.add_edge(o1, c1, s);
+    b.add_edge(o2, c2, s);
+    b.add_edge(c1, c3, s);
+    b.add_edge(c2, c3, s);
+    b.build()
+}
+
+/// Steroid-like fused ring pair: two six-carbon rings sharing an edge,
+/// with one ring oxygen — a stand-in for the fused polycyclic scaffolds
+/// common to hormone-derived drugs.
+pub fn fused_rings(a: &Alphabet) -> Graph {
+    let (c, o) = (a.atom("C"), a.atom("O"));
+    let s = a.bond("s");
+    let mut b = GraphBuilder::new();
+    // Ring A: 0-1-2-3-4-5; Ring B shares edge 4-5: 4-5-6-7-8-9.
+    let n: Vec<_> = (0..10)
+        .map(|i| b.add_node(if i == 7 { o } else { c }))
+        .collect();
+    for i in 0..6 {
+        b.add_edge(n[i], n[(i + 1) % 6], s);
+    }
+    b.add_edge(n[5], n[6], s);
+    b.add_edge(n[6], n[7], s);
+    b.add_edge(n[7], n[8], s);
+    b.add_edge(n[8], n[9], s);
+    b.add_edge(n[9], n[4], s);
+    b.build()
+}
+
+/// Nitro-aromatic warhead: a carbon ring fragment carrying an N(=O)(=O)
+/// group — the classic nitro pharmacophore.
+pub fn nitro(a: &Alphabet) -> Graph {
+    let (c, n, o) = (a.atom("C"), a.atom("N"), a.atom("O"));
+    let (s, d) = (a.bond("s"), a.bond("d"));
+    let mut b = GraphBuilder::new();
+    let c1 = b.add_node(c);
+    let c2 = b.add_node(c);
+    let c3 = b.add_node(c);
+    let nn = b.add_node(n);
+    let o1 = b.add_node(o);
+    let o2 = b.add_node(o);
+    b.add_edge(c1, c2, s);
+    b.add_edge(c2, c3, s);
+    b.add_edge(c2, nn, s);
+    b.add_edge(nn, o1, d);
+    b.add_edge(nn, o2, s);
+    b.build()
+}
+
+/// All named motifs, keyed for dataset specs.
+pub fn by_name(a: &Alphabet, name: &str) -> Graph {
+    match name {
+        "benzene" => benzene(a),
+        "azt" => azt_like(a),
+        "fdt" => fdt_like(a),
+        "phosphonium" => phosphonium(a),
+        "sb" => sb_motif(a),
+        "bi" => bi_motif(a),
+        "fused" => fused_rings(a),
+        "nitro" => nitro(a),
+        other => panic!("unknown motif {other}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alphabet::standard_alphabet;
+    use graphsig_graph::are_isomorphic;
+
+    #[test]
+    fn all_motifs_are_connected() {
+        let a = standard_alphabet();
+        for name in ["benzene", "azt", "fdt", "phosphonium", "sb", "bi", "fused", "nitro"] {
+            let g = by_name(&a, name);
+            assert!(g.is_connected(), "{name}");
+            assert!(g.node_count() >= 6, "{name}");
+        }
+    }
+
+    #[test]
+    fn motifs_respect_valence() {
+        let a = standard_alphabet();
+        for name in ["benzene", "azt", "fdt", "phosphonium", "sb", "bi", "fused", "nitro"] {
+            let g = by_name(&a, name);
+            for n in g.nodes() {
+                assert!(
+                    g.degree(n) <= a.valence(g.node_label(n)) as usize,
+                    "{name}: node {n}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sb_and_bi_differ_by_one_atom() {
+        let a = standard_alphabet();
+        let sb = sb_motif(&a);
+        let bi = bi_motif(&a);
+        assert!(!are_isomorphic(&sb, &bi));
+        assert_eq!(sb.node_count(), bi.node_count());
+        assert_eq!(sb.edge_count(), bi.edge_count());
+        // Same scaffold: replacing the metal labels makes them isomorphic.
+        let mut b = GraphBuilder::new();
+        for &l in sb.node_labels() {
+            let l = if l == a.atom("Sb") { a.atom("Bi") } else { l };
+            b.add_node(l);
+        }
+        for e in sb.edges() {
+            b.add_edge(e.u, e.v, e.label);
+        }
+        assert!(are_isomorphic(&b.build(), &bi));
+    }
+
+    #[test]
+    fn azt_and_fdt_share_the_ring_core() {
+        let a = standard_alphabet();
+        let azt = azt_like(&a);
+        let fdt = fdt_like(&a);
+        // FDT minus its F is a subgraph of AZT.
+        assert!(graphsig_graph::iso::contains(&azt, &benzene_free_core(&a)));
+        assert!(graphsig_graph::iso::contains(&fdt, &benzene_free_core(&a)));
+    }
+
+    /// The shared C/N ring + carbonyl core of AZT/FDT.
+    fn benzene_free_core(a: &Alphabet) -> Graph {
+        let (c, n, o) = (a.atom("C"), a.atom("N"), a.atom("O"));
+        let (s, d) = (a.bond("s"), a.bond("d"));
+        let mut b = GraphBuilder::new();
+        let ring = [c, n, c, n, c, c].map(|l| b.add_node(l));
+        for i in 0..6 {
+            b.add_edge(ring[i], ring[(i + 1) % 6], s);
+        }
+        let o1 = b.add_node(o);
+        b.add_edge(ring[2], o1, d);
+        b.build()
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown motif")]
+    fn unknown_motif_panics() {
+        by_name(&standard_alphabet(), "nope");
+    }
+}

@@ -1,0 +1,170 @@
+//! CSV import/export of feature-vector databases.
+//!
+//! GraphSig's feature space is the bridge between graphs and statistics;
+//! being able to dump a label group to CSV (one row per window, one column
+//! per feature) and reload it makes the space inspectable with any
+//! dataframe tool and lets external vector sets be mined with FVMine.
+//!
+//! Format: an optional `#`-prefixed header line with column names, then
+//! comma-separated small integers (bins).
+
+use std::fmt::Write as _;
+
+/// Serialize vectors to CSV. `names` (if given) becomes a `# a,b,c` header
+/// and must match the dimension.
+///
+/// # Panics
+/// Panics if `names` is given with the wrong length, or rows have
+/// inconsistent dimensions.
+pub fn to_csv(vectors: &[Vec<u8>], names: Option<&[&str]>) -> String {
+    let dim = vectors.first().map(|v| v.len()).unwrap_or(0);
+    if let Some(names) = names {
+        assert_eq!(names.len(), dim, "header length != dimension");
+    }
+    let mut out = String::new();
+    if let Some(names) = names {
+        out.push('#');
+        out.push_str(&names.join(","));
+        out.push('\n');
+    }
+    for v in vectors {
+        assert_eq!(v.len(), dim, "inconsistent dimensions");
+        let mut first = true;
+        for &x in v {
+            if !first {
+                out.push(',');
+            }
+            write!(out, "{x}").expect("string write");
+            first = false;
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Parse a CSV produced by [`to_csv`] (or any comma-separated integer
+/// table). Returns `(vectors, header names if present)`.
+///
+/// # Errors
+/// Returns a message naming the offending 1-based line on bad integers or
+/// inconsistent dimensions.
+pub fn from_csv(text: &str) -> Result<(Vec<Vec<u8>>, Option<Vec<String>>), String> {
+    let mut vectors: Vec<Vec<u8>> = Vec::new();
+    let mut names: Option<Vec<String>> = None;
+    let mut dim: Option<usize> = None;
+    for (idx, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(header) = line.strip_prefix('#') {
+            if names.is_none() && vectors.is_empty() {
+                names = Some(header.split(',').map(|s| s.trim().to_owned()).collect());
+            }
+            continue; // later comment lines are ignored
+        }
+        let row: Result<Vec<u8>, _> = line.split(',').map(|t| t.trim().parse::<u8>()).collect();
+        let row = row.map_err(|e| format!("line {}: {e}", idx + 1))?;
+        match dim {
+            None => dim = Some(row.len()),
+            Some(d) if d != row.len() => {
+                return Err(format!(
+                    "line {}: expected {d} columns, got {}",
+                    idx + 1,
+                    row.len()
+                ))
+            }
+            _ => {}
+        }
+        vectors.push(row);
+    }
+    if let (Some(names), Some(d)) = (&names, dim) {
+        if names.len() != d {
+            return Err(format!(
+                "header has {} names but rows have {d} columns",
+                names.len()
+            ));
+        }
+    }
+    Ok((vectors, names))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_with_header() {
+        let vs = vec![vec![1, 0, 2], vec![3, 4, 5]];
+        let text = to_csv(&vs, Some(&["a", "b", "c"]));
+        let (back, names) = from_csv(&text).unwrap();
+        assert_eq!(back, vs);
+        assert_eq!(names.unwrap(), vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn roundtrip_without_header() {
+        let vs = vec![vec![0, 10], vec![7, 7]];
+        let text = to_csv(&vs, None);
+        assert_eq!(text, "0,10\n7,7\n");
+        let (back, names) = from_csv(&text).unwrap();
+        assert_eq!(back, vs);
+        assert!(names.is_none());
+    }
+
+    #[test]
+    fn empty_inputs() {
+        assert_eq!(to_csv(&[], None), "");
+        let (vs, names) = from_csv("").unwrap();
+        assert!(vs.is_empty());
+        assert!(names.is_none());
+    }
+
+    #[test]
+    fn parse_errors_name_the_line() {
+        let err = from_csv("1,2\nx,3\n").unwrap_err();
+        assert!(err.starts_with("line 2"));
+        let err = from_csv("1,2\n1,2,3\n").unwrap_err();
+        assert!(err.contains("expected 2 columns"));
+        let err = from_csv("#a,b,c\n1,2\n").unwrap_err();
+        assert!(err.contains("header has 3 names"));
+    }
+
+    #[test]
+    fn mined_output_survives_roundtrip() {
+        use crate::fvmine::{FvMineConfig, FvMiner};
+        let db = vec![
+            vec![1, 0, 0, 2],
+            vec![1, 1, 0, 2],
+            vec![2, 0, 1, 2],
+            vec![1, 0, 1, 0],
+        ];
+        let (back, _) = from_csv(&to_csv(&db, None)).unwrap();
+        let a = FvMiner::new(FvMineConfig::new(1, 1.0)).mine(&db);
+        let b = FvMiner::new(FvMineConfig::new(1, 1.0)).mine(&back);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.vector, y.vector);
+            assert_eq!(x.support_ids, y.support_ids);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "header length")]
+    fn wrong_header_len_panics() {
+        to_csv(&[vec![1, 2]], Some(&["only-one"]));
+    }
+
+    #[test]
+    fn later_comment_lines_are_ignored() {
+        let (vs, names) = from_csv("#a,b\n1,2\n# trailing note\n3,4\n").unwrap();
+        assert_eq!(vs, vec![vec![1, 2], vec![3, 4]]);
+        assert_eq!(names.unwrap(), vec!["a", "b"]);
+    }
+
+    #[test]
+    fn blank_lines_are_skipped() {
+        let (vs, _) = from_csv("1,2\n\n3,4\n\n").unwrap();
+        assert_eq!(vs.len(), 2);
+    }
+}

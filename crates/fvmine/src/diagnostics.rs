@@ -1,0 +1,140 @@
+//! Feature-space diagnostics.
+//!
+//! The quality of GraphSig's feature space determines everything
+//! downstream: features that are always zero waste dimensions, features
+//! that are always saturated carry no signal, and a lattice that is too
+//! dense explodes FVMine. This module summarizes a vector group so those
+//! conditions are visible before mining.
+
+/// Per-feature summary over a vector group.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FeatureSummary {
+    /// Fraction of vectors with a non-zero value.
+    pub density: f64,
+    /// Mean bin value.
+    pub mean: f64,
+    /// Largest bin value observed.
+    pub max: u8,
+    /// Shannon entropy of the bin distribution (bits). Zero means the
+    /// feature is constant and cannot contribute to any closed vector.
+    pub entropy: f64,
+}
+
+/// Whole-group summary.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GroupDiagnostics {
+    /// Number of vectors.
+    pub vectors: usize,
+    /// Dimensionality.
+    pub dim: usize,
+    /// Per-feature summaries, indexed by feature.
+    pub features: Vec<FeatureSummary>,
+    /// Mean number of non-zero features per vector (sparsity signal:
+    /// FVMine cost grows with this, not with `dim`).
+    pub avg_nonzero: f64,
+    /// Number of distinct vectors (duplicates are common for symmetric
+    /// neighborhoods and are what gives closed vectors their support).
+    pub distinct: usize,
+}
+
+/// Summarize a vector group.
+///
+/// # Panics
+/// Panics on an empty group or inconsistent dimensions.
+pub fn diagnose(vectors: &[Vec<u8>]) -> GroupDiagnostics {
+    assert!(!vectors.is_empty(), "cannot diagnose an empty group");
+    let dim = vectors[0].len();
+    let n = vectors.len() as f64;
+    let mut features = Vec::with_capacity(dim);
+    for i in 0..dim {
+        let mut counts = std::collections::HashMap::new();
+        let mut nonzero = 0usize;
+        let mut sum = 0u64;
+        let mut max = 0u8;
+        for v in vectors {
+            assert_eq!(v.len(), dim, "inconsistent dimensions");
+            let x = v[i];
+            *counts.entry(x).or_insert(0usize) += 1;
+            if x > 0 {
+                nonzero += 1;
+            }
+            sum += x as u64;
+            max = max.max(x);
+        }
+        let entropy = counts
+            .values()
+            .map(|&c| {
+                let p = c as f64 / n;
+                -p * p.log2()
+            })
+            .sum::<f64>();
+        features.push(FeatureSummary {
+            density: nonzero as f64 / n,
+            mean: sum as f64 / n,
+            max,
+            entropy,
+        });
+    }
+    let avg_nonzero = vectors
+        .iter()
+        .map(|v| v.iter().filter(|&&x| x > 0).count())
+        .sum::<usize>() as f64
+        / n;
+    let distinct = {
+        let mut set: Vec<&Vec<u8>> = vectors.iter().collect();
+        set.sort();
+        set.dedup();
+        set.len()
+    };
+    GroupDiagnostics {
+        vectors: vectors.len(),
+        dim,
+        features,
+        avg_nonzero,
+        distinct,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_feature_has_zero_entropy() {
+        let vs = vec![vec![3, 0], vec![3, 1], vec![3, 2]];
+        let d = diagnose(&vs);
+        assert_eq!(d.features[0].entropy, 0.0);
+        assert!(d.features[1].entropy > 1.0);
+        assert_eq!(d.features[0].density, 1.0);
+        assert_eq!(d.features[0].max, 3);
+    }
+
+    #[test]
+    fn density_and_mean() {
+        let vs = vec![vec![0, 2], vec![0, 0], vec![0, 4]];
+        let d = diagnose(&vs);
+        assert_eq!(d.features[0].density, 0.0);
+        assert!((d.features[1].density - 2.0 / 3.0).abs() < 1e-12);
+        assert!((d.features[1].mean - 2.0).abs() < 1e-12);
+        assert!((d.avg_nonzero - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn distinct_counts_duplicates_once() {
+        let vs = vec![vec![1, 1], vec![1, 1], vec![2, 0]];
+        assert_eq!(diagnose(&vs).distinct, 2);
+    }
+
+    #[test]
+    fn uniform_two_values_one_bit() {
+        let vs = vec![vec![0], vec![1], vec![0], vec![1]];
+        let d = diagnose(&vs);
+        assert!((d.features[0].entropy - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty group")]
+    fn empty_rejected() {
+        diagnose(&[]);
+    }
+}

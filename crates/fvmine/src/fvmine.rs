@@ -1,0 +1,354 @@
+//! FVMine (Algorithm 1 of the paper): closed significant sub-feature
+//! vector mining.
+//!
+//! The search walks the closed-vector lattice bottom-up and depth-first.
+//! A state is a pair `(x, S)` where `S` is the exact support set of the
+//! closed vector `x` (every vector in the database that contains `x`); its
+//! children raise one feature `i >= b` and re-close:
+//!
+//! * **support pruning** (lines 5–6): a child with `|S'| < minSup` cannot
+//!   contain a frequent descendant;
+//! * **duplicate-state pruning** (lines 8–9): if closing the child raised a
+//!   feature `j < i`, the same state is reachable from the branch at `j`
+//!   and has already been (or will be) visited there;
+//! * **optimistic significance pruning** (lines 10–11): the most
+//!   significant descendant of a state is bounded by
+//!   `p_value(ceiling(S'), |S'|)` — the most specific vector at the largest
+//!   possible support. If even that bound is not significant, the subtree
+//!   is dead. (The paper's pseudocode prunes at `>= maxPvalue`; we prune at
+//!   `> maxPvalue` so a subtree whose best descendant sits exactly on the
+//!   threshold — accepted by line 1's `<=` — is still explored. The two
+//!   only differ on the measure-zero boundary and the strict form is the
+//!   one consistent with the paper's running example at threshold 1.)
+//!
+//! The invariant that `S` is the *exact* support set of `x` holds
+//! inductively: the root is `(floor(D), D)`, and for a child,
+//! `S' = {y in S : y_i > x_i}` together with re-closing `x' = floor(S')`
+//! keeps every super-vector of `x'` inside `S'`.
+
+use crate::pvalue::SignificanceModel;
+use crate::vector::{ceiling_of, floor_of};
+
+/// Thresholds for [`FvMiner`]. The paper's Table IV defaults are
+/// `maxPvalue = 0.1` and a relative support of 0.1% of the group.
+#[derive(Debug, Clone, Copy)]
+pub struct FvMineConfig {
+    /// Minimum support (number of supporting vectors), `>= 1`.
+    pub min_support: usize,
+    /// Significance threshold: report vectors with `p_value <= max_pvalue`.
+    pub max_pvalue: f64,
+    /// Apply the optimistic significance pruning of Algorithm 1 lines
+    /// 10-11. Disabling it never changes the output (the bound is safe) —
+    /// it exists for the ablation experiment measuring how much work the
+    /// pruning saves.
+    pub optimistic_pruning: bool,
+}
+
+impl FvMineConfig {
+    /// Thresholds with the optimistic pruning enabled (the default).
+    pub fn new(min_support: usize, max_pvalue: f64) -> Self {
+        Self {
+            min_support,
+            max_pvalue,
+            optimistic_pruning: true,
+        }
+    }
+}
+
+/// A closed sub-feature vector found significant by FVMine.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SignificantVector {
+    /// The closed vector.
+    pub vector: Vec<u8>,
+    /// Indices (into the mined database) of the vectors containing it —
+    /// its exact support set, ascending.
+    pub support_ids: Vec<u32>,
+    /// Binomial upper-tail p-value at the observed support.
+    pub p_value: f64,
+}
+
+impl SignificantVector {
+    /// Observed support `mu_0`.
+    pub fn support(&self) -> usize {
+        self.support_ids.len()
+    }
+}
+
+/// Search counters for one FVMine run — used by the pruning ablation to
+/// quantify how much of the lattice each rule kills.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FvMineStats {
+    /// States whose p-value was evaluated (line 1 of Algorithm 1).
+    pub states_visited: usize,
+    /// Branches cut by the support threshold (lines 5-6).
+    pub pruned_support: usize,
+    /// Branches cut as duplicate states (lines 8-9).
+    pub pruned_duplicate: usize,
+    /// Branches cut by the optimistic significance bound (lines 10-11).
+    pub pruned_optimistic: usize,
+}
+
+/// The FVMine search (Algorithm 1).
+pub struct FvMiner {
+    cfg: FvMineConfig,
+}
+
+impl FvMiner {
+    /// Create a miner with the given thresholds.
+    pub fn new(cfg: FvMineConfig) -> Self {
+        assert!(cfg.min_support >= 1, "min_support must be at least 1");
+        assert!(
+            cfg.max_pvalue >= 0.0 && cfg.max_pvalue <= 1.0,
+            "max_pvalue must be in [0,1]"
+        );
+        Self { cfg }
+    }
+
+    /// Mine `db`, estimating the significance model (priors, trial count)
+    /// from `db` itself — the configuration GraphSig uses per label group.
+    pub fn mine(&self, db: &[Vec<u8>]) -> Vec<SignificantVector> {
+        self.mine_with_stats(db).0
+    }
+
+    /// Like [`mine`](Self::mine), also returning search counters.
+    pub fn mine_with_stats(&self, db: &[Vec<u8>]) -> (Vec<SignificantVector>, FvMineStats) {
+        if db.is_empty() {
+            return (Vec::new(), FvMineStats::default());
+        }
+        let model = SignificanceModel::from_vectors(db, 10);
+        self.mine_with_model_and_stats(db, &model)
+    }
+
+    /// Mine `db` against an externally supplied significance model (e.g.
+    /// priors estimated on a larger population).
+    pub fn mine_with_model(
+        &self,
+        db: &[Vec<u8>],
+        model: &SignificanceModel,
+    ) -> Vec<SignificantVector> {
+        self.mine_with_model_and_stats(db, model).0
+    }
+
+    /// Full-control entry point: explicit model, counters returned.
+    pub fn mine_with_model_and_stats(
+        &self,
+        db: &[Vec<u8>],
+        model: &SignificanceModel,
+    ) -> (Vec<SignificantVector>, FvMineStats) {
+        let mut stats = FvMineStats::default();
+        if db.is_empty() {
+            return (Vec::new(), stats);
+        }
+        let root_support: Vec<u32> = (0..db.len() as u32).collect();
+        if root_support.len() < self.cfg.min_support {
+            return (Vec::new(), stats);
+        }
+        let root = floor_of(db.iter().map(|v| v.as_slice()));
+        let mut out = Vec::new();
+        self.recurse(db, model, &root, &root_support, 0, &mut out, &mut stats);
+        (out, stats)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn recurse(
+        &self,
+        db: &[Vec<u8>],
+        model: &SignificanceModel,
+        x: &[u8],
+        support: &[u32],
+        b: usize,
+        out: &mut Vec<SignificantVector>,
+        stats: &mut FvMineStats,
+    ) {
+        stats.states_visited += 1;
+        let p = model.p_value(x, support.len() as u64);
+        if p <= self.cfg.max_pvalue {
+            out.push(SignificantVector {
+                vector: x.to_vec(),
+                support_ids: support.to_vec(),
+                p_value: p,
+            });
+        }
+        let dim = x.len();
+        for i in b..dim {
+            // S' = {y in S : y_i > x_i}.
+            let sub: Vec<u32> = support
+                .iter()
+                .copied()
+                .filter(|&id| db[id as usize][i] > x[i])
+                .collect();
+            if sub.len() < self.cfg.min_support {
+                stats.pruned_support += 1;
+                continue;
+            }
+            let x2 = floor_of(sub.iter().map(|&id| db[id as usize].as_slice()));
+            // Duplicate state: closing raised an earlier feature.
+            if (0..i).any(|j| x2[j] > x[j]) {
+                stats.pruned_duplicate += 1;
+                continue;
+            }
+            // Optimistic bound on the whole subtree.
+            if self.cfg.optimistic_pruning {
+                let ceiling = ceiling_of(sub.iter().map(|&id| db[id as usize].as_slice()));
+                if model.p_value(&ceiling, sub.len() as u64) > self.cfg.max_pvalue {
+                    stats.pruned_optimistic += 1;
+                    continue;
+                }
+            }
+            self.recurse(db, model, &x2, &sub, i, out, stats);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vector::is_sub_vector;
+    use std::collections::HashSet;
+
+    /// Table I of the paper.
+    fn table1() -> Vec<Vec<u8>> {
+        vec![
+            vec![1, 0, 0, 2],
+            vec![1, 1, 0, 2],
+            vec![2, 0, 1, 2],
+            vec![1, 0, 1, 0],
+        ]
+    }
+
+    /// Brute-force reference: all closed vectors with support >= min_sup
+    /// and p-value <= max_p. A vector is closed iff it equals the floor of
+    /// its full support set.
+    fn brute_force(db: &[Vec<u8>], min_sup: usize, max_p: f64) -> Vec<(Vec<u8>, Vec<u32>, f64)> {
+        let model = SignificanceModel::from_vectors(db, 10);
+        let n = db.len();
+        let mut seen: HashSet<Vec<u8>> = HashSet::new();
+        let mut out = Vec::new();
+        for mask in 1u32..(1 << n) {
+            let members: Vec<&[u8]> = (0..n)
+                .filter(|&i| mask & (1 << i) != 0)
+                .map(|i| db[i].as_slice())
+                .collect();
+            let f = floor_of(members.iter().copied());
+            if seen.contains(&f) {
+                continue;
+            }
+            seen.insert(f.clone());
+            let support: Vec<u32> = (0..n as u32)
+                .filter(|&i| is_sub_vector(&f, &db[i as usize]))
+                .collect();
+            // Closed: floor of the full support set equals f.
+            let refloor = floor_of(support.iter().map(|&i| db[i as usize].as_slice()));
+            if refloor != f {
+                continue;
+            }
+            if support.len() < min_sup {
+                continue;
+            }
+            let p = model.p_value(&f, support.len() as u64);
+            if p <= max_p {
+                out.push((f, support, p));
+            }
+        }
+        out
+    }
+
+    fn run(db: &[Vec<u8>], min_sup: usize, max_p: f64) -> Vec<SignificantVector> {
+        FvMiner::new(FvMineConfig::new(min_sup, max_p)).mine(db)
+    }
+
+    fn assert_matches_brute_force(db: &[Vec<u8>], min_sup: usize, max_p: f64) {
+        let got = run(db, min_sup, max_p);
+        let want = brute_force(db, min_sup, max_p);
+        let got_set: HashSet<Vec<u8>> = got.iter().map(|s| s.vector.clone()).collect();
+        let want_set: HashSet<Vec<u8>> = want.iter().map(|(v, _, _)| v.clone()).collect();
+        assert_eq!(got_set, want_set, "min_sup={min_sup} max_p={max_p}");
+        assert_eq!(got.len(), got_set.len(), "duplicates in output");
+        // Supports and p-values agree too.
+        for sv in &got {
+            let (_, ws, wp) = want.iter().find(|(v, _, _)| *v == sv.vector).unwrap();
+            assert_eq!(&sv.support_ids, ws);
+            assert!((sv.p_value - wp).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn table1_full_enumeration_threshold_one() {
+        // The paper's Fig. 8 setting: support and p-value thresholds of 1.
+        assert_matches_brute_force(&table1(), 1, 1.0);
+    }
+
+    #[test]
+    fn table1_support_two() {
+        assert_matches_brute_force(&table1(), 2, 1.0);
+    }
+
+    #[test]
+    fn table1_tight_pvalue() {
+        for p in [0.5, 0.3, 0.1] {
+            assert_matches_brute_force(&table1(), 1, p);
+        }
+    }
+
+    #[test]
+    fn outputs_are_closed_with_exact_support() {
+        let db = table1();
+        for sv in run(&db, 1, 1.0) {
+            // Support set is exactly the super-vectors.
+            let expect: Vec<u32> = (0..db.len() as u32)
+                .filter(|&i| is_sub_vector(&sv.vector, &db[i as usize]))
+                .collect();
+            assert_eq!(sv.support_ids, expect);
+            // Closed: floor of supporters equals the vector.
+            let f = floor_of(sv.support_ids.iter().map(|&i| db[i as usize].as_slice()));
+            assert_eq!(f, sv.vector);
+        }
+    }
+
+    #[test]
+    fn larger_random_style_db_matches_brute_force() {
+        // Deterministic pseudo-random small db, dims 5, values 0..4.
+        let mut db = Vec::new();
+        let mut state = 0x9E3779B9u64;
+        for _ in 0..10 {
+            let mut v = Vec::new();
+            for _ in 0..5 {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                v.push(((state >> 33) % 4) as u8);
+            }
+            db.push(v);
+        }
+        assert_matches_brute_force(&db, 1, 1.0);
+        assert_matches_brute_force(&db, 2, 0.8);
+        assert_matches_brute_force(&db, 3, 0.4);
+    }
+
+    #[test]
+    fn empty_db_mines_nothing() {
+        assert!(run(&[], 1, 1.0).is_empty());
+    }
+
+    #[test]
+    fn min_support_above_db_size_mines_nothing() {
+        assert!(run(&table1(), 5, 1.0).is_empty());
+    }
+
+    #[test]
+    fn zero_pvalue_threshold_rejects_everything_probable() {
+        // With max_pvalue = 0 only vectors with P(x)=0 could qualify, and
+        // those have support 0 — so nothing is reported.
+        assert!(run(&table1(), 1, 0.0).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "min_support")]
+    fn zero_support_rejected() {
+        FvMiner::new(FvMineConfig::new(0, 0.5));
+    }
+
+    #[test]
+    #[should_panic(expected = "max_pvalue")]
+    fn bad_pvalue_rejected() {
+        FvMiner::new(FvMineConfig::new(1, 1.5));
+    }
+}

@@ -1,0 +1,167 @@
+//! Empirical feature priors and the random-vector occurrence probability.
+//!
+//! Section III-A of the paper: "Prior probabilities of features are
+//! computed empirically". From a database of discretized vectors, for every
+//! feature `i` and bin value `v` we estimate `P(y_i >= v)` as the fraction
+//! of database vectors whose feature `i` reaches `v`. Under the feature
+//! independence assumption (Eqn. 4), the probability of a sub-feature
+//! vector `x` occurring in a random vector is the product of its per-feature
+//! exceedance probabilities.
+
+/// Per-feature empirical exceedance probabilities `P(y_i >= v)`.
+#[derive(Debug, Clone)]
+pub struct Priors {
+    /// `p_geq[i][v] = P(y_i >= v)` for `v in 0..=max_bin`.
+    p_geq: Vec<Vec<f64>>,
+    /// Number of vectors the priors were estimated from.
+    sample_size: usize,
+}
+
+impl Priors {
+    /// Estimate priors from a vector database (all vectors must share one
+    /// dimension). `max_bin` is the largest representable bin (10 for RWR
+    /// output).
+    ///
+    /// # Panics
+    /// Panics if `db` is empty or dimensions are inconsistent.
+    pub fn from_vectors(db: &[Vec<u8>], max_bin: u8) -> Self {
+        assert!(!db.is_empty(), "cannot estimate priors from no vectors");
+        let dim = db[0].len();
+        let m = db.len() as f64;
+        // counts[i][v] = #vectors with feature i exactly v.
+        let mut counts = vec![vec![0usize; max_bin as usize + 1]; dim];
+        for v in db {
+            assert_eq!(v.len(), dim, "dimension mismatch");
+            for (i, &x) in v.iter().enumerate() {
+                let x = (x.min(max_bin)) as usize;
+                counts[i][x] += 1;
+            }
+        }
+        // Suffix sums → P(y_i >= v).
+        let p_geq = counts
+            .into_iter()
+            .map(|ci| {
+                let mut acc = 0usize;
+                let mut geq = vec![0.0f64; ci.len()];
+                for v in (0..ci.len()).rev() {
+                    acc += ci[v];
+                    geq[v] = acc as f64 / m;
+                }
+                geq
+            })
+            .collect();
+        Self {
+            p_geq,
+            sample_size: db.len(),
+        }
+    }
+
+    /// Dimensionality of the vectors.
+    pub fn dim(&self) -> usize {
+        self.p_geq.len()
+    }
+
+    /// Number of vectors used for estimation.
+    pub fn sample_size(&self) -> usize {
+        self.sample_size
+    }
+
+    /// `P(y_i >= v)`; values above the estimated bin range have
+    /// probability 0.
+    pub fn exceedance(&self, feature: usize, v: u8) -> f64 {
+        self.p_geq[feature]
+            .get(v as usize)
+            .copied()
+            .unwrap_or(0.0)
+    }
+
+    /// Probability of `x` occurring in a random vector (Eqn. 4):
+    /// `P(x) = prod_i P(y_i >= x_i)`.
+    ///
+    /// # Panics
+    /// Panics on dimension mismatch.
+    pub fn prob_of_vector(&self, x: &[u8]) -> f64 {
+        assert_eq!(x.len(), self.dim(), "dimension mismatch");
+        x.iter()
+            .enumerate()
+            .map(|(i, &v)| self.exceedance(i, v))
+            .product()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Table I of the paper (features a-b, a-c, b-b, b-c).
+    fn table1() -> Vec<Vec<u8>> {
+        vec![
+            vec![1, 0, 0, 2],
+            vec![1, 1, 0, 2],
+            vec![2, 0, 1, 2],
+            vec![1, 0, 1, 0],
+        ]
+    }
+
+    #[test]
+    fn paper_prior_examples() {
+        let p = Priors::from_vectors(&table1(), 10);
+        // "P(a-b >= 2) = 1/4 and P(b-b >= 1) = 2/4."
+        assert!((p.exceedance(0, 2) - 0.25).abs() < 1e-12);
+        assert!((p.exceedance(2, 1) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn paper_vector_probability_example() {
+        let p = Priors::from_vectors(&table1(), 10);
+        // "P(v2) = 1 * 1/4 * 1 * 3/4 = 3/16."
+        let v2 = vec![1, 1, 0, 2];
+        assert!((p.prob_of_vector(&v2) - 3.0 / 16.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn exceedance_at_zero_is_one() {
+        let p = Priors::from_vectors(&table1(), 10);
+        for i in 0..p.dim() {
+            assert_eq!(p.exceedance(i, 0), 1.0);
+        }
+    }
+
+    #[test]
+    fn exceedance_is_monotone_decreasing() {
+        let p = Priors::from_vectors(&table1(), 10);
+        for i in 0..p.dim() {
+            for v in 0..10 {
+                assert!(p.exceedance(i, v) >= p.exceedance(i, v + 1));
+            }
+        }
+    }
+
+    #[test]
+    fn beyond_range_is_zero() {
+        let p = Priors::from_vectors(&table1(), 10);
+        assert_eq!(p.exceedance(0, 11), 0.0);
+        assert_eq!(p.exceedance(0, 255), 0.0);
+    }
+
+    #[test]
+    fn zero_vector_has_probability_one() {
+        let p = Priors::from_vectors(&table1(), 10);
+        assert_eq!(p.prob_of_vector(&[0, 0, 0, 0]), 1.0);
+    }
+
+    #[test]
+    fn prob_monotone_under_sub_vector() {
+        let p = Priors::from_vectors(&table1(), 10);
+        // x ⊆ y  ⇒  P(x) >= P(y).
+        let x = vec![1, 0, 0, 0];
+        let y = vec![1, 1, 0, 2];
+        assert!(p.prob_of_vector(&x) >= p.prob_of_vector(&y));
+    }
+
+    #[test]
+    #[should_panic(expected = "no vectors")]
+    fn empty_db_rejected() {
+        Priors::from_vectors(&[], 10);
+    }
+}

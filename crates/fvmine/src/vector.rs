@@ -1,0 +1,123 @@
+//! Feature vectors and the sub-vector lattice.
+//!
+//! A feature vector is a fixed-length sequence of small discretized values
+//! (bins `0..=10` after RWR). Definition 3 of the paper: `x` is a
+//! *sub-feature vector* of `y` iff `x_i <= y_i` for all `i`. Definition 5:
+//! the *floor* of a vector set takes the component-wise minimum (the most
+//! specific common sub-vector); the *ceiling* takes the maximum.
+
+/// A discretized feature vector. Bins are expected in `0..=10` but any `u8`
+/// values work.
+pub type FeatureVector = Vec<u8>;
+
+/// Definition 3: `x ⊆ y` iff `x_i <= y_i` for every feature `i`.
+///
+/// # Panics
+/// Panics if the vectors have different lengths.
+#[inline]
+pub fn is_sub_vector(x: &[u8], y: &[u8]) -> bool {
+    assert_eq!(x.len(), y.len(), "dimension mismatch");
+    x.iter().zip(y).all(|(a, b)| a <= b)
+}
+
+/// Component-wise minimum of a non-empty set of vectors (Definition 5).
+///
+/// # Panics
+/// Panics on an empty iterator or mismatched dimensions.
+pub fn floor_of<'a>(mut vectors: impl Iterator<Item = &'a [u8]>) -> FeatureVector {
+    let first = vectors.next().expect("floor of an empty set is undefined");
+    let mut out = first.to_vec();
+    for v in vectors {
+        assert_eq!(v.len(), out.len(), "dimension mismatch");
+        for (o, &x) in out.iter_mut().zip(v) {
+            *o = (*o).min(x);
+        }
+    }
+    out
+}
+
+/// Component-wise maximum of a non-empty set of vectors (Definition 5).
+///
+/// # Panics
+/// Panics on an empty iterator or mismatched dimensions.
+pub fn ceiling_of<'a>(mut vectors: impl Iterator<Item = &'a [u8]>) -> FeatureVector {
+    let first = vectors.next().expect("ceiling of an empty set is undefined");
+    let mut out = first.to_vec();
+    for v in vectors {
+        assert_eq!(v.len(), out.len(), "dimension mismatch");
+        for (o, &x) in out.iter_mut().zip(v) {
+            *o = (*o).max(x);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Table I of the paper.
+    fn table1() -> Vec<FeatureVector> {
+        vec![
+            vec![1, 0, 0, 2], // v1
+            vec![1, 1, 0, 2], // v2
+            vec![2, 0, 1, 2], // v3
+            vec![1, 0, 1, 0], // v4
+        ]
+    }
+
+    #[test]
+    fn paper_sub_vector_examples() {
+        let t = table1();
+        // "v4 ⊆ v3 whereas v2 ⊄ v3."
+        assert!(is_sub_vector(&t[3], &t[2]));
+        assert!(!is_sub_vector(&t[1], &t[2]));
+    }
+
+    #[test]
+    fn sub_vector_is_reflexive_and_antisymmetric() {
+        let t = table1();
+        for v in &t {
+            assert!(is_sub_vector(v, v));
+        }
+        assert!(!(is_sub_vector(&t[0], &t[1]) && is_sub_vector(&t[1], &t[0])));
+    }
+
+    #[test]
+    fn floor_and_ceiling_of_table1() {
+        let t = table1();
+        let refs: Vec<&[u8]> = t.iter().map(|v| v.as_slice()).collect();
+        assert_eq!(floor_of(refs.iter().copied()), vec![1, 0, 0, 0]);
+        assert_eq!(ceiling_of(refs.iter().copied()), vec![2, 1, 1, 2]);
+    }
+
+    #[test]
+    fn floor_bounds_every_member() {
+        let t = table1();
+        let f = floor_of(t.iter().map(|v| v.as_slice()));
+        let c = ceiling_of(t.iter().map(|v| v.as_slice()));
+        for v in &t {
+            assert!(is_sub_vector(&f, v));
+            assert!(is_sub_vector(v, &c));
+        }
+    }
+
+    #[test]
+    fn floor_of_single_vector_is_identity() {
+        let v = vec![3u8, 1, 4];
+        assert_eq!(floor_of(std::iter::once(v.as_slice())), v);
+        assert_eq!(ceiling_of(std::iter::once(v.as_slice())), v);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty set")]
+    fn floor_of_empty_panics() {
+        floor_of(std::iter::empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn mismatched_dims_panic() {
+        is_sub_vector(&[1, 2], &[1, 2, 3]);
+    }
+}

@@ -1,0 +1,93 @@
+//! Property-based equivalence: FVMine (with all its prunings) against
+//! exhaustive closed-vector enumeration, over random vector databases and
+//! random thresholds.
+
+use proptest::prelude::*;
+
+use graphsig_fvmine::{floor_of, is_sub_vector, FvMineConfig, FvMiner, SignificanceModel};
+use std::collections::HashSet;
+
+/// Exhaustive reference: closed vectors with support >= min_sup and
+/// p-value <= max_p.
+fn brute_force(db: &[Vec<u8>], min_sup: usize, max_p: f64) -> Vec<(Vec<u8>, usize)> {
+    let model = SignificanceModel::from_vectors(db, 10);
+    let n = db.len();
+    let mut seen: HashSet<Vec<u8>> = HashSet::new();
+    let mut out = Vec::new();
+    for mask in 1u32..(1u32 << n) {
+        let members: Vec<&[u8]> = (0..n)
+            .filter(|&i| mask & (1 << i) != 0)
+            .map(|i| db[i].as_slice())
+            .collect();
+        let f = floor_of(members.iter().copied());
+        if !seen.insert(f.clone()) {
+            continue;
+        }
+        let support: Vec<usize> = (0..n)
+            .filter(|&i| is_sub_vector(&f, &db[i]))
+            .collect();
+        let refloor = floor_of(support.iter().map(|&i| db[i].as_slice()));
+        if refloor != f || support.len() < min_sup {
+            continue;
+        }
+        if model.p_value(&f, support.len() as u64) <= max_p {
+            out.push((f, support.len()));
+        }
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn fvmine_equals_brute_force(
+        db in prop::collection::vec(prop::collection::vec(0u8..4, 4), 2..9),
+        min_sup in 1usize..4,
+        max_p in prop::sample::select(vec![1.0f64, 0.8, 0.5, 0.2, 0.05]),
+    ) {
+        let got = FvMiner::new(FvMineConfig::new(min_sup, max_p)).mine(&db);
+        let want = brute_force(&db, min_sup, max_p);
+        let got_set: HashSet<(Vec<u8>, usize)> =
+            got.iter().map(|s| (s.vector.clone(), s.support())).collect();
+        let want_set: HashSet<(Vec<u8>, usize)> = want.into_iter().collect();
+        prop_assert_eq!(&got_set, &want_set);
+        // No duplicates in the miner's output.
+        prop_assert_eq!(got.len(), got_set.len());
+    }
+
+    #[test]
+    fn pruning_toggle_never_changes_output(
+        db in prop::collection::vec(prop::collection::vec(0u8..4, 4), 2..9),
+        min_sup in 1usize..4,
+        max_p in prop::sample::select(vec![0.5f64, 0.1, 0.01]),
+    ) {
+        let with = FvMiner::new(FvMineConfig {
+            min_support: min_sup,
+            max_pvalue: max_p,
+            optimistic_pruning: true,
+        })
+        .mine(&db);
+        let without = FvMiner::new(FvMineConfig {
+            min_support: min_sup,
+            max_pvalue: max_p,
+            optimistic_pruning: false,
+        })
+        .mine(&db);
+        let a: HashSet<Vec<u8>> = with.iter().map(|s| s.vector.clone()).collect();
+        let b: HashSet<Vec<u8>> = without.iter().map(|s| s.vector.clone()).collect();
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn supports_are_exact_supersets(
+        db in prop::collection::vec(prop::collection::vec(0u8..5, 5), 1..10),
+    ) {
+        for sv in FvMiner::new(FvMineConfig::new(1, 1.0)).mine(&db) {
+            let expect: Vec<u32> = (0..db.len() as u32)
+                .filter(|&i| is_sub_vector(&sv.vector, &db[i as usize]))
+                .collect();
+            prop_assert_eq!(&sv.support_ids, &expect);
+        }
+    }
+}

@@ -1,0 +1,152 @@
+//! Small structural algorithms over labeled graphs.
+//!
+//! Used by the dataset statistics (Table V-style reporting), the CLI's
+//! `stats` command, and tests that need structural ground truth.
+
+use crate::graph::{Graph, NodeId};
+
+/// Connected components: returns `component[node] = component id`, ids
+/// dense in discovery order, plus the number of components.
+pub fn connected_components(g: &Graph) -> (Vec<usize>, usize) {
+    let n = g.node_count();
+    let mut comp = vec![usize::MAX; n];
+    let mut count = 0;
+    let mut stack = Vec::new();
+    for start in 0..n as NodeId {
+        if comp[start as usize] != usize::MAX {
+            continue;
+        }
+        comp[start as usize] = count;
+        stack.push(start);
+        while let Some(v) = stack.pop() {
+            for a in g.neighbors(v) {
+                if comp[a.to as usize] == usize::MAX {
+                    comp[a.to as usize] = count;
+                    stack.push(a.to);
+                }
+            }
+        }
+        count += 1;
+    }
+    (comp, count)
+}
+
+/// Eccentricity of a node: the longest shortest-path distance from it, or
+/// `None` if the graph is disconnected from the node's perspective.
+pub fn eccentricity(g: &Graph, source: NodeId) -> Option<usize> {
+    let n = g.node_count();
+    let mut dist = vec![usize::MAX; n];
+    let mut queue = std::collections::VecDeque::new();
+    dist[source as usize] = 0;
+    queue.push_back(source);
+    let mut seen = 1;
+    let mut max = 0;
+    while let Some(v) = queue.pop_front() {
+        for a in g.neighbors(v) {
+            if dist[a.to as usize] == usize::MAX {
+                dist[a.to as usize] = dist[v as usize] + 1;
+                max = max.max(dist[a.to as usize]);
+                seen += 1;
+                queue.push_back(a.to);
+            }
+        }
+    }
+    (seen == n).then_some(max)
+}
+
+/// Diameter (longest shortest path) of a connected graph; `None` when
+/// disconnected or empty. O(V·E) — fine for molecule-sized graphs.
+pub fn diameter(g: &Graph) -> Option<usize> {
+    if g.node_count() == 0 {
+        return None;
+    }
+    let mut best = 0;
+    for v in g.nodes() {
+        best = best.max(eccentricity(g, v)?);
+    }
+    Some(best)
+}
+
+/// Cycle rank (circuit rank): `|E| - |V| + components` — the number of
+/// independent cycles. Zero for forests; molecules report their ring count
+/// here.
+pub fn cycle_rank(g: &Graph) -> usize {
+    let (_, c) = connected_components(g);
+    g.edge_count() + c - g.node_count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::GraphBuilder;
+
+    fn path(n: usize) -> Graph {
+        let mut b = GraphBuilder::new();
+        let ids: Vec<_> = (0..n).map(|_| b.add_node(0)).collect();
+        for w in ids.windows(2) {
+            b.add_edge(w[0], w[1], 0);
+        }
+        b.build()
+    }
+
+    fn cycle(n: usize) -> Graph {
+        let mut b = GraphBuilder::new();
+        let ids: Vec<_> = (0..n).map(|_| b.add_node(0)).collect();
+        for i in 0..n {
+            b.add_edge(ids[i], ids[(i + 1) % n], 0);
+        }
+        b.build()
+    }
+
+    #[test]
+    fn components_of_disjoint_union() {
+        let mut b = GraphBuilder::new();
+        let a0 = b.add_node(0);
+        let a1 = b.add_node(0);
+        b.add_edge(a0, a1, 0);
+        b.add_node(1); // isolated
+        let g = b.build();
+        let (comp, count) = connected_components(&g);
+        assert_eq!(count, 2);
+        assert_eq!(comp[0], comp[1]);
+        assert_ne!(comp[0], comp[2]);
+    }
+
+    #[test]
+    fn diameter_of_paths_and_cycles() {
+        assert_eq!(diameter(&path(1)), Some(0));
+        assert_eq!(diameter(&path(5)), Some(4));
+        assert_eq!(diameter(&cycle(6)), Some(3));
+        assert_eq!(diameter(&cycle(7)), Some(3));
+    }
+
+    #[test]
+    fn diameter_of_disconnected_is_none() {
+        let mut b = GraphBuilder::new();
+        b.add_node(0);
+        b.add_node(0);
+        assert_eq!(diameter(&b.build()), None);
+        assert_eq!(diameter(&GraphBuilder::new().build()), None);
+    }
+
+    #[test]
+    fn eccentricity_center_vs_leaf() {
+        let g = path(5);
+        assert_eq!(eccentricity(&g, 2), Some(2)); // center
+        assert_eq!(eccentricity(&g, 0), Some(4)); // leaf
+    }
+
+    #[test]
+    fn cycle_rank_counts_rings() {
+        assert_eq!(cycle_rank(&path(7)), 0);
+        assert_eq!(cycle_rank(&cycle(6)), 1);
+        // Two fused rings: benzene + one chord.
+        let mut b = GraphBuilder::new();
+        let ids: Vec<_> = (0..6).map(|_| b.add_node(0)).collect();
+        for i in 0..6 {
+            b.add_edge(ids[i], ids[(i + 1) % 6], 0);
+        }
+        b.add_edge(ids[0], ids[3], 0);
+        assert_eq!(cycle_rank(&b.build()), 2);
+    }
+}

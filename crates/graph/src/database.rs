@@ -1,0 +1,237 @@
+//! Graph databases: a collection of transactions plus shared labels.
+
+use crate::graph::Graph;
+use crate::labels::{LabelTable, NodeLabel};
+
+/// A database of labeled graphs sharing one [`LabelTable`].
+///
+/// This is the `D = {G_1, ..., G_n}` of Definition 1 in the paper. Graph ids
+/// are positions in the vector.
+#[derive(Debug, Clone, Default)]
+pub struct GraphDb {
+    graphs: Vec<Graph>,
+    labels: LabelTable,
+}
+
+/// Summary statistics, as reported for the paper's datasets
+/// ("43,905 molecules ... 25.4 atoms and 27.3 bonds on average,
+/// 58 distinct atoms").
+#[derive(Debug, Clone, PartialEq)]
+pub struct DbStats {
+    /// Number of graphs.
+    pub graph_count: usize,
+    /// Total vertices across all graphs.
+    pub total_nodes: usize,
+    /// Total edges across all graphs.
+    pub total_edges: usize,
+    /// Mean vertices per graph.
+    pub avg_nodes: f64,
+    /// Mean edges per graph.
+    pub avg_edges: f64,
+    /// Number of distinct node labels actually used.
+    pub distinct_node_labels: usize,
+    /// Number of distinct edge labels actually used.
+    pub distinct_edge_labels: usize,
+}
+
+impl GraphDb {
+    /// Empty database with a fresh label table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Build from parts (e.g. after parsing or generation).
+    pub fn from_parts(graphs: Vec<Graph>, labels: LabelTable) -> Self {
+        Self { graphs, labels }
+    }
+
+    /// Append a graph; returns its id.
+    pub fn push(&mut self, g: Graph) -> usize {
+        self.graphs.push(g);
+        self.graphs.len() - 1
+    }
+
+    /// The graphs, id-ordered.
+    pub fn graphs(&self) -> &[Graph] {
+        &self.graphs
+    }
+
+    /// Graph by id.
+    pub fn graph(&self, id: usize) -> &Graph {
+        &self.graphs[id]
+    }
+
+    /// Number of graphs.
+    pub fn len(&self) -> usize {
+        self.graphs.len()
+    }
+
+    /// Whether the database has no graphs.
+    pub fn is_empty(&self) -> bool {
+        self.graphs.is_empty()
+    }
+
+    /// Shared label table.
+    pub fn labels(&self) -> &LabelTable {
+        &self.labels
+    }
+
+    /// Mutable label table (for incremental construction).
+    pub fn labels_mut(&mut self) -> &mut LabelTable {
+        &mut self.labels
+    }
+
+    /// A new database containing clones of the graphs at `ids`, sharing this
+    /// database's label table. Used to subsample datasets (Fig. 11's
+    /// size-scaling experiment draws random subsets of AIDS).
+    pub fn subset(&self, ids: &[usize]) -> GraphDb {
+        GraphDb {
+            graphs: ids.iter().map(|&i| self.graphs[i].clone()).collect(),
+            labels: self.labels.clone(),
+        }
+    }
+
+    /// Frequency of each node label: `counts[l]` = number of vertices with
+    /// label `l` across the whole database. The vector is indexed by label
+    /// id and covers all interned labels.
+    pub fn node_label_counts(&self) -> Vec<usize> {
+        let mut counts = vec![0usize; self.labels.node_label_count().max(self.max_node_label_used())];
+        for g in &self.graphs {
+            for &l in g.node_labels() {
+                if counts.len() <= l as usize {
+                    counts.resize(l as usize + 1, 0);
+                }
+                counts[l as usize] += 1;
+            }
+        }
+        counts
+    }
+
+    fn max_node_label_used(&self) -> usize {
+        self.graphs
+            .iter()
+            .flat_map(|g| g.node_labels().iter().copied())
+            .map(|l| l as usize + 1)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Summary statistics.
+    pub fn stats(&self) -> DbStats {
+        let total_nodes: usize = self.graphs.iter().map(Graph::node_count).sum();
+        let total_edges: usize = self.graphs.iter().map(Graph::edge_count).sum();
+        let n = self.graphs.len();
+        let mut node_seen = std::collections::HashSet::new();
+        let mut edge_seen = std::collections::HashSet::new();
+        for g in &self.graphs {
+            node_seen.extend(g.node_labels().iter().copied());
+            edge_seen.extend(g.edges().iter().map(|e| e.label));
+        }
+        DbStats {
+            graph_count: n,
+            total_nodes,
+            total_edges,
+            avg_nodes: if n == 0 { 0.0 } else { total_nodes as f64 / n as f64 },
+            avg_edges: if n == 0 { 0.0 } else { total_edges as f64 / n as f64 },
+            distinct_node_labels: node_seen.len(),
+            distinct_edge_labels: edge_seen.len(),
+        }
+    }
+
+    /// Cumulative coverage curve of node labels, most-frequent first —
+    /// exactly the curve of the paper's Fig. 4. Returns
+    /// `(label, count, cumulative_fraction)` tuples.
+    pub fn atom_coverage_curve(&self) -> Vec<(NodeLabel, usize, f64)> {
+        let counts = self.node_label_counts();
+        let total: usize = counts.iter().sum();
+        let mut order: Vec<(NodeLabel, usize)> = counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(l, &c)| (l as NodeLabel, c))
+            .collect();
+        // Most frequent first; ties broken by label id for determinism.
+        order.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        let mut cum = 0usize;
+        order
+            .into_iter()
+            .map(|(l, c)| {
+                cum += c;
+                (l, c, if total == 0 { 0.0 } else { cum as f64 / total as f64 })
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::GraphBuilder;
+
+    fn tiny_db() -> GraphDb {
+        let mut db = GraphDb::new();
+        let c = db.labels_mut().intern_node("C");
+        let o = db.labels_mut().intern_node("O");
+        let single = db.labels_mut().intern_edge("-");
+        let mut b = GraphBuilder::new();
+        let n0 = b.add_node(c);
+        let n1 = b.add_node(c);
+        let n2 = b.add_node(o);
+        b.add_edge(n0, n1, single);
+        b.add_edge(n1, n2, single);
+        db.push(b.build());
+        let mut b = GraphBuilder::new();
+        let n0 = b.add_node(c);
+        let n1 = b.add_node(o);
+        b.add_edge(n0, n1, single);
+        db.push(b.build());
+        db
+    }
+
+    #[test]
+    fn stats_are_correct() {
+        let s = tiny_db().stats();
+        assert_eq!(s.graph_count, 2);
+        assert_eq!(s.total_nodes, 5);
+        assert_eq!(s.total_edges, 3);
+        assert!((s.avg_nodes - 2.5).abs() < 1e-12);
+        assert!((s.avg_edges - 1.5).abs() < 1e-12);
+        assert_eq!(s.distinct_node_labels, 2);
+        assert_eq!(s.distinct_edge_labels, 1);
+    }
+
+    #[test]
+    fn label_counts() {
+        let db = tiny_db();
+        let counts = db.node_label_counts();
+        assert_eq!(counts[0], 3); // C
+        assert_eq!(counts[1], 2); // O
+    }
+
+    #[test]
+    fn coverage_curve_descends_and_accumulates_to_one() {
+        let db = tiny_db();
+        let curve = db.atom_coverage_curve();
+        assert_eq!(curve.len(), 2);
+        assert_eq!(curve[0].0, 0); // C most frequent
+        assert!((curve[0].2 - 0.6).abs() < 1e-12);
+        assert!((curve[1].2 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn subset_preserves_labels() {
+        let db = tiny_db();
+        let sub = db.subset(&[1]);
+        assert_eq!(sub.len(), 1);
+        assert_eq!(sub.graph(0).node_count(), 2);
+        assert_eq!(sub.labels().node_name(0), Some("C"));
+    }
+
+    #[test]
+    fn empty_db_stats() {
+        let s = GraphDb::new().stats();
+        assert_eq!(s.graph_count, 0);
+        assert_eq!(s.avg_nodes, 0.0);
+        assert!(GraphDb::new().atom_coverage_curve().is_empty());
+    }
+}

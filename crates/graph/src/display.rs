@@ -1,0 +1,94 @@
+//! Human-readable graph rendering with label names.
+//!
+//! Graphs store interned label ids; this adapter borrows a [`LabelTable`]
+//! to print atoms and bonds by name — the form used by the experiment
+//! binaries and the CLI when showing mined structures.
+
+use std::fmt;
+
+use crate::graph::Graph;
+use crate::labels::LabelTable;
+
+/// Borrowing wrapper implementing [`fmt::Display`] for a graph + table.
+pub struct DisplayWith<'a> {
+    graph: &'a Graph,
+    labels: &'a LabelTable,
+}
+
+impl fmt::Display for DisplayWith<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = |l| self.labels.node_name(l).unwrap_or("?");
+        write!(f, "atoms [")?;
+        for (i, &l) in self.graph.node_labels().iter().enumerate() {
+            if i > 0 {
+                write!(f, " ")?;
+            }
+            write!(f, "{}", name(l))?;
+        }
+        write!(f, "] bonds [")?;
+        for (i, e) in self.graph.edges().iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(
+                f,
+                "{}{}({}){}{}",
+                name(self.graph.node_label(e.u)),
+                e.u,
+                self.labels.edge_name(e.label).unwrap_or("?"),
+                name(self.graph.node_label(e.v)),
+                e.v
+            )?;
+        }
+        write!(f, "]")
+    }
+}
+
+/// Render `g` with label names from `labels`.
+///
+/// # Example
+///
+/// ```
+/// use graphsig_graph::{display_with, parse_transactions};
+/// let db = parse_transactions("t # 0\nv 0 C\nv 1 O\ne 0 1 d\n").unwrap();
+/// let text = display_with(db.graph(0), db.labels()).to_string();
+/// assert_eq!(text, "atoms [C O] bonds [C0(d)O1]");
+/// ```
+pub fn display_with<'a>(graph: &'a Graph, labels: &'a LabelTable) -> DisplayWith<'a> {
+    DisplayWith { graph, labels }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::io::parse_transactions;
+
+    #[test]
+    fn renders_names_and_ids() {
+        let db = parse_transactions(
+            "t # 0\nv 0 C\nv 1 N\nv 2 O\ne 0 1 s\ne 1 2 d\n",
+        )
+        .unwrap();
+        let s = display_with(db.graph(0), db.labels()).to_string();
+        assert_eq!(s, "atoms [C N O] bonds [C0(s)N1, N1(d)O2]");
+    }
+
+    #[test]
+    fn unknown_labels_degrade_gracefully() {
+        let mut b = crate::graph::GraphBuilder::new();
+        let u = b.add_node(42);
+        let v = b.add_node(43);
+        b.add_edge(u, v, 9);
+        let g = b.build();
+        let empty = LabelTable::new();
+        let s = display_with(&g, &empty).to_string();
+        assert_eq!(s, "atoms [? ?] bonds [?0(?)?1]");
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = crate::graph::GraphBuilder::new().build();
+        let s = display_with(&g, &LabelTable::new()).to_string();
+        assert_eq!(s, "atoms [] bonds []");
+    }
+}

@@ -1,0 +1,157 @@
+//! Structural edit operations producing new graphs.
+//!
+//! Immutable-graph ergonomics: deleting an edge or node, or taking an
+//! induced subgraph, yields a fresh [`Graph`] with densely renumbered node
+//! ids. Used by the FSG miner's apriori sub-pattern checks and the dataset
+//! generator's motif erosion, and exported for downstream consumers.
+
+use crate::graph::{Graph, GraphBuilder, NodeId};
+
+/// The subgraph induced on `keep` (old node ids): all kept nodes plus every
+/// edge whose endpoints are both kept. Returns the subgraph and the
+/// mapping `new_id -> old_id` (kept order preserved).
+///
+/// # Panics
+/// Panics if `keep` contains an out-of-range or duplicate id.
+pub fn induced_subgraph(g: &Graph, keep: &[NodeId]) -> (Graph, Vec<NodeId>) {
+    let mut new_id = vec![u32::MAX; g.node_count()];
+    let mut b = GraphBuilder::with_capacity(keep.len(), g.edge_count());
+    for &old in keep {
+        assert!(
+            (old as usize) < g.node_count(),
+            "node {old} out of range"
+        );
+        assert_eq!(new_id[old as usize], u32::MAX, "duplicate node {old}");
+        new_id[old as usize] = b.add_node(g.node_label(old));
+    }
+    for e in g.edges() {
+        let (u, v) = (new_id[e.u as usize], new_id[e.v as usize]);
+        if u != u32::MAX && v != u32::MAX {
+            b.add_edge(u, v, e.label);
+        }
+    }
+    (b.build(), keep.to_vec())
+}
+
+/// `g` minus the edge at index `edge`, optionally dropping endpoints that
+/// become isolated. Node ids are renumbered densely when nodes are
+/// dropped; the mapping `new_id -> old_id` is returned.
+///
+/// # Panics
+/// Panics if `edge` is out of range.
+pub fn remove_edge(g: &Graph, edge: usize, drop_isolated: bool) -> (Graph, Vec<NodeId>) {
+    assert!(edge < g.edge_count(), "edge {edge} out of range");
+    let mut degree = vec![0usize; g.node_count()];
+    for (i, e) in g.edges().iter().enumerate() {
+        if i != edge {
+            degree[e.u as usize] += 1;
+            degree[e.v as usize] += 1;
+        }
+    }
+    let keep: Vec<NodeId> = g
+        .nodes()
+        .filter(|&n| !drop_isolated || degree[n as usize] > 0 || g.degree(n) == 0)
+        .collect();
+    let mut new_id = vec![u32::MAX; g.node_count()];
+    let mut b = GraphBuilder::new();
+    for &old in &keep {
+        new_id[old as usize] = b.add_node(g.node_label(old));
+    }
+    for (i, e) in g.edges().iter().enumerate() {
+        if i != edge {
+            b.add_edge(new_id[e.u as usize], new_id[e.v as usize], e.label);
+        }
+    }
+    (b.build(), keep)
+}
+
+/// `g` minus node `node` and all its incident edges, with dense
+/// renumbering; returns the mapping `new_id -> old_id`.
+///
+/// # Panics
+/// Panics if `node` is out of range.
+pub fn remove_node(g: &Graph, node: NodeId) -> (Graph, Vec<NodeId>) {
+    assert!((node as usize) < g.node_count(), "node {node} out of range");
+    let keep: Vec<NodeId> = g.nodes().filter(|&n| n != node).collect();
+    induced_subgraph(g, &keep)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path4() -> Graph {
+        let mut b = GraphBuilder::new();
+        let n: Vec<_> = (0..4).map(|i| b.add_node(i as u16)).collect();
+        b.add_edge(n[0], n[1], 0);
+        b.add_edge(n[1], n[2], 1);
+        b.add_edge(n[2], n[3], 2);
+        b.build()
+    }
+
+    #[test]
+    fn induced_keeps_internal_edges_only() {
+        let g = path4();
+        let (sub, map) = induced_subgraph(&g, &[1, 2]);
+        assert_eq!(sub.node_count(), 2);
+        assert_eq!(sub.edge_count(), 1);
+        assert_eq!(sub.edges()[0].label, 1);
+        assert_eq!(map, vec![1, 2]);
+        assert_eq!(sub.node_label(0), 1);
+    }
+
+    #[test]
+    fn remove_middle_edge_splits() {
+        let g = path4();
+        let (out, map) = remove_edge(&g, 1, false);
+        assert_eq!(out.node_count(), 4);
+        assert_eq!(out.edge_count(), 2);
+        assert!(!out.is_connected());
+        assert_eq!(map.len(), 4);
+    }
+
+    #[test]
+    fn remove_end_edge_drops_isolated_leaf() {
+        let g = path4();
+        let (out, map) = remove_edge(&g, 0, true);
+        assert_eq!(out.node_count(), 3); // node 0 became isolated and dropped
+        assert_eq!(out.edge_count(), 2);
+        assert!(!map.contains(&0));
+    }
+
+    #[test]
+    fn originally_isolated_nodes_survive_drop_isolated() {
+        let mut b = GraphBuilder::new();
+        let u = b.add_node(0);
+        let v = b.add_node(1);
+        b.add_node(2); // isolated from the start
+        b.add_edge(u, v, 0);
+        let g = b.build();
+        let (out, _) = remove_edge(&g, 0, true);
+        // u and v became isolated by the removal and are dropped; the
+        // originally isolated node is kept (it was never an endpoint).
+        assert_eq!(out.node_count(), 1);
+        assert_eq!(out.node_label(0), 2);
+    }
+
+    #[test]
+    fn remove_node_takes_incident_edges() {
+        let g = path4();
+        let (out, map) = remove_node(&g, 1);
+        assert_eq!(out.node_count(), 3);
+        assert_eq!(out.edge_count(), 1); // only 2-3 survives
+        assert_eq!(map, vec![0, 2, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate node")]
+    fn duplicate_keep_rejected() {
+        induced_subgraph(&path4(), &[1, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_edge_rejected() {
+        remove_edge(&path4(), 9, false);
+    }
+}

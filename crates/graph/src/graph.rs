@@ -1,0 +1,320 @@
+//! The core labeled undirected graph type.
+//!
+//! Graphs in GraphSig's setting are small (a typical molecule has ~25
+//! vertices) but number in the tens of thousands per database, and miners
+//! visit them in hot loops. The representation is therefore flat and
+//! cache-friendly: node labels in one `Vec`, edges in one `Vec`, and a
+//! per-node adjacency list of `(neighbor, edge label, edge id)` triples.
+
+use crate::labels::{EdgeLabel, NodeLabel};
+
+/// Index of a node within a single [`Graph`].
+pub type NodeId = u32;
+
+/// An undirected labeled edge. `u < v` is not required, but each edge is
+/// stored exactly once; adjacency lists carry both directions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Edge {
+    /// One endpoint.
+    pub u: NodeId,
+    /// The other endpoint.
+    pub v: NodeId,
+    /// Bond-type label.
+    pub label: EdgeLabel,
+}
+
+/// One adjacency entry: a half-edge leaving a node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Adjacent {
+    /// Neighbor node.
+    pub to: NodeId,
+    /// Label of the connecting edge.
+    pub label: EdgeLabel,
+    /// Index into [`Graph::edges`].
+    pub edge: u32,
+}
+
+/// An immutable labeled undirected graph.
+///
+/// Construct via [`GraphBuilder`]. Node ids are dense `0..node_count()`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Graph {
+    node_labels: Vec<NodeLabel>,
+    adj: Vec<Vec<Adjacent>>,
+    edges: Vec<Edge>,
+}
+
+impl Graph {
+    /// Number of nodes.
+    #[inline]
+    pub fn node_count(&self) -> usize {
+        self.node_labels.len()
+    }
+
+    /// Number of (undirected) edges.
+    #[inline]
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Label of node `n`.
+    ///
+    /// # Panics
+    /// Panics if `n` is out of range.
+    #[inline]
+    pub fn node_label(&self, n: NodeId) -> NodeLabel {
+        self.node_labels[n as usize]
+    }
+
+    /// All node labels, indexed by node id.
+    #[inline]
+    pub fn node_labels(&self) -> &[NodeLabel] {
+        &self.node_labels
+    }
+
+    /// All edges, each reported once.
+    #[inline]
+    pub fn edges(&self) -> &[Edge] {
+        &self.edges
+    }
+
+    /// Adjacency list of node `n`.
+    #[inline]
+    pub fn neighbors(&self, n: NodeId) -> &[Adjacent] {
+        &self.adj[n as usize]
+    }
+
+    /// Degree of node `n`.
+    #[inline]
+    pub fn degree(&self, n: NodeId) -> usize {
+        self.adj[n as usize].len()
+    }
+
+    /// Iterator over node ids.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        0..self.node_count() as NodeId
+    }
+
+    /// Label of the edge between `u` and `v`, if one exists.
+    pub fn edge_label_between(&self, u: NodeId, v: NodeId) -> Option<EdgeLabel> {
+        self.adj[u as usize]
+            .iter()
+            .find(|a| a.to == v)
+            .map(|a| a.label)
+    }
+
+    /// Whether the graph is connected (the empty graph counts as connected).
+    pub fn is_connected(&self) -> bool {
+        if self.node_count() == 0 {
+            return true;
+        }
+        let mut seen = vec![false; self.node_count()];
+        let mut stack = vec![0 as NodeId];
+        seen[0] = true;
+        let mut count = 1;
+        while let Some(n) = stack.pop() {
+            for a in self.neighbors(n) {
+                if !seen[a.to as usize] {
+                    seen[a.to as usize] = true;
+                    count += 1;
+                    stack.push(a.to);
+                }
+            }
+        }
+        count == self.node_count()
+    }
+
+    /// Multiset of node labels, sorted ascending. Useful as a cheap
+    /// isomorphism-rejection invariant.
+    pub fn sorted_node_labels(&self) -> Vec<NodeLabel> {
+        let mut v = self.node_labels.clone();
+        v.sort_unstable();
+        v
+    }
+
+    /// Multiset of `(min endpoint label, edge label, max endpoint label)`
+    /// triples, sorted. A stronger cheap isomorphism-rejection invariant.
+    pub fn sorted_edge_signature(&self) -> Vec<(NodeLabel, EdgeLabel, NodeLabel)> {
+        let mut v: Vec<_> = self
+            .edges
+            .iter()
+            .map(|e| {
+                let (a, b) = (self.node_label(e.u), self.node_label(e.v));
+                (a.min(b), e.label, a.max(b))
+            })
+            .collect();
+        v.sort_unstable();
+        v
+    }
+}
+
+/// Incremental builder for [`Graph`].
+///
+/// # Example
+///
+/// ```
+/// use graphsig_graph::GraphBuilder;
+/// let mut b = GraphBuilder::new();
+/// let c = b.add_node(0);
+/// let o = b.add_node(1);
+/// b.add_edge(c, o, 2);
+/// let g = b.build();
+/// assert_eq!(g.degree(c), 1);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct GraphBuilder {
+    node_labels: Vec<NodeLabel>,
+    edges: Vec<Edge>,
+}
+
+impl GraphBuilder {
+    /// Fresh empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builder with room for `nodes` nodes and `edges` edges.
+    pub fn with_capacity(nodes: usize, edges: usize) -> Self {
+        Self {
+            node_labels: Vec::with_capacity(nodes),
+            edges: Vec::with_capacity(edges),
+        }
+    }
+
+    /// Add a node with the given label; returns its id.
+    pub fn add_node(&mut self, label: NodeLabel) -> NodeId {
+        let id = NodeId::try_from(self.node_labels.len()).expect("too many nodes");
+        self.node_labels.push(label);
+        id
+    }
+
+    /// Add an undirected edge. Self-loops and duplicate edges are rejected.
+    ///
+    /// # Panics
+    /// Panics on out-of-range endpoints or a self-loop. Duplicate edges are
+    /// detected at [`build`](Self::build) time.
+    pub fn add_edge(&mut self, u: NodeId, v: NodeId, label: EdgeLabel) {
+        assert!(
+            (u as usize) < self.node_labels.len() && (v as usize) < self.node_labels.len(),
+            "edge endpoint out of range"
+        );
+        assert_ne!(u, v, "self-loops are not supported");
+        self.edges.push(Edge { u, v, label });
+    }
+
+    /// Number of nodes added so far.
+    pub fn node_count(&self) -> usize {
+        self.node_labels.len()
+    }
+
+    /// Finalize into an immutable [`Graph`].
+    ///
+    /// # Panics
+    /// Panics if the same unordered node pair was added twice (chemical
+    /// graphs are simple graphs).
+    pub fn build(self) -> Graph {
+        let mut adj: Vec<Vec<Adjacent>> = vec![Vec::new(); self.node_labels.len()];
+        for (i, e) in self.edges.iter().enumerate() {
+            let dup = adj[e.u as usize].iter().any(|a| a.to == e.v);
+            assert!(!dup, "duplicate edge between {} and {}", e.u, e.v);
+            adj[e.u as usize].push(Adjacent {
+                to: e.v,
+                label: e.label,
+                edge: i as u32,
+            });
+            adj[e.v as usize].push(Adjacent {
+                to: e.u,
+                label: e.label,
+                edge: i as u32,
+            });
+        }
+        Graph {
+            node_labels: self.node_labels,
+            adj,
+            edges: self.edges,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Path a-b-c with distinct labels.
+    fn path3() -> Graph {
+        let mut b = GraphBuilder::new();
+        let n0 = b.add_node(0);
+        let n1 = b.add_node(1);
+        let n2 = b.add_node(2);
+        b.add_edge(n0, n1, 5);
+        b.add_edge(n1, n2, 6);
+        b.build()
+    }
+
+    #[test]
+    fn basic_structure() {
+        let g = path3();
+        assert_eq!(g.node_count(), 3);
+        assert_eq!(g.edge_count(), 2);
+        assert_eq!(g.node_label(1), 1);
+        assert_eq!(g.degree(0), 1);
+        assert_eq!(g.degree(1), 2);
+        assert_eq!(g.edge_label_between(0, 1), Some(5));
+        assert_eq!(g.edge_label_between(1, 0), Some(5));
+        assert_eq!(g.edge_label_between(0, 2), None);
+    }
+
+    #[test]
+    fn adjacency_is_bidirectional_with_shared_edge_id() {
+        let g = path3();
+        let fwd = g.neighbors(0)[0];
+        let back = g.neighbors(1).iter().find(|a| a.to == 0).unwrap();
+        assert_eq!(fwd.edge, back.edge);
+        assert_eq!(g.edges()[fwd.edge as usize].label, 5);
+    }
+
+    #[test]
+    fn connectivity() {
+        let g = path3();
+        assert!(g.is_connected());
+        let mut b = GraphBuilder::new();
+        b.add_node(0);
+        b.add_node(0);
+        assert!(!b.build().is_connected());
+        assert!(GraphBuilder::new().build().is_connected());
+    }
+
+    #[test]
+    fn invariants_sorted() {
+        let g = path3();
+        assert_eq!(g.sorted_node_labels(), vec![0, 1, 2]);
+        assert_eq!(g.sorted_edge_signature(), vec![(0, 5, 1), (1, 6, 2)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loops")]
+    fn rejects_self_loop() {
+        let mut b = GraphBuilder::new();
+        let n = b.add_node(0);
+        b.add_edge(n, n, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate edge")]
+    fn rejects_parallel_edges() {
+        let mut b = GraphBuilder::new();
+        let u = b.add_node(0);
+        let v = b.add_node(1);
+        b.add_edge(u, v, 0);
+        b.add_edge(v, u, 1);
+        b.build();
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_dangling_edge() {
+        let mut b = GraphBuilder::new();
+        let u = b.add_node(0);
+        b.add_edge(u, 3, 0);
+    }
+}

@@ -1,0 +1,244 @@
+//! Line-oriented graph transaction I/O.
+//!
+//! The de-facto interchange format of the frequent-subgraph-mining
+//! literature (used by the original gSpan and FSG tools):
+//!
+//! ```text
+//! t # 0
+//! v 0 C
+//! v 1 O
+//! e 0 1 double
+//! t # 1
+//! ...
+//! ```
+//!
+//! `v` lines give `node_id label`; `e` lines give `u v label`. Node ids must
+//! be dense per transaction. Labels are arbitrary non-whitespace tokens and
+//! are interned into the database's [`LabelTable`].
+
+use std::fmt;
+
+use crate::database::GraphDb;
+use crate::graph::{GraphBuilder, NodeId};
+use crate::labels::LabelTable;
+
+/// Error from [`parse_transactions`], with 1-based line number.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line number of the offending line.
+    pub line: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn err(line: usize, message: impl Into<String>) -> ParseError {
+    ParseError {
+        line,
+        message: message.into(),
+    }
+}
+
+/// Parse a transaction file into a [`GraphDb`].
+///
+/// Blank lines and lines starting with `#` are ignored. Each graph must be
+/// introduced by a `t` line before any `v`/`e` lines.
+pub fn parse_transactions(input: &str) -> Result<GraphDb, ParseError> {
+    let mut db = GraphDb::new();
+    let mut current: Option<GraphBuilder> = None;
+
+    let flush = |builder: Option<GraphBuilder>, db: &mut GraphDb| {
+        if let Some(b) = builder {
+            db.push(b.build());
+        }
+    };
+
+    for (idx, raw) in input.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        match parts.next() {
+            Some("t") => {
+                flush(current.take(), &mut db);
+                current = Some(GraphBuilder::new());
+            }
+            Some("v") => {
+                let b = current
+                    .as_mut()
+                    .ok_or_else(|| err(lineno, "'v' line before any 't' line"))?;
+                let id: usize = parts
+                    .next()
+                    .ok_or_else(|| err(lineno, "missing node id"))?
+                    .parse()
+                    .map_err(|_| err(lineno, "bad node id"))?;
+                let label = parts
+                    .next()
+                    .ok_or_else(|| err(lineno, "missing node label"))?;
+                if id != b.node_count() {
+                    return Err(err(
+                        lineno,
+                        format!("node ids must be dense; expected {}, got {id}", b.node_count()),
+                    ));
+                }
+                let l = db.labels_mut().intern_node(label);
+                b.add_node(l);
+            }
+            Some("e") => {
+                let b = current
+                    .as_mut()
+                    .ok_or_else(|| err(lineno, "'e' line before any 't' line"))?;
+                let u: NodeId = parts
+                    .next()
+                    .ok_or_else(|| err(lineno, "missing edge endpoint"))?
+                    .parse()
+                    .map_err(|_| err(lineno, "bad edge endpoint"))?;
+                let v: NodeId = parts
+                    .next()
+                    .ok_or_else(|| err(lineno, "missing edge endpoint"))?
+                    .parse()
+                    .map_err(|_| err(lineno, "bad edge endpoint"))?;
+                let label = parts
+                    .next()
+                    .ok_or_else(|| err(lineno, "missing edge label"))?;
+                if (u as usize) >= b.node_count() || (v as usize) >= b.node_count() {
+                    return Err(err(lineno, "edge endpoint out of range"));
+                }
+                if u == v {
+                    return Err(err(lineno, "self-loops are not supported"));
+                }
+                let l = db.labels_mut().intern_edge(label);
+                b.add_edge(u, v, l);
+            }
+            Some(tok) => return Err(err(lineno, format!("unknown record type '{tok}'"))),
+            None => unreachable!("empty lines filtered above"),
+        }
+    }
+    flush(current.take(), &mut db);
+    Ok(db)
+}
+
+/// Serialize a database back into the transaction format. Labels are written
+/// by name when the table knows them, otherwise by numeric id.
+pub fn write_transactions(db: &GraphDb) -> String {
+    let mut out = String::new();
+    let labels: &LabelTable = db.labels();
+    for (gid, g) in db.graphs().iter().enumerate() {
+        out.push_str(&format!("t # {gid}\n"));
+        for n in g.nodes() {
+            let l = g.node_label(n);
+            match labels.node_name(l) {
+                Some(name) => out.push_str(&format!("v {n} {name}\n")),
+                None => out.push_str(&format!("v {n} {l}\n")),
+            }
+        }
+        for e in g.edges() {
+            match labels.edge_name(e.label) {
+                Some(name) => out.push_str(&format!("e {} {} {name}\n", e.u, e.v)),
+                None => out.push_str(&format!("e {} {} {}\n", e.u, e.v, e.label)),
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "\
+# water and carbon dioxide
+t # 0
+v 0 O
+v 1 H
+v 2 H
+e 0 1 single
+e 0 2 single
+
+t # 1
+v 0 C
+v 1 O
+v 2 O
+e 0 1 double
+e 0 2 double
+";
+
+    #[test]
+    fn parse_sample() {
+        let db = parse_transactions(SAMPLE).unwrap();
+        assert_eq!(db.len(), 2);
+        let water = db.graph(0);
+        assert_eq!(water.node_count(), 3);
+        assert_eq!(water.edge_count(), 2);
+        assert_eq!(db.labels().node_name(water.node_label(0)), Some("O"));
+        let co2 = db.graph(1);
+        assert_eq!(db.labels().node_name(co2.node_label(0)), Some("C"));
+        assert_eq!(db.labels().edge_label_count(), 2);
+    }
+
+    #[test]
+    fn roundtrip() {
+        let db = parse_transactions(SAMPLE).unwrap();
+        let text = write_transactions(&db);
+        let db2 = parse_transactions(&text).unwrap();
+        assert_eq!(db2.len(), db.len());
+        for (a, b) in db.graphs().iter().zip(db2.graphs()) {
+            assert!(crate::iso::are_isomorphic(a, b));
+        }
+    }
+
+    #[test]
+    fn empty_input_is_empty_db() {
+        let db = parse_transactions("").unwrap();
+        assert!(db.is_empty());
+    }
+
+    #[test]
+    fn vertex_before_transaction_is_error() {
+        let e = parse_transactions("v 0 C\n").unwrap_err();
+        assert_eq!(e.line, 1);
+        assert!(e.message.contains("before any 't'"));
+    }
+
+    #[test]
+    fn sparse_node_ids_are_error() {
+        let e = parse_transactions("t # 0\nv 1 C\n").unwrap_err();
+        assert!(e.message.contains("dense"));
+    }
+
+    #[test]
+    fn dangling_edge_is_error() {
+        let e = parse_transactions("t # 0\nv 0 C\ne 0 5 x\n").unwrap_err();
+        assert!(e.message.contains("out of range"));
+        assert_eq!(e.line, 3);
+    }
+
+    #[test]
+    fn self_loop_is_error() {
+        let e = parse_transactions("t # 0\nv 0 C\ne 0 0 x\n").unwrap_err();
+        assert!(e.message.contains("self-loop"));
+    }
+
+    #[test]
+    fn unknown_record_is_error() {
+        let e = parse_transactions("q 1 2\n").unwrap_err();
+        assert!(e.message.contains("unknown record"));
+        assert_eq!(e.to_string(), "line 1: unknown record type 'q'");
+    }
+
+    #[test]
+    fn trailing_graph_without_newline_is_kept() {
+        let db = parse_transactions("t # 0\nv 0 C").unwrap();
+        assert_eq!(db.len(), 1);
+        assert_eq!(db.graph(0).node_count(), 1);
+    }
+}

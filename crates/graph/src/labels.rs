@@ -1,0 +1,170 @@
+//! Label interning.
+//!
+//! Chemical datasets carry string labels ("C", "O", "N", single/double/
+//! aromatic bonds). All mining code in this workspace operates on dense
+//! numeric ids; a [`LabelTable`] owns the id ↔ string mapping for one
+//! database. Node and edge labels are separate namespaces, mirroring the
+//! paper's distinction between atom-type features and edge-type features.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// A vertex (atom-type) label id.
+pub type NodeLabel = u16;
+/// An edge (bond-type) label id.
+pub type EdgeLabel = u16;
+
+/// Bidirectional string ↔ id mapping for node and edge labels.
+///
+/// Interning is append-only; ids are assigned densely in first-seen order,
+/// which keeps per-label arrays (e.g. prior-probability tables) compact.
+#[derive(Debug, Clone, Default)]
+pub struct LabelTable {
+    node_names: Vec<String>,
+    node_ids: HashMap<String, NodeLabel>,
+    edge_names: Vec<String>,
+    edge_ids: HashMap<String, EdgeLabel>,
+}
+
+impl LabelTable {
+    /// An empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Intern a node label, returning its id (existing or fresh).
+    pub fn intern_node(&mut self, name: &str) -> NodeLabel {
+        if let Some(&id) = self.node_ids.get(name) {
+            return id;
+        }
+        let id = NodeLabel::try_from(self.node_names.len()).expect("more than u16::MAX node labels");
+        self.node_names.push(name.to_owned());
+        self.node_ids.insert(name.to_owned(), id);
+        id
+    }
+
+    /// Intern an edge label, returning its id (existing or fresh).
+    pub fn intern_edge(&mut self, name: &str) -> EdgeLabel {
+        if let Some(&id) = self.edge_ids.get(name) {
+            return id;
+        }
+        let id = EdgeLabel::try_from(self.edge_names.len()).expect("more than u16::MAX edge labels");
+        self.edge_names.push(name.to_owned());
+        self.edge_ids.insert(name.to_owned(), id);
+        id
+    }
+
+    /// Look up a node label id by name without interning.
+    pub fn node_id(&self, name: &str) -> Option<NodeLabel> {
+        self.node_ids.get(name).copied()
+    }
+
+    /// Look up an edge label id by name without interning.
+    pub fn edge_id(&self, name: &str) -> Option<EdgeLabel> {
+        self.edge_ids.get(name).copied()
+    }
+
+    /// Name of a node label id, if in range.
+    pub fn node_name(&self, id: NodeLabel) -> Option<&str> {
+        self.node_names.get(id as usize).map(String::as_str)
+    }
+
+    /// Name of an edge label id, if in range.
+    pub fn edge_name(&self, id: EdgeLabel) -> Option<&str> {
+        self.edge_names.get(id as usize).map(String::as_str)
+    }
+
+    /// Number of distinct node labels interned.
+    pub fn node_label_count(&self) -> usize {
+        self.node_names.len()
+    }
+
+    /// Number of distinct edge labels interned.
+    pub fn edge_label_count(&self) -> usize {
+        self.edge_names.len()
+    }
+
+    /// Iterate `(id, name)` pairs for node labels in id order.
+    pub fn node_labels(&self) -> impl Iterator<Item = (NodeLabel, &str)> {
+        self.node_names
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (i as NodeLabel, s.as_str()))
+    }
+
+    /// Iterate `(id, name)` pairs for edge labels in id order.
+    pub fn edge_labels(&self) -> impl Iterator<Item = (EdgeLabel, &str)> {
+        self.edge_names
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (i as EdgeLabel, s.as_str()))
+    }
+}
+
+impl fmt::Display for LabelTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "LabelTable({} node labels, {} edge labels)",
+            self.node_label_count(),
+            self.edge_label_count()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_idempotent() {
+        let mut t = LabelTable::new();
+        let c1 = t.intern_node("C");
+        let o = t.intern_node("O");
+        let c2 = t.intern_node("C");
+        assert_eq!(c1, c2);
+        assert_ne!(c1, o);
+        assert_eq!(t.node_label_count(), 2);
+    }
+
+    #[test]
+    fn node_and_edge_namespaces_are_separate() {
+        let mut t = LabelTable::new();
+        let n = t.intern_node("1");
+        let e = t.intern_edge("1");
+        assert_eq!(n, 0);
+        assert_eq!(e, 0);
+        assert_eq!(t.node_name(n), Some("1"));
+        assert_eq!(t.edge_name(e), Some("1"));
+        assert_eq!(t.node_label_count(), 1);
+        assert_eq!(t.edge_label_count(), 1);
+    }
+
+    #[test]
+    fn lookup_without_interning() {
+        let mut t = LabelTable::new();
+        t.intern_node("N");
+        assert_eq!(t.node_id("N"), Some(0));
+        assert_eq!(t.node_id("P"), None);
+        assert_eq!(t.edge_id("N"), None);
+        assert_eq!(t.node_name(7), None);
+    }
+
+    #[test]
+    fn iteration_in_id_order() {
+        let mut t = LabelTable::new();
+        for s in ["C", "O", "N"] {
+            t.intern_node(s);
+        }
+        let got: Vec<_> = t.node_labels().collect();
+        assert_eq!(got, vec![(0, "C"), (1, "O"), (2, "N")]);
+    }
+
+    #[test]
+    fn display_is_compact() {
+        let mut t = LabelTable::new();
+        t.intern_node("C");
+        t.intern_edge("-");
+        assert_eq!(t.to_string(), "LabelTable(1 node labels, 1 edge labels)");
+    }
+}

@@ -1,0 +1,60 @@
+//! Labeled-graph substrate for GraphSig.
+//!
+//! GraphSig operates over *databases of small labeled undirected graphs* —
+//! in the paper, chemical compounds where vertices carry atom types and
+//! edges carry bond types. This crate is the shared foundation used by every
+//! other crate in the workspace:
+//!
+//! * [`labels`] — string-interned vertex/edge label tables shared across a
+//!   database, so miners work on dense `u16` ids.
+//! * [`graph`] — the [`Graph`] type: compact adjacency representation,
+//!   builder, and structural accessors.
+//! * [`database`] — [`GraphDb`]: a collection of graphs plus the label
+//!   table, with summary statistics (the paper's Table V reports these).
+//! * [`neighborhood`] — BFS balls and `CutGraph(n, radius)` (Algorithm 2,
+//!   line 12): extracting the induced subgraph within a hop radius.
+//! * [`iso`] — VF2-style subgraph isomorphism: existence, embedding
+//!   enumeration, and whole-graph isomorphism tests. Used for support
+//!   counting in the FSG baseline, maximality filtering, and verifying that
+//!   mined patterns really occur where claimed.
+//! * [`io`] — the line-oriented graph transaction format used by the
+//!   original gSpan/FSG tools (`t # id` / `v id label` / `e u v label`).
+//! * [`algorithms`] — components, eccentricity/diameter, cycle rank.
+//! * [`edit`] — edge/node removal and induced subgraphs (new graphs).
+//!
+//! # Example
+//!
+//! ```
+//! use graphsig_graph::{GraphBuilder, Graph};
+//!
+//! // Benzene-like ring: 6 carbons joined by aromatic bonds (Fig. 5).
+//! let mut b = GraphBuilder::new();
+//! let c: Vec<_> = (0..6).map(|_| b.add_node(0)).collect();
+//! for i in 0..6 {
+//!     b.add_edge(c[i], c[(i + 1) % 6], 1);
+//! }
+//! let benzene: Graph = b.build();
+//! assert_eq!(benzene.node_count(), 6);
+//! assert_eq!(benzene.edge_count(), 6);
+//! assert!(benzene.is_connected());
+//! ```
+
+pub mod algorithms;
+pub mod database;
+pub mod display;
+pub mod edit;
+pub mod graph;
+pub mod io;
+pub mod iso;
+pub mod labels;
+pub mod neighborhood;
+
+pub use algorithms::{connected_components, cycle_rank, diameter, eccentricity};
+pub use database::{DbStats, GraphDb};
+pub use display::{display_with, DisplayWith};
+pub use edit::{induced_subgraph, remove_edge, remove_node};
+pub use graph::{Edge, Graph, GraphBuilder, NodeId};
+pub use io::{parse_transactions, write_transactions, ParseError};
+pub use iso::{are_isomorphic, SubgraphMatcher};
+pub use labels::{EdgeLabel, LabelTable, NodeLabel};
+pub use neighborhood::cut_graph;

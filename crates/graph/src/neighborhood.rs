@@ -1,0 +1,158 @@
+//! BFS neighborhoods and `CutGraph` (Algorithm 2, line 12).
+//!
+//! After FVMine identifies a significant sub-feature vector, GraphSig
+//! locates each node described by it and "isolates the subgraph centered at
+//! each node by using a user-specified radius". That isolation is
+//! [`cut_graph`]: the subgraph induced on all nodes within `radius` hops of
+//! a center node.
+
+use crate::graph::{Graph, GraphBuilder, NodeId};
+
+/// Nodes within `radius` hops of `center` (including `center`), in BFS
+/// discovery order, together with their hop distance.
+pub fn bfs_ball(g: &Graph, center: NodeId, radius: usize) -> Vec<(NodeId, usize)> {
+    assert!((center as usize) < g.node_count(), "center out of range");
+    let mut dist = vec![usize::MAX; g.node_count()];
+    let mut order = Vec::new();
+    let mut queue = std::collections::VecDeque::new();
+    dist[center as usize] = 0;
+    queue.push_back(center);
+    while let Some(n) = queue.pop_front() {
+        let d = dist[n as usize];
+        order.push((n, d));
+        if d == radius {
+            continue;
+        }
+        for a in g.neighbors(n) {
+            if dist[a.to as usize] == usize::MAX {
+                dist[a.to as usize] = d + 1;
+                queue.push_back(a.to);
+            }
+        }
+    }
+    order
+}
+
+/// `CutGraph(center, radius)`: the induced subgraph on the BFS ball.
+///
+/// Returns the subgraph and the mapping from its node ids to the original
+/// graph's node ids (`mapping[new_id] = old_id`). Node 0 of the result is
+/// always the center. All edges of the original graph whose endpoints both
+/// lie inside the ball are retained (induced semantics).
+///
+/// # Example
+///
+/// ```
+/// use graphsig_graph::{GraphBuilder, cut_graph};
+/// let mut b = GraphBuilder::new();
+/// let n: Vec<_> = (0..4).map(|i| b.add_node(i)).collect();
+/// b.add_edge(n[0], n[1], 0);
+/// b.add_edge(n[1], n[2], 0);
+/// b.add_edge(n[2], n[3], 0);
+/// let g = b.build();
+/// let (ball, map) = cut_graph(&g, 0, 2);
+/// assert_eq!(ball.node_count(), 3); // nodes 0,1,2
+/// assert_eq!(map[0], 0);
+/// ```
+pub fn cut_graph(g: &Graph, center: NodeId, radius: usize) -> (Graph, Vec<NodeId>) {
+    let ball = bfs_ball(g, center, radius);
+    let mut new_id = vec![u32::MAX; g.node_count()];
+    let mut mapping = Vec::with_capacity(ball.len());
+    let mut b = GraphBuilder::with_capacity(ball.len(), ball.len());
+    for &(old, _) in &ball {
+        let id = b.add_node(g.node_label(old));
+        new_id[old as usize] = id;
+        mapping.push(old);
+    }
+    // Induced edges: iterate original edges once.
+    for e in g.edges() {
+        let (nu, nv) = (new_id[e.u as usize], new_id[e.v as usize]);
+        if nu != u32::MAX && nv != u32::MAX {
+            b.add_edge(nu, nv, e.label);
+        }
+    }
+    (b.build(), mapping)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::GraphBuilder;
+
+    /// A 6-cycle with a pendant node attached to vertex 0.
+    fn ring_with_tail() -> Graph {
+        let mut b = GraphBuilder::new();
+        let n: Vec<_> = (0..7).map(|i| b.add_node(i as u16)).collect();
+        for i in 0..6 {
+            b.add_edge(n[i], n[(i + 1) % 6], 1);
+        }
+        b.add_edge(n[0], n[6], 2);
+        b.build()
+    }
+
+    #[test]
+    fn ball_distances() {
+        let g = ring_with_tail();
+        let ball = bfs_ball(&g, 0, 1);
+        let mut ids: Vec<_> = ball.iter().map(|&(n, _)| n).collect();
+        ids.sort_unstable();
+        assert_eq!(ids, vec![0, 1, 5, 6]);
+        assert!(ball.iter().all(|&(n, d)| if n == 0 { d == 0 } else { d == 1 }));
+    }
+
+    #[test]
+    fn radius_zero_is_single_node() {
+        let g = ring_with_tail();
+        let (sub, map) = cut_graph(&g, 3, 0);
+        assert_eq!(sub.node_count(), 1);
+        assert_eq!(sub.edge_count(), 0);
+        assert_eq!(sub.node_label(0), 3);
+        assert_eq!(map, vec![3]);
+    }
+
+    #[test]
+    fn induced_edges_inside_ball_are_kept() {
+        let g = ring_with_tail();
+        // Radius 3 from node 3 covers the whole ring (the opposite vertex 0
+        // is 3 hops away); the tail node 6 hangs off vertex 0 at distance 4
+        // and stays outside. All 6 ring edges are induced, including the
+        // closing edge between the two frontier vertices.
+        let (sub, _) = cut_graph(&g, 3, 3);
+        assert_eq!(sub.node_count(), 6);
+        assert_eq!(sub.edge_count(), 6);
+        assert!(sub.is_connected());
+    }
+
+    #[test]
+    fn center_is_node_zero() {
+        let g = ring_with_tail();
+        let (sub, map) = cut_graph(&g, 4, 1);
+        assert_eq!(map[0], 4);
+        assert_eq!(sub.node_label(0), 4);
+    }
+
+    #[test]
+    fn ring_closure_edge_is_induced() {
+        // Ball of radius 1 around node 0 contains nodes 1 and 5; the ring
+        // edges 0-1 and 0-5 are present but 1-5 is not an edge, so edge
+        // count is 3 (including the tail edge 0-6).
+        let g = ring_with_tail();
+        let (sub, _) = cut_graph(&g, 0, 1);
+        assert_eq!(sub.node_count(), 4);
+        assert_eq!(sub.edge_count(), 3);
+    }
+
+    #[test]
+    fn big_radius_captures_everything() {
+        let g = ring_with_tail();
+        let (sub, _) = cut_graph(&g, 2, 100);
+        assert_eq!(sub.node_count(), g.node_count());
+        assert_eq!(sub.edge_count(), g.edge_count());
+    }
+
+    #[test]
+    #[should_panic(expected = "center out of range")]
+    fn rejects_bad_center() {
+        bfs_ball(&ring_with_tail(), 99, 1);
+    }
+}

@@ -1,0 +1,159 @@
+//! Property-based tests for the graph substrate.
+#![allow(clippy::needless_range_loop)]
+
+use proptest::prelude::*;
+
+use graphsig_graph::{
+    cut_graph, neighborhood::bfs_ball, parse_transactions, write_transactions, Graph,
+    GraphBuilder, GraphDb, LabelTable,
+};
+
+/// Strategy: a connected labeled graph (random tree plus optional extras).
+fn connected_graph() -> impl Strategy<Value = Graph> {
+    (1usize..12, any::<u64>()).prop_map(|(n, seed)| {
+        let mut state = seed | 1;
+        let mut next = move |m: u64| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 33) % m
+        };
+        let mut b = GraphBuilder::new();
+        for _ in 0..n {
+            b.add_node(next(5) as u16);
+        }
+        let mut edges = std::collections::HashSet::new();
+        for i in 1..n as u32 {
+            let p = next(i as u64) as u32;
+            b.add_edge(p, i, next(3) as u16);
+            edges.insert((p.min(i), p.max(i)));
+        }
+        for _ in 0..next(4) {
+            if n < 2 {
+                break;
+            }
+            let u = next(n as u64) as u32;
+            let v = next(n as u64) as u32;
+            if u != v && !edges.contains(&(u.min(v), u.max(v))) {
+                edges.insert((u.min(v), u.max(v)));
+                b.add_edge(u, v, next(3) as u16);
+            }
+        }
+        b.build()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn adjacency_is_symmetric_and_consistent(g in connected_graph()) {
+        for n in g.nodes() {
+            for a in g.neighbors(n) {
+                // The reverse half-edge exists with the same label/edge id.
+                let back = g
+                    .neighbors(a.to)
+                    .iter()
+                    .find(|x| x.to == n && x.edge == a.edge);
+                prop_assert!(back.is_some());
+                prop_assert_eq!(back.unwrap().label, a.label);
+            }
+        }
+        // Degree sum = 2 |E|.
+        let degree_sum: usize = g.nodes().map(|n| g.degree(n)).sum();
+        prop_assert_eq!(degree_sum, 2 * g.edge_count());
+    }
+
+    #[test]
+    fn generated_graphs_are_connected(g in connected_graph()) {
+        prop_assert!(g.is_connected());
+    }
+
+    #[test]
+    fn bfs_distances_are_metric(g in connected_graph()) {
+        let ball = bfs_ball(&g, 0, usize::MAX);
+        prop_assert_eq!(ball.len(), g.node_count());
+        let mut dist = vec![usize::MAX; g.node_count()];
+        for &(n, d) in &ball {
+            dist[n as usize] = d;
+        }
+        // Every edge changes distance by at most 1.
+        for e in g.edges() {
+            let (du, dv) = (dist[e.u as usize], dist[e.v as usize]);
+            prop_assert!(du.abs_diff(dv) <= 1);
+        }
+        prop_assert_eq!(dist[0], 0);
+    }
+
+    #[test]
+    fn cut_graph_is_monotone_in_radius(g in connected_graph(), r in 0usize..4) {
+        let (small, _) = cut_graph(&g, 0, r);
+        let (big, _) = cut_graph(&g, 0, r + 1);
+        prop_assert!(small.node_count() <= big.node_count());
+        prop_assert!(small.edge_count() <= big.edge_count());
+        // Full radius covers everything (graph is connected).
+        let (all, map) = cut_graph(&g, 0, g.node_count());
+        prop_assert_eq!(all.node_count(), g.node_count());
+        prop_assert_eq!(all.edge_count(), g.edge_count());
+        // Mapping preserves labels.
+        for (new, &old) in map.iter().enumerate() {
+            prop_assert_eq!(all.node_label(new as u32), g.node_label(old));
+        }
+    }
+
+    #[test]
+    fn io_roundtrip_preserves_structure(g in connected_graph()) {
+        let mut labels = LabelTable::new();
+        for i in 0..5 {
+            labels.intern_node(&format!("N{i}"));
+        }
+        for i in 0..3 {
+            labels.intern_edge(&format!("E{i}"));
+        }
+        let db = GraphDb::from_parts(vec![g.clone()], labels);
+        let text = write_transactions(&db);
+        let back = parse_transactions(&text).unwrap();
+        prop_assert_eq!(back.len(), 1);
+        let h = back.graph(0);
+        prop_assert_eq!(h.node_count(), g.node_count());
+        prop_assert_eq!(h.edge_count(), g.edge_count());
+        // Parsing re-interns label ids in first-seen order, so ids may be
+        // renumbered while names are preserved: the roundtrip must be
+        // textually idempotent.
+        prop_assert_eq!(write_transactions(&back), text);
+        // And structure modulo label renaming is intact: per-node label
+        // NAMES match position by position (node ids are preserved).
+        for n in g.nodes() {
+            let original = db.labels().node_name(g.node_label(n)).unwrap();
+            let reparsed = back.labels().node_name(h.node_label(n)).unwrap();
+            prop_assert_eq!(original, reparsed);
+        }
+    }
+
+    #[test]
+    fn edge_signature_is_an_isomorphism_invariant(g in connected_graph(), seed in any::<u64>()) {
+        // Permute node ids; the sorted signatures must match.
+        let n = g.node_count();
+        let mut perm: Vec<usize> = (0..n).collect();
+        let mut state = seed | 1;
+        for i in (1..n).rev() {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let j = ((state >> 33) as usize) % (i + 1);
+            perm.swap(i, j);
+        }
+        let mut b = GraphBuilder::new();
+        let mut inv = vec![0usize; n];
+        for (old, &new) in perm.iter().enumerate() {
+            inv[new] = old;
+        }
+        for new in 0..n {
+            b.add_node(g.node_label(inv[new] as u32));
+        }
+        for e in g.edges() {
+            b.add_edge(perm[e.u as usize] as u32, perm[e.v as usize] as u32, e.label);
+        }
+        let p = b.build();
+        prop_assert_eq!(g.sorted_node_labels(), p.sorted_node_labels());
+        prop_assert_eq!(g.sorted_edge_signature(), p.sorted_edge_signature());
+    }
+}

@@ -1,0 +1,162 @@
+//! Shared rightmost-path extension enumeration.
+//!
+//! Both the database miner and the minimality checker grow DFS codes the
+//! same way: backward edges may only close cycles from the rightmost vertex
+//! to another vertex on the rightmost path, and forward edges may only grow
+//! out of rightmost-path vertices. This module enumerates the legal
+//! extensions of one concrete embedding.
+
+use crate::dfs_code::{DfsCode, DfsEdge};
+use graphsig_graph::{Graph, NodeId};
+
+/// A concrete extension: the DFS-code edge plus the graph-level step that
+/// realizes it (`gfrom → gto` via edge id `edge`).
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Extension {
+    pub dfs: DfsEdge,
+    pub gfrom: NodeId,
+    pub gto: NodeId,
+    pub edge: u32,
+}
+
+/// Enumerate every legal rightmost-path extension of one embedding.
+///
+/// * `nodes[i]` — graph node matched to DFS index `i`.
+/// * `used_node` / `used_edge` — membership tests over graph node/edge ids
+///   (indexed arrays, already sized for `g`).
+///
+/// Calls `out` once per legal extension, in no particular order; the caller
+/// groups and sorts.
+pub(crate) fn enumerate_extensions(
+    g: &Graph,
+    code: &DfsCode,
+    nodes: &[NodeId],
+    used_node: &[bool],
+    used_edge: &[bool],
+    out: &mut impl FnMut(Extension),
+) {
+    debug_assert!(!code.is_empty());
+    let rmpath = code.rightmost_path();
+    let maxidx = code.rightmost_vertex();
+    let labels = code.vertex_labels();
+
+    // DFS indices along the rightmost path, rightmost vertex first.
+    let mut path_vs: Vec<u32> = Vec::with_capacity(rmpath.len() + 1);
+    path_vs.push(maxidx);
+    for &k in &rmpath {
+        path_vs.push(code.edges()[k].from);
+    }
+
+    let vr_node = nodes[maxidx as usize];
+
+    // Backward extensions: rightmost vertex -> earlier rightmost-path vertex.
+    // Skip path_vs[0] (the rightmost vertex itself); the edge to its direct
+    // parent is already used, so it is excluded automatically.
+    for &j in path_vs.iter().skip(1) {
+        let j_node = nodes[j as usize];
+        for a in g.neighbors(vr_node) {
+            if a.to == j_node && !used_edge[a.edge as usize] {
+                out(Extension {
+                    dfs: DfsEdge::new(maxidx, j, labels[maxidx as usize], a.label, labels[j as usize]),
+                    gfrom: vr_node,
+                    gto: j_node,
+                    edge: a.edge,
+                });
+            }
+        }
+    }
+
+    // Forward extensions: from any rightmost-path vertex to a fresh vertex.
+    for &i in &path_vs {
+        let i_node = nodes[i as usize];
+        for a in g.neighbors(i_node) {
+            if !used_node[a.to as usize] {
+                out(Extension {
+                    dfs: DfsEdge::new(
+                        i,
+                        maxidx + 1,
+                        labels[i as usize],
+                        a.label,
+                        g.node_label(a.to),
+                    ),
+                    gfrom: i_node,
+                    gto: a.to,
+                    edge: a.edge,
+                });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphsig_graph::GraphBuilder;
+
+    #[test]
+    fn path_embedding_extensions() {
+        // Graph: square 0-1-2-3-0, all labels 0, edge label 1.
+        let mut b = GraphBuilder::new();
+        let n: Vec<_> = (0..4).map(|_| b.add_node(0)).collect();
+        b.add_edge(n[0], n[1], 1);
+        b.add_edge(n[1], n[2], 1);
+        b.add_edge(n[2], n[3], 1);
+        b.add_edge(n[3], n[0], 1);
+        let g = b.build();
+
+        // Embedding of the 3-path code (0,1)(1,2) as graph nodes 0,1,2.
+        let mut code = DfsCode::from_initial(0, 1, 0);
+        code.push(DfsEdge::new(1, 2, 0, 1, 0));
+        let nodes = [0u32, 1, 2];
+        let mut used_node = vec![true, true, true, false];
+        let used_edge = vec![true, true, false, false];
+
+        let mut exts = Vec::new();
+        enumerate_extensions(&g, &code, &nodes, &used_node, &used_edge, &mut |e| {
+            exts.push(e)
+        });
+        // Expected: forward 2->3 (edge id 2) and forward 0->3 (edge id 3).
+        // No backward: the only candidate would close 2-0, but no such edge.
+        assert_eq!(exts.len(), 2);
+        assert!(exts.iter().all(|e| e.dfs.is_forward()));
+        assert!(exts.iter().any(|e| e.dfs.from == 2 && e.gto == 3));
+        assert!(exts.iter().any(|e| e.dfs.from == 0 && e.gto == 3));
+
+        // Now mark node 3 used as if matched: the backward closure 2-3-? is
+        // not applicable; instead verify backward enumeration on a triangle
+        // below.
+        used_node[3] = true;
+        let mut exts2 = Vec::new();
+        enumerate_extensions(&g, &code, &nodes, &used_node, &used_edge, &mut |e| {
+            exts2.push(e)
+        });
+        assert!(exts2.is_empty());
+    }
+
+    #[test]
+    fn backward_closure_detected() {
+        // Triangle: nodes 0,1,2 all label 0, edges label 1.
+        let mut b = GraphBuilder::new();
+        let n: Vec<_> = (0..3).map(|_| b.add_node(0)).collect();
+        b.add_edge(n[0], n[1], 1);
+        b.add_edge(n[1], n[2], 1);
+        b.add_edge(n[2], n[0], 1);
+        let g = b.build();
+
+        let mut code = DfsCode::from_initial(0, 1, 0);
+        code.push(DfsEdge::new(1, 2, 0, 1, 0));
+        let nodes = [0u32, 1, 2];
+        let used_node = vec![true, true, true];
+        let used_edge = vec![true, true, false];
+
+        let mut exts = Vec::new();
+        enumerate_extensions(&g, &code, &nodes, &used_node, &used_edge, &mut |e| {
+            exts.push(e)
+        });
+        assert_eq!(exts.len(), 1);
+        let e = exts[0];
+        assert!(!e.dfs.is_forward());
+        assert_eq!((e.dfs.from, e.dfs.to), (2, 0));
+        assert_eq!(e.edge, 2);
+    }
+}

@@ -1,0 +1,264 @@
+//! Minimum DFS codes: gSpan's canonical form.
+//!
+//! The minimum DFS code of a connected labeled graph is computed by a
+//! restricted self-projection: starting from the lexicographically smallest
+//! single-edge code, repeatedly take the smallest legal extension across all
+//! surviving embeddings of the current prefix in the graph itself. Because
+//! only the minimal branch is followed, the loop runs exactly `|E|` steps.
+//!
+//! [`is_min`] runs the same loop against a candidate code with early exit at
+//! the first divergence — the pruning test at every gSpan search node.
+
+use crate::dfs_code::{extension_order, DfsCode, DfsEdge};
+use crate::extend::{enumerate_extensions, Extension};
+use graphsig_graph::{Graph, NodeId};
+
+/// One embedding of a code prefix into the graph itself.
+#[derive(Debug, Clone)]
+struct SelfEmb {
+    /// `nodes[dfs_index] = graph node`.
+    nodes: Vec<NodeId>,
+    used_node: Vec<bool>,
+    used_edge: Vec<bool>,
+}
+
+impl SelfEmb {
+    fn extended(&self, ext: &Extension) -> SelfEmb {
+        let mut e = self.clone();
+        if ext.dfs.is_forward() {
+            debug_assert_eq!(e.nodes.len(), ext.dfs.to as usize);
+            e.nodes.push(ext.gto);
+            e.used_node[ext.gto as usize] = true;
+        }
+        e.used_edge[ext.edge as usize] = true;
+        e
+    }
+}
+
+/// Shared driver: either record the minimum code (check = `None`) or verify
+/// a candidate prefix-by-prefix, returning `None` on the first mismatch.
+fn build_min(g: &Graph, check: Option<&DfsCode>) -> Option<DfsCode> {
+    if g.edge_count() == 0 {
+        // Edgeless graphs have the empty code; a candidate must be empty too.
+        return match check {
+            Some(c) if !c.is_empty() => None,
+            _ => Some(DfsCode::new()),
+        };
+    }
+
+    // Minimum initial edge over all directed orientations.
+    let mut best_key: Option<(u16, u16, u16)> = None;
+    for e in g.edges() {
+        let (lu, lv) = (g.node_label(e.u), g.node_label(e.v));
+        for (a, b) in [(lu, lv), (lv, lu)] {
+            let key = (a, e.label, b);
+            if best_key.is_none_or(|bk| key < bk) {
+                best_key = Some(key);
+            }
+        }
+    }
+    let (la, le, lb) = best_key.expect("graph has edges");
+    let mut code = DfsCode::from_initial(la, le, lb);
+    if let Some(c) = check {
+        if c.edges().first() != code.edges().first() {
+            return None;
+        }
+    }
+
+    // Embeddings of the initial edge.
+    let mut embs: Vec<SelfEmb> = Vec::new();
+    for e in g.edges() {
+        let (lu, lv) = (g.node_label(e.u), g.node_label(e.v));
+        for (from, to, lf, lt) in [(e.u, e.v, lu, lv), (e.v, e.u, lv, lu)] {
+            if (lf, e.label, lt) == (la, le, lb) {
+                let mut used_node = vec![false; g.node_count()];
+                used_node[from as usize] = true;
+                used_node[to as usize] = true;
+                let mut used_edge = vec![false; g.edge_count()];
+                let eid = g
+                    .neighbors(from)
+                    .iter()
+                    .find(|a| a.to == to)
+                    .expect("edge exists")
+                    .edge;
+                used_edge[eid as usize] = true;
+                embs.push(SelfEmb {
+                    nodes: vec![from, to],
+                    used_node,
+                    used_edge,
+                });
+            }
+        }
+    }
+
+    while code.len() < g.edge_count() {
+        // Smallest extension across all embeddings.
+        let mut best: Option<DfsEdge> = None;
+        let mut best_children: Vec<SelfEmb> = Vec::new();
+        for emb in &embs {
+            enumerate_extensions(g, &code, &emb.nodes, &emb.used_node, &emb.used_edge, &mut |ext| {
+                match &best {
+                    Some(b) => match extension_order(&ext.dfs, b) {
+                        std::cmp::Ordering::Less => {
+                            best = Some(ext.dfs);
+                            best_children.clear();
+                            best_children.push(emb.extended(&ext));
+                        }
+                        std::cmp::Ordering::Equal => best_children.push(emb.extended(&ext)),
+                        std::cmp::Ordering::Greater => {}
+                    },
+                    None => {
+                        best = Some(ext.dfs);
+                        best_children.push(emb.extended(&ext));
+                    }
+                }
+            });
+        }
+        let best = best.expect("connected graph always extends until all edges used");
+        if let Some(c) = check {
+            if c.edges()[code.len()] != best {
+                return None;
+            }
+        }
+        code.push(best);
+        embs = best_children;
+    }
+    Some(code)
+}
+
+/// The canonical (minimum) DFS code of a connected labeled graph.
+///
+/// Two graphs are isomorphic iff their minimum DFS codes are equal, making
+/// this the dedup key used throughout the workspace. Edgeless graphs yield
+/// the empty code.
+///
+/// # Panics
+/// Panics if the graph is not connected (disconnected graphs have no DFS
+/// code).
+pub fn min_dfs_code(g: &Graph) -> DfsCode {
+    assert!(g.is_connected(), "min_dfs_code requires a connected graph");
+    build_min(g, None).expect("building without a check cannot fail")
+}
+
+/// Whether `code` is the minimum DFS code of the graph it describes.
+///
+/// This is the gSpan pruning test: a search node whose code is not minimal
+/// repeats a pattern already reached through its canonical code and the
+/// whole subtree can be skipped.
+pub fn is_min(code: &DfsCode) -> bool {
+    if code.is_empty() {
+        return true;
+    }
+    let g = code.to_graph();
+    build_min(&g, Some(code)).is_some()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphsig_graph::{are_isomorphic, GraphBuilder};
+
+    fn cycle(labels: &[u16], el: u16) -> Graph {
+        let mut b = GraphBuilder::new();
+        let n: Vec<_> = labels.iter().map(|&l| b.add_node(l)).collect();
+        for i in 0..n.len() {
+            b.add_edge(n[i], n[(i + 1) % n.len()], el);
+        }
+        b.build()
+    }
+
+    fn labeled_path(labels: &[u16], elabels: &[u16]) -> Graph {
+        let mut b = GraphBuilder::new();
+        let n: Vec<_> = labels.iter().map(|&l| b.add_node(l)).collect();
+        for (i, &el) in elabels.iter().enumerate() {
+            b.add_edge(n[i], n[i + 1], el);
+        }
+        b.build()
+    }
+
+    #[test]
+    fn single_edge_canonical_orientation() {
+        let g = labeled_path(&[5, 2], &[7]);
+        let c = min_dfs_code(&g);
+        assert_eq!(c.edges(), &[DfsEdge::new(0, 1, 2, 7, 5)]);
+    }
+
+    #[test]
+    fn code_roundtrips_to_isomorphic_graph() {
+        let g = cycle(&[0, 1, 2, 1], 3);
+        let c = min_dfs_code(&g);
+        assert_eq!(c.len(), g.edge_count());
+        assert!(are_isomorphic(&c.to_graph(), &g));
+    }
+
+    #[test]
+    fn isomorphic_graphs_share_min_code() {
+        // Same triangle built with different node orders.
+        let a = cycle(&[3, 1, 2], 9);
+        let b = cycle(&[1, 2, 3], 9);
+        let c = cycle(&[2, 3, 1], 9);
+        let code = min_dfs_code(&a);
+        assert_eq!(code, min_dfs_code(&b));
+        assert_eq!(code, min_dfs_code(&c));
+    }
+
+    #[test]
+    fn non_isomorphic_graphs_differ() {
+        let tri = cycle(&[0, 0, 0], 1);
+        let path = labeled_path(&[0, 0, 0], &[1, 1]);
+        assert_ne!(min_dfs_code(&tri), min_dfs_code(&path));
+        let p12 = labeled_path(&[0, 0, 0], &[1, 2]);
+        let p11 = labeled_path(&[0, 0, 0], &[1, 1]);
+        assert_ne!(min_dfs_code(&p12), min_dfs_code(&p11));
+    }
+
+    #[test]
+    fn min_code_is_min() {
+        for g in [
+            cycle(&[0, 1, 2, 3, 4, 5], 1),
+            labeled_path(&[9, 8, 7, 8, 9], &[1, 2, 2, 1]),
+            cycle(&[0, 0, 0, 0], 0),
+        ] {
+            assert!(is_min(&min_dfs_code(&g)));
+        }
+    }
+
+    #[test]
+    fn non_minimal_code_detected() {
+        // Path a(0)-b(1)-c(2): starting the DFS at the 'c' end gives a
+        // larger code than starting at the 'a' end.
+        let mut bad = DfsCode::from_initial(2, 0, 1);
+        bad.push(DfsEdge::new(1, 2, 1, 0, 0));
+        assert!(!is_min(&bad));
+        let mut good = DfsCode::from_initial(0, 0, 1);
+        good.push(DfsEdge::new(1, 2, 1, 0, 2));
+        assert!(is_min(&good));
+    }
+
+    #[test]
+    fn empty_code_is_min() {
+        assert!(is_min(&DfsCode::new()));
+    }
+
+    #[test]
+    fn benzene_ring_canonical() {
+        // All-same-label 6-ring: min code is forward path of 5 edges plus
+        // one backward closure to the root.
+        let g = cycle(&[0; 6], 1);
+        let c = min_dfs_code(&g);
+        assert_eq!(c.len(), 6);
+        let back_edges: Vec<_> = c.edges().iter().filter(|e| !e.is_forward()).collect();
+        assert_eq!(back_edges.len(), 1);
+        assert_eq!(back_edges[0].to, 0);
+        assert!(is_min(&c));
+    }
+
+    #[test]
+    #[should_panic(expected = "connected")]
+    fn rejects_disconnected() {
+        let mut b = GraphBuilder::new();
+        b.add_node(0);
+        b.add_node(0);
+        min_dfs_code(&b.build());
+    }
+}

@@ -1,0 +1,392 @@
+//! The gSpan pattern-growth miner over a graph database.
+//!
+//! Support counting uses *projections*: for every pattern (DFS code) on the
+//! search path, the miner carries the list of its embeddings in the
+//! database, each represented as a persistent chain of steps shared with its
+//! parent via `Rc`. Extending a pattern never rescans the database — it only
+//! extends the surviving embeddings.
+
+use std::collections::BTreeMap;
+use std::rc::Rc;
+
+use crate::dfs_code::{extension_order, DfsCode, DfsEdge};
+use crate::extend::enumerate_extensions;
+use crate::min_code::is_min;
+use crate::pattern::Pattern;
+use graphsig_graph::{GraphDb, NodeId};
+
+/// Configuration for [`GSpan`].
+#[derive(Debug, Clone)]
+pub struct MinerConfig {
+    /// Minimum number of distinct graphs a pattern must occur in
+    /// (absolute support, `>= 1`).
+    pub min_support: usize,
+    /// Stop growing patterns beyond this many edges.
+    pub max_edges: Option<usize>,
+    /// Abort the search after emitting this many patterns (a safety valve
+    /// for the low-frequency scalability experiments, where the pattern
+    /// space explodes by design).
+    pub max_patterns: Option<usize>,
+}
+
+impl MinerConfig {
+    /// Config with the given absolute support and no other limits.
+    pub fn new(min_support: usize) -> Self {
+        Self {
+            min_support,
+            max_edges: None,
+            max_patterns: None,
+        }
+    }
+
+    /// Limit pattern size (in edges).
+    pub fn with_max_edges(mut self, max_edges: usize) -> Self {
+        self.max_edges = Some(max_edges);
+        self
+    }
+
+    /// Limit the number of emitted patterns.
+    pub fn with_max_patterns(mut self, max_patterns: usize) -> Self {
+        self.max_patterns = Some(max_patterns);
+        self
+    }
+
+    /// Convert a relative frequency threshold (e.g. `0.05` = 5%) on a
+    /// database of `n` graphs into absolute support, rounding up and never
+    /// below 1. This mirrors Definition 1 of the paper
+    /// (`mu_0 >= theta |D| / 100` with theta in percent).
+    pub fn from_frequency(freq: f64, n: usize) -> Self {
+        assert!((0.0..=1.0).contains(&freq), "frequency must be in [0,1]");
+        Self::new(((freq * n as f64).ceil() as usize).max(1))
+    }
+}
+
+/// One step of an embedding: a directed traversal of graph edge `edge`.
+struct Step {
+    gfrom: NodeId,
+    gto: NodeId,
+    edge: u32,
+    prev: Option<Rc<Step>>,
+}
+
+/// An embedding of the current DFS code in graph `gid`.
+struct Emb {
+    gid: u32,
+    last: Rc<Step>,
+}
+
+/// Extension key ordered by gSpan's extension order (with a total-order
+/// tiebreak on the full tuple, required for `BTreeMap` consistency).
+#[derive(PartialEq, Eq)]
+struct OrdExt(DfsEdge);
+
+impl Ord for OrdExt {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        extension_order(&self.0, &other.0).then_with(|| {
+            (
+                self.0.from,
+                self.0.to,
+                self.0.from_label,
+                self.0.edge_label,
+                self.0.to_label,
+            )
+                .cmp(&(
+                    other.0.from,
+                    other.0.to,
+                    other.0.from_label,
+                    other.0.edge_label,
+                    other.0.to_label,
+                ))
+        })
+    }
+}
+
+impl PartialOrd for OrdExt {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// The gSpan miner. See the crate docs for the algorithm outline.
+pub struct GSpan {
+    cfg: MinerConfig,
+}
+
+impl GSpan {
+    /// Create a miner with the given configuration.
+    pub fn new(cfg: MinerConfig) -> Self {
+        assert!(cfg.min_support >= 1, "min_support must be at least 1");
+        Self { cfg }
+    }
+
+    /// Mine all frequent connected subgraphs with at least one edge.
+    pub fn mine(&self, db: &GraphDb) -> Vec<Pattern> {
+        let mut ctx = Ctx {
+            db,
+            cfg: &self.cfg,
+            out: Vec::new(),
+            stopped: false,
+        };
+
+        // Seed: all frequent single-edge codes in canonical orientation.
+        let mut initial: BTreeMap<(u16, u16, u16), Vec<Emb>> = BTreeMap::new();
+        for (gid, g) in db.graphs().iter().enumerate() {
+            for (eid, e) in g.edges().iter().enumerate() {
+                let (lu, lv) = (g.node_label(e.u), g.node_label(e.v));
+                let mut push = |gfrom: NodeId, gto: NodeId, lf: u16, lt: u16| {
+                    initial.entry((lf, e.label, lt)).or_default().push(Emb {
+                        gid: gid as u32,
+                        last: Rc::new(Step {
+                            gfrom,
+                            gto,
+                            edge: eid as u32,
+                            prev: None,
+                        }),
+                    });
+                };
+                // Only the canonical (smaller-label-first) orientation can
+                // start a minimal code; equal labels contribute both.
+                if lu <= lv {
+                    push(e.u, e.v, lu, lv);
+                }
+                if lv < lu || lu == lv {
+                    push(e.v, e.u, lv, lu);
+                }
+            }
+        }
+
+        for ((la, le, lb), embs) in initial {
+            if ctx.stopped {
+                break;
+            }
+            if distinct_gids(&embs).len() < self.cfg.min_support {
+                continue;
+            }
+            let mut code = DfsCode::from_initial(la, le, lb);
+            ctx.recurse(&mut code, &embs);
+        }
+        ctx.out
+    }
+
+    /// Mine, then keep only closed patterns (no super-pattern with equal
+    /// support). CloseGraph-style output via post-filtering.
+    pub fn mine_closed(&self, db: &GraphDb) -> Vec<Pattern> {
+        crate::pattern::filter_closed(self.mine(db))
+    }
+
+    /// Mine, then keep only maximal patterns (no frequent super-pattern) —
+    /// the `MaximalFSM` of GraphSig's Algorithm 2.
+    pub fn mine_maximal(&self, db: &GraphDb) -> Vec<Pattern> {
+        crate::pattern::filter_maximal(self.mine(db))
+    }
+}
+
+/// Distinct gids of a gid-ordered embedding list.
+fn distinct_gids(embs: &[Emb]) -> Vec<u32> {
+    let mut gids = Vec::new();
+    for e in embs {
+        if gids.last() != Some(&e.gid) {
+            debug_assert!(gids.last().is_none_or(|&g| g < e.gid), "embeddings out of order");
+            gids.push(e.gid);
+        }
+    }
+    gids
+}
+
+struct Ctx<'a> {
+    db: &'a GraphDb,
+    cfg: &'a MinerConfig,
+    out: Vec<Pattern>,
+    stopped: bool,
+}
+
+impl Ctx<'_> {
+    fn recurse(&mut self, code: &mut DfsCode, embs: &[Emb]) {
+        if self.stopped || !is_min(code) {
+            return;
+        }
+        let gids = distinct_gids(embs);
+        debug_assert!(gids.len() >= self.cfg.min_support);
+        self.out.push(Pattern {
+            graph: code.to_graph(),
+            code: code.clone(),
+            support: gids.len(),
+            gids,
+        });
+        if self.cfg.max_patterns.is_some_and(|m| self.out.len() >= m) {
+            self.stopped = true;
+            return;
+        }
+        if self.cfg.max_edges.is_some_and(|m| code.len() >= m) {
+            return;
+        }
+
+        // Group every legal extension of every embedding.
+        let mut children: BTreeMap<OrdExt, Vec<Emb>> = BTreeMap::new();
+        let code_len = code.len();
+        let node_count = code.node_count();
+        for emb in embs {
+            let g = self.db.graph(emb.gid as usize);
+            // Reconstruct the embedding state from the step chain.
+            let mut steps: Vec<&Step> = Vec::with_capacity(code_len);
+            let mut cur: Option<&Rc<Step>> = Some(&emb.last);
+            while let Some(s) = cur {
+                steps.push(s);
+                cur = s.prev.as_ref();
+            }
+            debug_assert_eq!(steps.len(), code_len);
+            let mut nodes = vec![u32::MAX; node_count];
+            let mut used_node = vec![false; g.node_count()];
+            let mut used_edge = vec![false; g.edge_count()];
+            for (k, &s) in steps.iter().rev().enumerate() {
+                let ce = code.edges()[k];
+                if ce.is_forward() {
+                    nodes[ce.from as usize] = s.gfrom;
+                    nodes[ce.to as usize] = s.gto;
+                }
+                used_node[s.gfrom as usize] = true;
+                used_node[s.gto as usize] = true;
+                used_edge[s.edge as usize] = true;
+            }
+            enumerate_extensions(g, code, &nodes, &used_node, &used_edge, &mut |ext| {
+                children.entry(OrdExt(ext.dfs)).or_default().push(Emb {
+                    gid: emb.gid,
+                    last: Rc::new(Step {
+                        gfrom: ext.gfrom,
+                        gto: ext.gto,
+                        edge: ext.edge,
+                        prev: Some(emb.last.clone()),
+                    }),
+                });
+            });
+        }
+
+        for (ext, child_embs) in children {
+            if self.stopped {
+                return;
+            }
+            if distinct_gids(&child_embs).len() < self.cfg.min_support {
+                continue;
+            }
+            code.push(ext.0);
+            self.recurse(code, &child_embs);
+            code.pop();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphsig_graph::{are_isomorphic, parse_transactions, SubgraphMatcher};
+
+    fn tiny_db() -> GraphDb {
+        parse_transactions(
+            "t # 0\nv 0 C\nv 1 C\nv 2 O\ne 0 1 s\ne 1 2 s\n\
+             t # 1\nv 0 C\nv 1 C\nv 2 O\ne 0 1 s\ne 1 2 s\n\
+             t # 2\nv 0 C\nv 1 N\ne 0 1 s\n",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn frequency_to_support_conversion() {
+        assert_eq!(MinerConfig::from_frequency(0.05, 100).min_support, 5);
+        assert_eq!(MinerConfig::from_frequency(0.001, 100).min_support, 1);
+        assert_eq!(MinerConfig::from_frequency(0.033, 100).min_support, 4);
+    }
+
+    #[test]
+    fn mines_expected_patterns_at_support_two() {
+        let db = tiny_db();
+        let pats = GSpan::new(MinerConfig::new(2)).mine(&db);
+        // Frequent patterns in graphs 0 and 1: C-C, C-O, C-C-O. Support-2
+        // single edges: C-C (2), C-O (2); C-N appears once only.
+        let sizes: Vec<usize> = pats.iter().map(|p| p.graph.edge_count()).collect();
+        assert_eq!(pats.len(), 3, "patterns: {sizes:?}");
+        assert!(pats.iter().all(|p| p.support == 2));
+        assert!(pats.iter().any(|p| p.graph.edge_count() == 2));
+    }
+
+    #[test]
+    fn support_one_includes_rare_edge() {
+        let db = tiny_db();
+        let pats = GSpan::new(MinerConfig::new(1)).mine(&db);
+        // Additional pattern: C-N with support 1.
+        assert!(pats.iter().any(|p| p.support == 1 && p.graph.edge_count() == 1));
+        // Every reported pattern must occur (VF2-verified) in exactly
+        // `support` graphs.
+        for p in &pats {
+            let occ = db
+                .graphs()
+                .iter()
+                .filter(|g| SubgraphMatcher::new(&p.graph, g).exists())
+                .count();
+            assert_eq!(occ, p.support, "pattern {}", p.code);
+        }
+    }
+
+    #[test]
+    fn gids_match_support() {
+        let db = tiny_db();
+        for p in GSpan::new(MinerConfig::new(1)).mine(&db) {
+            assert_eq!(p.gids.len(), p.support);
+            for &gid in &p.gids {
+                assert!(SubgraphMatcher::new(&p.graph, db.graph(gid as usize)).exists());
+            }
+        }
+    }
+
+    #[test]
+    fn no_duplicate_patterns() {
+        let db = tiny_db();
+        let pats = GSpan::new(MinerConfig::new(1)).mine(&db);
+        for (i, a) in pats.iter().enumerate() {
+            for b in &pats[i + 1..] {
+                assert!(!are_isomorphic(&a.graph, &b.graph), "dup: {}", a.code);
+            }
+        }
+    }
+
+    #[test]
+    fn max_edges_truncates_growth() {
+        let db = tiny_db();
+        let pats = GSpan::new(MinerConfig::new(1).with_max_edges(1)).mine(&db);
+        assert!(pats.iter().all(|p| p.graph.edge_count() == 1));
+        assert_eq!(pats.len(), 3); // C-C, C-O, C-N
+    }
+
+    #[test]
+    fn max_patterns_stops_early() {
+        let db = tiny_db();
+        let pats = GSpan::new(MinerConfig::new(1).with_max_patterns(2)).mine(&db);
+        assert_eq!(pats.len(), 2);
+    }
+
+    #[test]
+    fn cyclic_pattern_mined() {
+        // Two copies of a labeled triangle with a pendant; the triangle
+        // (cyclic!) must be found at support 2.
+        let db = parse_transactions(
+            "t # 0\nv 0 a\nv 1 a\nv 2 a\nv 3 b\ne 0 1 x\ne 1 2 x\ne 0 2 x\ne 2 3 y\n\
+             t # 1\nv 0 a\nv 1 a\nv 2 a\ne 0 1 x\ne 1 2 x\ne 0 2 x\n",
+        )
+        .unwrap();
+        let pats = GSpan::new(MinerConfig::new(2)).mine(&db);
+        assert!(pats
+            .iter()
+            .any(|p| p.graph.edge_count() == 3 && p.graph.node_count() == 3 && p.support == 2));
+    }
+
+    #[test]
+    fn empty_db_yields_nothing() {
+        let pats = GSpan::new(MinerConfig::new(1)).mine(&GraphDb::new());
+        assert!(pats.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn zero_support_rejected() {
+        GSpan::new(MinerConfig::new(0));
+    }
+}

@@ -1,0 +1,262 @@
+//! Binomial distribution and its upper tail — the GraphSig p-value kernel.
+//!
+//! Section III-B of the paper: the support of a sub-feature vector `x` in a
+//! random database of `m` vectors is `Bin(m, P(x))`; the p-value of an
+//! observed support `mu0` is `P(support >= mu0)` (Eqn. 6). This module owns
+//! that computation and its numerical strategy.
+
+use crate::beta::betainc_regularized;
+use crate::gamma::ln_choose;
+use crate::normal::normal_sf;
+
+/// Which numerical route [`binomial_tail_upper`] took; exposed for tests and
+/// for the benchmark harness to report.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TailMethod {
+    /// Direct summation of the pmf (small `n`).
+    ExactSum,
+    /// Regularized incomplete beta reduction (the paper's `I(P(x); mu0, m)`).
+    Beta,
+    /// Normal approximation with continuity correction (huge `n`, central p).
+    Normal,
+}
+
+/// Threshold below which exact summation is used.
+const EXACT_N: u64 = 64;
+/// `n * p * (1 - p)` above which the normal approximation is allowed.
+const NORMAL_VARIANCE_MIN: f64 = 1_000.0;
+
+/// Upper tail `P(X >= k)` for `X ~ Bin(n, p)`.
+///
+/// This is GraphSig's Eqn. 6. Returns 1 for `k == 0` and 0 for `k > n`.
+///
+/// # Examples
+///
+/// ```
+/// use graphsig_stats::binomial_tail_upper;
+/// // Fair coin, 2 flips: P(X >= 1) = 3/4.
+/// assert!((binomial_tail_upper(2, 0.5, 1) - 0.75).abs() < 1e-12);
+/// ```
+pub fn binomial_tail_upper(n: u64, p: f64, k: u64) -> f64 {
+    let (v, _) = binomial_tail_upper_with_method(n, p, k);
+    v
+}
+
+/// Like [`binomial_tail_upper`] but also reports which method was used.
+pub fn binomial_tail_upper_with_method(n: u64, p: f64, k: u64) -> (f64, TailMethod) {
+    assert!((0.0..=1.0).contains(&p), "p must be in [0,1], got {p}");
+    if k == 0 {
+        return (1.0, TailMethod::ExactSum);
+    }
+    if k > n {
+        return (0.0, TailMethod::ExactSum);
+    }
+    if p == 0.0 {
+        // k >= 1 successes impossible.
+        return (0.0, TailMethod::ExactSum);
+    }
+    if p == 1.0 {
+        return (1.0, TailMethod::ExactSum);
+    }
+    if n <= EXACT_N {
+        return (exact_tail(n, p, k), TailMethod::ExactSum);
+    }
+    let mean = n as f64 * p;
+    let var = mean * (1.0 - p);
+    // The normal path is only worthwhile when the beta continued fraction
+    // would need many terms AND the CLT error is negligible; we keep the
+    // beta reduction as the default because it is exact.
+    if var > NORMAL_VARIANCE_MIN && (k as f64 - mean).abs() < 8.0 * var.sqrt() {
+        let z = (k as f64 - 0.5 - mean) / var.sqrt();
+        return (normal_sf(z).clamp(0.0, 1.0), TailMethod::Normal);
+    }
+    // P(X >= k) = I_p(k, n - k + 1).
+    let v = betainc_regularized(p, k as f64, (n - k) as f64 + 1.0);
+    (v, TailMethod::Beta)
+}
+
+/// Exact tail by summing the pmf from the smaller side.
+fn exact_tail(n: u64, p: f64, k: u64) -> f64 {
+    // Sum whichever side has fewer terms, in log space per term.
+    if k <= n / 2 {
+        let mut lower = 0.0;
+        for i in 0..k {
+            lower += pmf(n, p, i);
+        }
+        (1.0 - lower).clamp(0.0, 1.0)
+    } else {
+        let mut upper = 0.0;
+        for i in k..=n {
+            upper += pmf(n, p, i);
+        }
+        upper.clamp(0.0, 1.0)
+    }
+}
+
+/// Binomial pmf `P(X = k)` computed in log space.
+pub fn pmf(n: u64, p: f64, k: u64) -> f64 {
+    if k > n {
+        return 0.0;
+    }
+    if p == 0.0 {
+        return if k == 0 { 1.0 } else { 0.0 };
+    }
+    if p == 1.0 {
+        return if k == n { 1.0 } else { 0.0 };
+    }
+    let ln = ln_choose(n, k) + k as f64 * p.ln() + (n - k) as f64 * (1.0 - p).ln();
+    ln.exp()
+}
+
+/// A binomial distribution `Bin(n, p)` with convenience accessors.
+///
+/// This is the object the fvmine crate holds per candidate vector: `n` is the
+/// feature-vector database size and `p` the probability of the vector
+/// occurring in a random vector (Eqn. 4 of the paper).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Binomial {
+    n: u64,
+    p: f64,
+}
+
+impl Binomial {
+    /// Create `Bin(n, p)`. Panics if `p` is outside `[0, 1]`.
+    pub fn new(n: u64, p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "p must be in [0,1], got {p}");
+        Self { n, p }
+    }
+
+    /// Number of trials.
+    pub fn n(&self) -> u64 {
+        self.n
+    }
+
+    /// Success probability.
+    pub fn p(&self) -> f64 {
+        self.p
+    }
+
+    /// Expected support `n * p`.
+    pub fn mean(&self) -> f64 {
+        self.n as f64 * self.p
+    }
+
+    /// Variance `n p (1 - p)`.
+    pub fn variance(&self) -> f64 {
+        self.mean() * (1.0 - self.p)
+    }
+
+    /// `P(X = k)`.
+    pub fn pmf(&self, k: u64) -> f64 {
+        pmf(self.n, self.p, k)
+    }
+
+    /// `P(X <= k)`.
+    pub fn cdf(&self, k: u64) -> f64 {
+        if k >= self.n {
+            return 1.0;
+        }
+        1.0 - binomial_tail_upper(self.n, self.p, k + 1)
+    }
+
+    /// `P(X >= k)` — the GraphSig p-value of observed support `k`.
+    pub fn tail_upper(&self, k: u64) -> f64 {
+        binomial_tail_upper(self.n, self.p, k)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() <= tol, "{a} vs {b}");
+    }
+
+    /// Reference: brute-force summation with 128-bit-safe log pmf.
+    fn brute_tail(n: u64, p: f64, k: u64) -> f64 {
+        (k..=n).map(|i| pmf(n, p, i)).sum()
+    }
+
+    #[test]
+    fn degenerate_cases() {
+        assert_eq!(binomial_tail_upper(10, 0.3, 0), 1.0);
+        assert_eq!(binomial_tail_upper(10, 0.3, 11), 0.0);
+        assert_eq!(binomial_tail_upper(10, 0.0, 1), 0.0);
+        assert_eq!(binomial_tail_upper(10, 1.0, 10), 1.0);
+    }
+
+    #[test]
+    fn exact_small_cases() {
+        close(binomial_tail_upper(2, 0.5, 1), 0.75, 1e-12);
+        close(binomial_tail_upper(2, 0.5, 2), 0.25, 1e-12);
+        // From the paper's sample computation style: Bin(4, 3/16).
+        close(binomial_tail_upper(4, 3.0 / 16.0, 1), 1.0 - (13.0f64 / 16.0).powi(4), 1e-12);
+    }
+
+    #[test]
+    fn beta_reduction_matches_brute_force() {
+        for &n in &[100u64, 345, 1000] {
+            for &p in &[0.001, 0.05, 0.3, 0.9] {
+                for &frac in &[0.0, 0.01, 0.2, 0.5, 0.99] {
+                    let k = ((n as f64) * frac).round() as u64;
+                    let got = binomial_tail_upper(n, p, k.max(1));
+                    let want = brute_tail(n, p, k.max(1));
+                    close(got, want, 1e-6);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn normal_path_close_to_beta() {
+        // Force a regime where the normal path triggers and compare against
+        // the beta reduction directly.
+        let n = 1_000_000u64;
+        let p = 0.01;
+        for &k in &[9_500u64, 10_000, 10_500] {
+            let (got, method) = binomial_tail_upper_with_method(n, p, k);
+            assert_eq!(method, TailMethod::Normal);
+            let want = betainc_regularized(p, k as f64, (n - k) as f64 + 1.0);
+            close(got, want, 2e-3);
+        }
+    }
+
+    #[test]
+    fn tail_monotone_in_k() {
+        let mut prev = 2.0;
+        for k in 0..=200 {
+            let v = binomial_tail_upper(200, 0.37, k);
+            assert!(v <= prev + 1e-12, "k={k}");
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn tail_monotone_in_p() {
+        let mut prev = -1.0;
+        for i in 0..=20 {
+            let p = i as f64 / 20.0;
+            let v = binomial_tail_upper(500, p, 100);
+            assert!(v >= prev - 1e-12);
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn distribution_object() {
+        let b = Binomial::new(100, 0.2);
+        close(b.mean(), 20.0, 1e-12);
+        close(b.variance(), 16.0, 1e-12);
+        close(b.cdf(100), 1.0, 1e-12);
+        close(b.cdf(19) + b.tail_upper(20), 1.0, 1e-9);
+        let total: f64 = (0..=100).map(|k| b.pmf(k)).sum();
+        close(total, 1.0, 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "p must be in [0,1]")]
+    fn rejects_bad_p() {
+        binomial_tail_upper(10, 1.5, 1);
+    }
+}

@@ -1,0 +1,82 @@
+//! Graph classification with significant patterns (Section V).
+//!
+//! ```text
+//! cargo run -p graphsig-examples --release --example classification
+//! ```
+//!
+//! Trains the paper's classifier (Algorithms 3–4) on a balanced sample of
+//! a cancer screen, evaluates AUC on held-out molecules, and compares it
+//! against the LEAP-style discriminative-pattern baseline.
+
+use graphsig_classify::{
+    auc_from_scores, balanced_sample, GraphSigClassifier, KnnConfig, LeapClassifier, LeapConfig,
+};
+use graphsig_core::GraphSigConfig;
+use graphsig_datagen::cancer_screen;
+
+fn main() {
+    let data = cancer_screen("UACC-257", 0.02); // Melanoma screen
+    println!(
+        "UACC-257: {} molecules, {} active ({:.1}%)",
+        data.len(),
+        data.active_count(),
+        100.0 * data.active_count() as f64 / data.len() as f64
+    );
+
+    // The paper's protocol: balanced training set of 30% of the actives
+    // plus an equal number of inactives.
+    let (pos_ids, neg_ids) = balanced_sample(&data.active, 0.3, 7);
+    println!(
+        "training on {} positive + {} negative molecules",
+        pos_ids.len(),
+        neg_ids.len()
+    );
+    let train_ids: std::collections::HashSet<usize> =
+        pos_ids.iter().chain(&neg_ids).copied().collect();
+
+    // --- GraphSig classifier (k = 9, Table IV-style mining) -------------
+    let clf = GraphSigClassifier::train(
+        &data.db.subset(&pos_ids),
+        &data.db.subset(&neg_ids),
+        KnnConfig {
+            k: 9,
+            mining: GraphSigConfig {
+                min_freq: 0.05,
+                threads: 4,
+                ..Default::default()
+            },
+            ..Default::default()
+        },
+    );
+    let (np, nn) = clf.model_sizes();
+    println!("mined {np} positive / {nn} negative significant vectors");
+
+    let test_scores: Vec<(f64, bool)> = (0..data.len())
+        .filter(|i| !train_ids.contains(i))
+        .map(|i| (clf.score(data.db.graph(i)), data.active[i]))
+        .collect();
+    let auc_gs = auc_from_scores(&test_scores);
+
+    // --- LEAP-style baseline on the same training sample -----------------
+    let mut train_vec: Vec<usize> = train_ids.iter().copied().collect();
+    train_vec.sort_unstable();
+    let train_labels: Vec<bool> = train_vec.iter().map(|&i| data.active[i]).collect();
+    let leap = LeapClassifier::train(
+        &data.db.subset(&train_vec),
+        &train_labels,
+        LeapConfig {
+            min_freq: 0.2,
+            max_edges: 6,
+            top_k: 40,
+            ..Default::default()
+        },
+    );
+    let leap_scores: Vec<(f64, bool)> = (0..data.len())
+        .filter(|i| !train_ids.contains(i))
+        .map(|i| (leap.score(data.db.graph(i)), data.active[i]))
+        .collect();
+    let auc_leap = auc_from_scores(&leap_scores);
+
+    println!("\nheld-out AUC: GraphSig {auc_gs:.3} | LEAP-style {auc_leap:.3}");
+    println!("(paper's Table VI averages: GraphSig 0.782, LEAP 0.767, OA 0.702)");
+}

@@ -1,0 +1,104 @@
+//! Using GraphSig on your own data, end to end.
+//!
+//! ```text
+//! cargo run -p graphsig-examples --release --example custom_data
+//! ```
+//!
+//! Shows the full custom-data path: parse the gSpan transaction format,
+//! build a feature set explicitly (here via the greedy selector of Eqn. 2
+//! instead of the chemical top-K recipe), and mine with
+//! `mine_with_features`. The toy database plants an `X-Y-X` bridge in a
+//! minority of graphs; it comes out as the significant structure.
+
+use graphsig_core::{GraphSig, GraphSigConfig};
+use graphsig_features::{greedy_select, FeatureSet, GreedyParams};
+use graphsig_graph::parse_transactions;
+
+fn main() {
+    // 1. Your data: any line-oriented transaction text. Here, 12 graphs:
+    //    four carry the rare X-Y-X bridge, the rest are A/B chains.
+    let mut text = String::new();
+    for i in 0..12 {
+        text.push_str(&format!("t # {i}\n"));
+        if i % 3 == 0 {
+            // Planted: A-A-X-Y-X chain.
+            text.push_str("v 0 A\nv 1 A\nv 2 X\nv 3 Y\nv 4 X\n");
+            text.push_str("e 0 1 s\ne 1 2 s\ne 2 3 s\ne 3 4 s\n");
+        } else {
+            // Background: A-B-A-B chain.
+            text.push_str("v 0 A\nv 1 B\nv 2 A\nv 3 B\n");
+            text.push_str("e 0 1 s\ne 1 2 s\ne 2 3 s\n");
+        }
+    }
+    let db = parse_transactions(&text).expect("valid transactions");
+    println!("parsed {} graphs, {}", db.len(), db.labels());
+
+    // 2. Feature selection, the general way: enumerate candidate edge
+    //    types, score them by frequency, penalize near-duplicates with the
+    //    greedy selector (Eqn. 2), then assemble the feature set.
+    let mut candidates: Vec<(u16, u16, u16)> = Vec::new();
+    let mut freq: Vec<f64> = Vec::new();
+    for g in db.graphs() {
+        for e in g.edges() {
+            let (a, b) = (g.node_label(e.u), g.node_label(e.v));
+            let key = (a.min(b), e.label, a.max(b));
+            match candidates.iter().position(|&c| c == key) {
+                Some(i) => freq[i] += 1.0,
+                None => {
+                    candidates.push(key);
+                    freq.push(1.0);
+                }
+            }
+        }
+    }
+    let picks = greedy_select(
+        &candidates,
+        |c| freq[candidates.iter().position(|x| x == c).unwrap()],
+        |a, b| {
+            // Similarity: shared endpoint labels.
+            let shared = [a.0, a.2].iter().filter(|l| [b.0, b.2].contains(l)).count();
+            shared as f64 / 2.0
+        },
+        GreedyParams {
+            w_importance: 1.0,
+            w_similarity: 0.25,
+            k: candidates.len(), // keep all for this tiny alphabet
+        },
+    );
+    let edge_types: Vec<_> = picks.iter().map(|&i| candidates[i]).collect();
+    let atom_types: Vec<u16> = (0..db.labels().node_label_count() as u16).collect();
+    let fs = FeatureSet::from_parts(edge_types, atom_types, &db);
+    println!(
+        "feature space: {} features ({} edge types + {} atom types)",
+        fs.dim(),
+        fs.edge_feature_count(),
+        fs.dim() - fs.edge_feature_count()
+    );
+
+    // 3. Mine with the explicit feature set.
+    let cfg = GraphSigConfig {
+        min_freq: 0.2,
+        max_pvalue: 0.1,
+        radius: 3,
+        ..Default::default()
+    };
+    let result = GraphSig::new(cfg).mine_with_features(&db, &fs);
+    println!("\n{} significant subgraphs:", result.subgraphs.len());
+    let x = db.labels().node_id("X").unwrap();
+    let y = db.labels().node_id("Y").unwrap();
+    let mut found_bridge = false;
+    for sg in &result.subgraphs {
+        let has_bridge = sg.graph.node_labels().contains(&x) && sg.graph.node_labels().contains(&y);
+        found_bridge |= has_bridge && sg.graph.edge_count() >= 2;
+        println!(
+            "  p={:.3e} edges={} in {}/{} graphs{}",
+            sg.vector_pvalue,
+            sg.graph.edge_count(),
+            sg.gids.len(),
+            db.len(),
+            if has_bridge { "  <- the planted X-Y bridge" } else { "" }
+        );
+    }
+    assert!(found_bridge, "the planted bridge should be significant");
+    println!("\nplanted X-Y-X bridge recovered ✓");
+}

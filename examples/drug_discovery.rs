@@ -1,0 +1,97 @@
+//! Drug discovery: recover the conserved core of an active compound class.
+//!
+//! ```text
+//! cargo run -p graphsig-examples --release --example drug_discovery
+//! ```
+//!
+//! The paper's flagship qualitative result (Figs. 13–15): GraphSig, run on
+//! the compounds active against a disease, surfaces the substructure that
+//! the active class is built around — even when that core sits below 1%
+//! global frequency. Here the Leukemia screen plants an antimony motif and
+//! its bismuth twin (same scaffold, neighboring group-15 metal); we verify
+//! both are recovered and show how the pair would point a chemist at the
+//! whole metal group.
+
+use graphsig_core::{GraphSig, GraphSigConfig};
+use graphsig_datagen::{cancer_screen, motifs, standard_alphabet};
+use graphsig_graph::iso::contains;
+
+fn main() {
+    let alphabet = standard_alphabet();
+    // MOLT-4 (Leukemia): actives embed azt (76%), sb (12%), bi (12%).
+    let data = cancer_screen("MOLT-4", 0.08);
+    let actives = data.active_subset();
+    let sb = motifs::sb_motif(&alphabet);
+    let bi = motifs::bi_motif(&alphabet);
+
+    let global_freq = |motif| {
+        data.db.graphs().iter().filter(|g| contains(g, motif)).count() as f64
+            / data.len() as f64
+    };
+    println!(
+        "MOLT-4: {} molecules, {} active; Sb-core at {:.2}% global frequency, \
+         Bi-core at {:.2}% — far below any practical FSM threshold.",
+        data.len(),
+        actives.len(),
+        100.0 * global_freq(&sb),
+        100.0 * global_freq(&bi),
+    );
+
+    let config = GraphSigConfig {
+        min_freq: 0.03,
+        max_pvalue: 0.05,
+        radius: 6,
+        threads: 4,
+        ..Default::default()
+    };
+    let result = GraphSig::new(config).mine(&actives);
+    println!(
+        "mined {} significant subgraphs from the active set\n",
+        result.subgraphs.len()
+    );
+
+    // Look for answers overlapping each metal core.
+    for (name, motif) in [("antimony (Sb)", &sb), ("bismuth (Bi)", &bi)] {
+        let hit = result
+            .subgraphs
+            .iter()
+            .find(|sg| contains(motif, &sg.graph) && sg.graph.edge_count() >= 3
+                || contains(&sg.graph, motif));
+        match hit {
+            Some(sg) => println!(
+                "{name} core RECOVERED: p-value {:.3e}, {} edges, supported by {} actives",
+                sg.vector_pvalue,
+                sg.graph.edge_count(),
+                sg.gids.len()
+            ),
+            None => println!("{name} core not recovered at these thresholds"),
+        }
+    }
+
+    println!();
+    println!(
+        "Sb and Bi sit in the same periodic group; recovering both cores with \
+         an otherwise identical scaffold is the paper's 'try the neighboring \
+         metals' drug-design lead."
+    );
+
+    // Show the atoms of the most significant large structure.
+    if let Some(sg) = result
+        .subgraphs
+        .iter()
+        .max_by_key(|s| s.graph.edge_count())
+    {
+        let atoms: Vec<&str> = sg
+            .graph
+            .node_labels()
+            .iter()
+            .map(|&l| data.db.labels().node_name(l).unwrap_or("?"))
+            .collect();
+        println!(
+            "\nlargest mined core: {} atoms [{}], p-value {:.3e}",
+            atoms.len(),
+            atoms.join(" "),
+            sg.vector_pvalue
+        );
+    }
+}

@@ -1,0 +1,75 @@
+//! Frequency is not significance — the benzene lesson (Fig. 16).
+//!
+//! ```text
+//! cargo run -p graphsig-examples --release --example frequency_vs_significance
+//! ```
+//!
+//! The paper's central insight: the most frequent subgraph need not be
+//! significant, and significant subgraphs exist at all frequencies. We
+//! embed benzene class-independently in ~70% of molecules; GraphSig never
+//! reports it, while the rare planted drug cores (< 5%) dominate the
+//! answer set.
+
+use graphsig_core::{GraphSig, GraphSigConfig};
+use graphsig_datagen::{aids_like, motifs, standard_alphabet};
+use graphsig_graph::{are_isomorphic, iso::contains};
+
+fn main() {
+    let data = aids_like(700, 11);
+    let alphabet = standard_alphabet();
+    let benzene = motifs::benzene(&alphabet);
+
+    let benzene_freq = data
+        .db
+        .graphs()
+        .iter()
+        .filter(|g| contains(g, &benzene))
+        .count() as f64
+        / data.len() as f64;
+    println!(
+        "benzene occurs in {:.1}% of all {} molecules — by far the most \
+         frequent nontrivial ring",
+        benzene_freq * 100.0,
+        data.len()
+    );
+
+    let result = GraphSig::new(GraphSigConfig {
+        min_freq: 0.02,
+        max_pvalue: 0.05,
+        radius: 5,
+        threads: 4,
+        ..Default::default()
+    })
+    .mine(&data.db);
+
+    let benzene_reported = result
+        .subgraphs
+        .iter()
+        .any(|sg| are_isomorphic(&sg.graph, &benzene));
+    println!(
+        "GraphSig answer set: {} subgraphs; benzene among them: {}",
+        result.subgraphs.len(),
+        if benzene_reported { "YES (unexpected!)" } else { "no" }
+    );
+
+    // The frequency spectrum of what IS significant.
+    println!("\nfrequency vs p-value of the significant subgraphs:");
+    let mut below_5 = 0;
+    for sg in &result.subgraphs {
+        let freq = 100.0 * sg.frequency(data.len());
+        if freq < 5.0 {
+            below_5 += 1;
+        }
+        println!(
+            "  freq {freq:>6.2}%   p-value {:>9.3e}   {} edges",
+            sg.vector_pvalue,
+            sg.graph.edge_count()
+        );
+    }
+    println!(
+        "\n{below_5} of {} significant subgraphs sit below 5% frequency — \
+         unreachable for frequent-subgraph mining, which is exactly the \
+         regime GraphSig was built for.",
+        result.subgraphs.len()
+    );
+}

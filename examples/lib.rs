@@ -1,0 +1,2 @@
+//! Example binaries for the GraphSig workspace; see the four
+//! runnable examples alongside this stub.

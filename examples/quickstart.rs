@@ -1,0 +1,65 @@
+//! Quickstart: mine significant subgraphs from a graph database.
+//!
+//! ```text
+//! cargo run -p graphsig-examples --release --example quickstart
+//! ```
+//!
+//! Generates a small AIDS-like dataset, runs GraphSig on the medically
+//! active subset (the paper's quality protocol), and prints the most
+//! significant subgraphs with their p-values — including structures whose
+//! global frequency is far too low for any frequent-subgraph miner.
+
+use graphsig_core::{GraphSig, GraphSigConfig};
+use graphsig_datagen::aids_like;
+
+fn main() {
+    // 1. A dataset: 800 molecule-like graphs, ~5% active.
+    let data = aids_like(800, 42);
+    let actives = data.active_subset();
+    println!(
+        "dataset: {} molecules ({} active); mining the active subset",
+        data.len(),
+        actives.len()
+    );
+
+    // 2. Configure GraphSig. Defaults reproduce the paper's Table IV;
+    //    we tighten the thresholds a little for a small dataset.
+    let config = GraphSigConfig {
+        min_freq: 0.05,   // FVMine support threshold (fraction of group)
+        max_pvalue: 0.05, // significance threshold
+        radius: 6,        // CutGraph radius
+        threads: 4,
+        ..Default::default()
+    };
+
+    // 3. Mine.
+    let result = GraphSig::new(config).mine(&actives);
+    println!(
+        "RWR produced {} node vectors in {} label groups; FVMine found {} \
+         significant vectors; {} region sets mined ({} pruned as false \
+         positives); {} distinct significant subgraphs.",
+        result.stats.vectors,
+        result.stats.groups,
+        result.stats.significant_vectors,
+        result.stats.region_sets,
+        result.stats.pruned_sets,
+        result.subgraphs.len()
+    );
+
+    // 4. Inspect the answers.
+    println!("\ntop significant subgraphs:");
+    for sg in result.subgraphs.iter().take(5) {
+        println!(
+            "  p-value {:>9.3e}  edges {:>2}  in {:>3} of {} actives  (vector support {})",
+            sg.vector_pvalue,
+            sg.graph.edge_count(),
+            sg.gids.len(),
+            actives.len(),
+            sg.vector_support,
+        );
+    }
+
+    // 5. Where the time went (the paper's Fig. 10 split).
+    let (rwr, fa, fsm) = result.profile.percentages();
+    println!("\ncost profile: RWR {rwr:.0}% | feature analysis {fa:.0}% | FSM {fsm:.0}%");
+}

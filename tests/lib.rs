@@ -1,0 +1,2 @@
+//! Cross-crate integration tests for the GraphSig workspace live in
+//! the `tests/` subdirectory of this package (one file per scenario).

@@ -1,0 +1,96 @@
+//! Classifier integration: the full Table VI protocol on one scaled screen.
+
+use graphsig_classify::{
+    auc_from_scores, balanced_sample, stratified_folds, GraphSigClassifier, KnnConfig,
+    LeapClassifier, LeapConfig, OaClassifier, OaConfig,
+};
+use graphsig_core::GraphSigConfig;
+use graphsig_datagen::cancer_screen;
+
+fn mining_cfg() -> GraphSigConfig {
+    GraphSigConfig {
+        min_freq: 0.05,
+        max_pvalue: 0.1,
+        threads: 2,
+        ..Default::default()
+    }
+}
+
+#[test]
+fn graphsig_classifier_beats_chance_on_screen() {
+    let data = cancer_screen("PC-3", 0.02);
+    let (pos, neg) = balanced_sample(&data.active, 0.5, 3);
+    assert!(pos.len() >= 5, "too few actives at this scale");
+    let clf = GraphSigClassifier::train(
+        &data.db.subset(&pos),
+        &data.db.subset(&neg),
+        KnnConfig {
+            mining: mining_cfg(),
+            ..Default::default()
+        },
+    );
+    let train: std::collections::HashSet<usize> = pos.iter().chain(&neg).copied().collect();
+    let scores: Vec<(f64, bool)> = (0..data.len())
+        .filter(|i| !train.contains(i))
+        .map(|i| (clf.score(data.db.graph(i)), data.active[i]))
+        .collect();
+    let auc = auc_from_scores(&scores);
+    assert!(auc > 0.65, "GraphSig AUC too low: {auc}");
+}
+
+#[test]
+fn leap_baseline_beats_chance_on_screen() {
+    let data = cancer_screen("PC-3", 0.02);
+    let (pos, neg) = balanced_sample(&data.active, 0.5, 3);
+    let mut train: Vec<usize> = pos.iter().chain(&neg).copied().collect();
+    train.sort_unstable();
+    let labels: Vec<bool> = train.iter().map(|&i| data.active[i]).collect();
+    let clf = LeapClassifier::train(
+        &data.db.subset(&train),
+        &labels,
+        LeapConfig {
+            min_freq: 0.2,
+            max_edges: 6,
+            top_k: 40,
+            ..Default::default()
+        },
+    );
+    let train_set: std::collections::HashSet<usize> = train.iter().copied().collect();
+    let scores: Vec<(f64, bool)> = (0..data.len())
+        .filter(|i| !train_set.contains(i))
+        .map(|i| (clf.score(data.db.graph(i)), data.active[i]))
+        .collect();
+    let auc = auc_from_scores(&scores);
+    assert!(auc > 0.6, "LEAP AUC too low: {auc}");
+}
+
+#[test]
+fn oa_baseline_runs_on_small_sample() {
+    let data = cancer_screen("PC-3", 0.01);
+    let (pos, neg) = balanced_sample(&data.active, 0.5, 3);
+    let mut train: Vec<usize> = pos.iter().chain(&neg).copied().collect();
+    train.sort_unstable();
+    let labels: Vec<bool> = train.iter().map(|&i| data.active[i]).collect();
+    let clf = OaClassifier::train(&data.db.subset(&train), &labels, OaConfig::default());
+    // Scores must be finite and not constant.
+    let scores: Vec<f64> = (0..20.min(data.len()))
+        .map(|i| clf.score(data.db.graph(i)))
+        .collect();
+    assert!(scores.iter().all(|s| s.is_finite()));
+    let first = scores[0];
+    assert!(scores.iter().any(|&s| (s - first).abs() > 1e-12));
+}
+
+#[test]
+fn folds_protocol_is_consistent() {
+    let data = cancer_screen("SW-620", 0.01);
+    let folds = stratified_folds(&data.active, 5, 42);
+    let total: usize = folds.iter().map(Vec::len).sum();
+    assert_eq!(total, data.len());
+    // Each fold carries some actives (stratification).
+    let active_total: usize = folds
+        .iter()
+        .map(|f| f.iter().filter(|&&i| data.active[i]).count())
+        .sum();
+    assert_eq!(active_total, data.active_count());
+}

@@ -1,0 +1,106 @@
+//! Feature-space consistency on real RWR output: FVMine's support sets,
+//! closedness, and p-value monotonicity hold on generated molecule data,
+//! not just hand-built tables.
+
+use graphsig_core::{compute_all_vectors, group_by_label};
+use graphsig_datagen::aids_like;
+use graphsig_features::{FeatureSet, RwrConfig};
+use graphsig_fvmine::{
+    ceiling_of, floor_of, is_sub_vector, FvMineConfig, FvMiner, SignificanceModel,
+};
+
+fn carbon_group_vectors() -> Vec<Vec<u8>> {
+    let data = aids_like(80, 999);
+    let fs = FeatureSet::for_chemical(&data.db, 5);
+    let all = compute_all_vectors(&data.db, &fs, &RwrConfig::default(), 1);
+    let groups = group_by_label(&all);
+    groups
+        .into_iter()
+        .max_by_key(|g| g.vectors.len())
+        .expect("non-empty")
+        .vectors
+}
+
+#[test]
+fn fvmine_supports_are_exact_on_rwr_vectors() {
+    let db = carbon_group_vectors();
+    assert!(db.len() > 100);
+    let out = FvMiner::new(FvMineConfig::new((db.len() / 20).max(2), 0.1)).mine(&db);
+    for sv in &out {
+        // Exact support set.
+        let expect: Vec<u32> = (0..db.len() as u32)
+            .filter(|&i| is_sub_vector(&sv.vector, &db[i as usize]))
+            .collect();
+        assert_eq!(sv.support_ids, expect);
+        // Closed.
+        let refloor = floor_of(sv.support_ids.iter().map(|&i| db[i as usize].as_slice()));
+        assert_eq!(refloor, sv.vector);
+        // p-value consistent with the model.
+        let model = SignificanceModel::from_vectors(&db, 10);
+        let p = model.p_value(&sv.vector, sv.support_ids.len() as u64);
+        assert!((p - sv.p_value).abs() < 1e-12);
+    }
+}
+
+#[test]
+fn pvalue_monotonicity_on_rwr_vectors() {
+    let db = carbon_group_vectors();
+    let model = SignificanceModel::from_vectors(&db, 10);
+    let floor = floor_of(db.iter().map(|v| v.as_slice()));
+    let ceiling = ceiling_of(db.iter().map(|v| v.as_slice()));
+    // Property 1: sub-vector has the larger p-value at equal support.
+    for mu in [1u64, 5, 20] {
+        assert!(model.p_value(&floor, mu) >= model.p_value(&ceiling, mu) - 1e-12);
+    }
+    // Property 2: p-value decreases with support.
+    let mut prev = f64::INFINITY;
+    for mu in 0..20u64 {
+        let p = model.p_value(&ceiling, mu);
+        assert!(p <= prev + 1e-12);
+        prev = p;
+    }
+}
+
+#[test]
+fn rwr_bins_are_bounded_and_dense_enough() {
+    let db = carbon_group_vectors();
+    let dim = db[0].len();
+    assert!(db.iter().all(|v| v.len() == dim));
+    assert!(db.iter().all(|v| v.iter().all(|&b| b <= 10)));
+    // The discretized distribution keeps roughly unit mass.
+    for v in db.iter().take(50) {
+        let total: i32 = v.iter().map(|&b| b as i32).sum();
+        assert!((total - 10).abs() <= 4, "bin mass {total}");
+    }
+}
+
+#[test]
+fn tighter_pvalue_threshold_yields_subset() {
+    let db = carbon_group_vectors();
+    let mine = |p: f64| {
+        FvMiner::new(FvMineConfig::new((db.len() / 20).max(2), p)).mine(&db)
+    };
+    let loose = mine(0.2);
+    let tight = mine(0.01);
+    let loose_set: std::collections::HashSet<Vec<u8>> =
+        loose.iter().map(|s| s.vector.clone()).collect();
+    assert!(tight.len() <= loose.len());
+    for sv in &tight {
+        assert!(loose_set.contains(&sv.vector), "tight output not in loose");
+    }
+}
+
+#[test]
+fn higher_support_threshold_yields_subset() {
+    let db = carbon_group_vectors();
+    let mine = |s: usize| {
+        FvMiner::new(FvMineConfig::new(s, 0.5)).mine(&db)
+    };
+    let low = mine(3);
+    let high = mine(10);
+    let low_set: std::collections::HashSet<Vec<u8>> =
+        low.iter().map(|s| s.vector.clone()).collect();
+    for sv in &high {
+        assert!(low_set.contains(&sv.vector));
+    }
+}

@@ -1,0 +1,175 @@
+//! Property-based invariants across the workspace (proptest).
+#![allow(clippy::needless_range_loop)]
+
+use proptest::prelude::*;
+
+use graphsig_fvmine::{ceiling_of, floor_of, is_sub_vector};
+use graphsig_graph::{are_isomorphic, Graph, GraphBuilder, SubgraphMatcher};
+use graphsig_gspan::{is_min, min_dfs_code};
+use graphsig_stats::{binomial_tail_upper, Binomial};
+
+/// Strategy: a small random connected labeled graph (tree + extra edges).
+fn connected_graph() -> impl Strategy<Value = Graph> {
+    (2usize..9, any::<u64>()).prop_map(|(n, seed)| {
+        let mut state = seed | 1;
+        let mut next = move |m: u64| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 33) % m
+        };
+        let mut b = GraphBuilder::new();
+        for _ in 0..n {
+            let label = next(4) as u16;
+            b.add_node(label);
+        }
+        // Spanning tree.
+        let mut edges = std::collections::HashSet::new();
+        for i in 1..n as u32 {
+            let parent = next(i as u64) as u32;
+            b.add_edge(parent, i, next(3) as u16);
+            edges.insert((parent.min(i), parent.max(i)));
+        }
+        // A few extra edges.
+        for _ in 0..next(3) {
+            let u = next(n as u64) as u32;
+            let v = next(n as u64) as u32;
+            if u != v && !edges.contains(&(u.min(v), u.max(v))) {
+                edges.insert((u.min(v), u.max(v)));
+                b.add_edge(u, v, next(3) as u16);
+            }
+        }
+        b.build()
+    })
+}
+
+/// A small random connected graph built directly from an LCG seed (for
+/// tests that need several graphs per proptest case).
+fn lcg_graph(seed: u64) -> Graph {
+    let mut state = seed | 1;
+    let mut next = move |m: u64| {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        (state >> 33) % m
+    };
+    let n = 2 + next(7) as usize;
+    let mut b = GraphBuilder::new();
+    for _ in 0..n {
+        let label = next(4) as u16;
+        b.add_node(label);
+    }
+    for i in 1..n as u32 {
+        let parent = next(i as u64) as u32;
+        b.add_edge(parent, i, next(3) as u16);
+    }
+    b.build()
+}
+
+/// Relabel a graph's node ids by a permutation derived from `seed`.
+fn permuted(g: &Graph, seed: u64) -> Graph {
+    let n = g.node_count();
+    let mut perm: Vec<usize> = (0..n).collect();
+    let mut state = seed | 1;
+    for i in (1..n).rev() {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        let j = ((state >> 33) as usize) % (i + 1);
+        perm.swap(i, j);
+    }
+    let mut b = GraphBuilder::new();
+    // new id of old node i is perm[i]; add nodes in new-id order.
+    let mut inv = vec![0usize; n];
+    for (old, &new) in perm.iter().enumerate() {
+        inv[new] = old;
+    }
+    for new in 0..n {
+        b.add_node(g.node_label(inv[new] as u32));
+    }
+    for e in g.edges() {
+        b.add_edge(perm[e.u as usize] as u32, perm[e.v as usize] as u32, e.label);
+    }
+    b.build()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn min_code_invariant_under_permutation(g in connected_graph(), seed in any::<u64>()) {
+        let p = permuted(&g, seed);
+        prop_assert!(are_isomorphic(&g, &p));
+        prop_assert_eq!(min_dfs_code(&g), min_dfs_code(&p));
+    }
+
+    #[test]
+    fn min_code_roundtrips(g in connected_graph()) {
+        let code = min_dfs_code(&g);
+        prop_assert!(is_min(&code));
+        let rebuilt = code.to_graph();
+        prop_assert!(are_isomorphic(&g, &rebuilt));
+    }
+
+    #[test]
+    fn graph_contains_itself_and_its_edges(g in connected_graph()) {
+        prop_assert!(SubgraphMatcher::new(&g, &g).exists());
+        for e in g.edges() {
+            let mut b = GraphBuilder::new();
+            let u = b.add_node(g.node_label(e.u));
+            let v = b.add_node(g.node_label(e.v));
+            b.add_edge(u, v, e.label);
+            prop_assert!(SubgraphMatcher::new(&b.build(), &g).exists());
+        }
+    }
+
+    #[test]
+    fn floor_ceiling_lattice(vs in prop::collection::vec(prop::collection::vec(0u8..6, 5), 1..8)) {
+        let floor = floor_of(vs.iter().map(|v| v.as_slice()));
+        let ceiling = ceiling_of(vs.iter().map(|v| v.as_slice()));
+        prop_assert!(is_sub_vector(&floor, &ceiling));
+        for v in &vs {
+            prop_assert!(is_sub_vector(&floor, v));
+            prop_assert!(is_sub_vector(v, &ceiling));
+        }
+        // Floor is the greatest lower bound: raising any coordinate breaks it.
+        for i in 0..floor.len() {
+            let mut raised = floor.clone();
+            raised[i] += 1;
+            prop_assert!(!vs.iter().all(|v| is_sub_vector(&raised, v)));
+        }
+    }
+
+    #[test]
+    fn binomial_tail_is_a_probability(n in 1u64..500, p in 0.0f64..1.0, k in 0u64..500) {
+        let t = binomial_tail_upper(n, p, k);
+        prop_assert!((0.0..=1.0).contains(&t));
+    }
+
+    #[test]
+    fn binomial_pmf_sums_to_tail(n in 1u64..40, p in 0.01f64..0.99, k in 0u64..40) {
+        prop_assume!(k <= n);
+        let b = Binomial::new(n, p);
+        let brute: f64 = (k..=n).map(|i| b.pmf(i)).sum();
+        prop_assert!((b.tail_upper(k) - brute).abs() < 1e-9);
+    }
+
+    #[test]
+    fn gspan_patterns_verified_by_vf2(seed in any::<u64>()) {
+        use graphsig_gspan::{GSpan, MinerConfig};
+        // Tiny random database of 6 graphs derived from the seed.
+        let mut db = graphsig_graph::GraphDb::new();
+        for i in 0..6u64 {
+            db.push(lcg_graph(seed ^ (i.wrapping_mul(0x9E3779B97F4A7C15))));
+        }
+        let pats = GSpan::new(MinerConfig::new(2).with_max_edges(4)).mine(&db);
+        for p in &pats {
+            let real = db
+                .graphs()
+                .iter()
+                .filter(|g| SubgraphMatcher::new(&p.graph, g).exists())
+                .count();
+            prop_assert_eq!(real, p.support);
+        }
+    }
+}
