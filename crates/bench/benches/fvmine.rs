@@ -21,14 +21,9 @@ fn bench_fvmine(c: &mut Criterion) {
     group.sample_size(10);
     for (min_sup_frac, max_p) in [(0.05, 0.1), (0.02, 0.1), (0.05, 0.01)] {
         let min_support = ((min_sup_frac * carbon.vectors.len() as f64).ceil() as usize).max(2);
-        group.bench_function(
-            format!("sup{min_sup_frac}_p{max_p}"),
-            |b| {
-                b.iter(|| {
-                    FvMiner::new(FvMineConfig::new(min_support, max_p)).mine(&carbon.vectors)
-                })
-            },
-        );
+        group.bench_function(format!("sup{min_sup_frac}_p{max_p}"), |b| {
+            b.iter(|| FvMiner::new(FvMineConfig::new(min_support, max_p)).mine(&carbon.vectors))
+        });
     }
     group.finish();
 }

@@ -18,9 +18,7 @@ fn bench_stats(c: &mut Criterion) {
     c.bench_function("betainc/mid", |b| {
         b.iter(|| betainc_regularized(black_box(0.3), black_box(12.5), black_box(44.0)))
     });
-    c.bench_function("ln_gamma", |b| {
-        b.iter(|| ln_gamma(black_box(12345.678)))
-    });
+    c.bench_function("ln_gamma", |b| b.iter(|| ln_gamma(black_box(12345.678))));
 }
 
 criterion_group!(

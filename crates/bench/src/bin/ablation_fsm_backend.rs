@@ -28,13 +28,16 @@ fn main() {
         "pruned sets",
     ]);
     let mut answer_counts = Vec::new();
-    for (name, backend) in [("FSG (paper)", FsmBackend::Fsg), ("gSpan", FsmBackend::GSpan)] {
+    for (name, backend) in [
+        ("FSG (paper)", FsmBackend::Fsg),
+        ("gSpan", FsmBackend::GSpan),
+    ] {
         let cfg = GraphSigConfig {
             fsm_backend: backend,
             min_freq: 0.05,
             max_pvalue: 0.05,
             radius: 6,
-            threads: 4,
+            threads: 0, // auto: one worker per core
             ..Default::default()
         };
         let (r, t) = timed(|| GraphSig::new(cfg).mine(&actives));

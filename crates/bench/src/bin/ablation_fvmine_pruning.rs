@@ -47,8 +47,7 @@ fn main() {
                 max_pvalue,
                 optimistic_pruning: optimistic,
             };
-            let ((out, stats), t) =
-                timed(|| FvMiner::new(cfg).mine_with_stats(&carbon.vectors));
+            let ((out, stats), t) = timed(|| FvMiner::new(cfg).mine_with_stats(&carbon.vectors));
             // Outputs must be identical with and without the pruning.
             match outputs {
                 None => outputs = Some(out.len()),

@@ -18,7 +18,7 @@ fn run(window: WindowKind, db: &graphsig_graph::GraphDb) -> (GraphSigResult, f64
         min_freq: 0.05,
         max_pvalue: 0.05,
         radius: 6,
-        threads: 4,
+        threads: 0, // auto: one worker per core
         ..Default::default()
     };
     let (r, t) = timed(|| GraphSig::new(cfg).mine(db));
@@ -63,12 +63,10 @@ fn main() {
             .max()
             .unwrap_or(0);
         let overlap = |motif: &graphsig_graph::Graph| {
-            r.subgraphs
-                .iter()
-                .any(|sg| {
-                    (contains(motif, &sg.graph) && sg.graph.edge_count() >= 3)
-                        || contains(&sg.graph, motif)
-                })
+            r.subgraphs.iter().any(|sg| {
+                (contains(motif, &sg.graph) && sg.graph.edge_count() >= 3)
+                    || contains(&sg.graph, motif)
+            })
         };
         row(&[
             name.to_string(),

@@ -21,7 +21,11 @@ fn main() {
         "# Ablation: significance-based vs frequency-based classification (scale {})",
         cli.scale
     );
-    header(&["dataset", "GraphSig (significant) AUC", "frequent-pattern AUC"]);
+    header(&[
+        "dataset",
+        "GraphSig (significant) AUC",
+        "frequent-pattern AUC",
+    ]);
     let (mut s_sig, mut s_freq) = (0.0, 0.0);
     let screens = ["PC-3", "SF-295", "UACC-257", "SW-620"];
     for name in screens {
@@ -35,7 +39,7 @@ fn main() {
             KnnConfig {
                 mining: GraphSigConfig {
                     min_freq: 0.05,
-                    threads: 4,
+                    threads: 0, // auto: one worker per core
                     ..Default::default()
                 },
                 ..Default::default()

@@ -1,0 +1,111 @@
+//! Sequential-vs-parallel pipeline benchmark.
+//!
+//! Mines the same AIDS-like workload once with `threads = 1` and once with
+//! `threads = N` (default: one per core), reports the per-phase wall-clock
+//! from [`graphsig_core::Profile`], asserts the two runs produce identical
+//! output, and writes the numbers to `BENCH_pipeline.json` so speedups can
+//! be tracked across commits.
+//!
+//! Usage: `bench_pipeline [--scale f] [--seed u] [--threads n]`
+//! where `--threads` sets the parallel arm (`0` = auto).
+
+use std::fmt::Write as _;
+use std::time::Duration;
+
+use graphsig_bench::{secs, timed, Cli};
+use graphsig_core::{resolve_threads, GraphSig, GraphSigConfig, GraphSigResult};
+use graphsig_datagen::aids_like;
+
+fn mine(db: &graphsig_graph::GraphDb, threads: usize) -> (GraphSigResult, Duration) {
+    let cfg = GraphSigConfig {
+        min_freq: 0.05,
+        max_pvalue: 0.1,
+        threads,
+        ..Default::default()
+    };
+    timed(|| GraphSig::new(cfg).mine(db))
+}
+
+/// A stable fingerprint of the mined output: every code, p-value and
+/// support, in order. Byte-identical across runs iff the output is.
+fn fingerprint(r: &GraphSigResult) -> String {
+    let mut s = String::new();
+    for sg in &r.subgraphs {
+        let _ = writeln!(
+            s,
+            "{:?} p={:.12e} sup={} fsm={} gids={:?}",
+            sg.code, sg.vector_pvalue, sg.vector_support, sg.fsm_support, sg.gids
+        );
+    }
+    let _ = writeln!(s, "{:?}", r.stats);
+    s
+}
+
+fn phase_json(label: &str, r: &GraphSigResult, total: Duration) -> String {
+    format!(
+        "    \"{label}\": {{ \"rwr_s\": {}, \"feature_analysis_s\": {}, \"fsm_s\": {}, \"total_s\": {} }}",
+        secs(r.profile.rwr),
+        secs(r.profile.feature_analysis),
+        secs(r.profile.fsm),
+        secs(total)
+    )
+}
+
+fn main() {
+    let cli = Cli::parse(0.01);
+    let par_threads = resolve_threads(cli.threads).max(2);
+    let cores = resolve_threads(0);
+    let n = (43_905.0 * cli.scale).round() as usize;
+    let data = aids_like(n, cli.seed);
+    println!(
+        "# bench_pipeline — {} molecules, sequential vs {} threads ({} core(s) available)",
+        data.len(),
+        par_threads,
+        cores
+    );
+
+    let (seq, seq_t) = mine(&data.db, 1);
+    println!(
+        "threads=1: rwr {}s, feature analysis {}s, fsm {}s, total {}s, {} subgraphs",
+        secs(seq.profile.rwr),
+        secs(seq.profile.feature_analysis),
+        secs(seq.profile.fsm),
+        secs(seq_t),
+        seq.subgraphs.len()
+    );
+
+    let (par, par_t) = mine(&data.db, par_threads);
+    println!(
+        "threads={par_threads}: rwr {}s, feature analysis {}s, fsm {}s, total {}s, {} subgraphs",
+        secs(par.profile.rwr),
+        secs(par.profile.feature_analysis),
+        secs(par.profile.fsm),
+        secs(par_t),
+        par.subgraphs.len()
+    );
+
+    // Determinism gate: the parallel run must be byte-identical.
+    assert_eq!(
+        fingerprint(&seq),
+        fingerprint(&par),
+        "parallel output differs from sequential"
+    );
+    println!("determinism: OK (outputs identical)");
+
+    let speedup = secs(seq_t) / secs(par_t).max(1e-9);
+    println!("speedup: {:.2}x", speedup);
+
+    let json = format!
+    (
+        "{{\n  \"bench\": \"pipeline\",\n  \"molecules\": {},\n  \"seed\": {},\n  \"cores\": {},\n  \"parallel_threads\": {},\n  \"phases\": {{\n{},\n{}\n  }},\n  \"speedup\": {:.3},\n  \"outputs_identical\": true\n}}\n",
+        data.len(),
+        cli.seed,
+        cores,
+        par_threads,
+        phase_json("sequential", &seq, seq_t),
+        phase_json("parallel", &par, par_t),
+        speedup
+    );
+    std::fs::write("BENCH_pipeline.json", &json).expect("write BENCH_pipeline.json");
+    println!("wrote BENCH_pipeline.json");
+}

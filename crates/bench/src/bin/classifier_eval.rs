@@ -21,7 +21,10 @@ fn main() {
         })
         .collect();
 
-    println!("# Table VI — AUC: OA vs LEAP vs GraphSig (scale {})", cli.scale);
+    println!(
+        "# Table VI — AUC: OA vs LEAP vs GraphSig (scale {})",
+        cli.scale
+    );
     header(&["dataset", "OA Kernel", "LEAP", "GraphSig"]);
     let (mut s_oa, mut s_leap, mut s_gs) = (0.0, 0.0, 0.0);
     for (name, r) in &results {
@@ -32,7 +35,11 @@ fn main() {
             .into_iter()
             .fold(f64::MIN, f64::max);
         let fmt = |s: graphsig_bench::screens::AucStat| {
-            let star = if (s.mean - best).abs() < 1e-9 { " *" } else { "" };
+            let star = if (s.mean - best).abs() < 1e-9 {
+                " *"
+            } else {
+                ""
+            };
             format!("{:.2} ± {:.2}{star}", s.mean, s.std)
         };
         row(&[
@@ -54,7 +61,10 @@ fn main() {
     println!("expected ordering: GraphSig >= LEAP > OA.");
     println!();
 
-    println!("# Fig. 17 — classifier running time in seconds (scale {})", cli.scale);
+    println!(
+        "# Fig. 17 — classifier running time in seconds (scale {})",
+        cli.scale
+    );
     header(&["dataset", "OA s", "OA(3X) s", "LEAP s", "GraphSig s"]);
     let (mut t_oa, mut t_oa3, mut t_leap, mut t_gs) = (0.0, 0.0, 0.0, 0.0);
     for (name, r) in &results {

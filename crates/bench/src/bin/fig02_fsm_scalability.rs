@@ -48,14 +48,7 @@ fn main() {
         };
         let (gst, gsp) = fmt(gs.len(), secs(gs_t));
         let (fst, fsp) = fmt(fs.len(), secs(fs_t));
-        row(&[
-            format!("{freq}"),
-            support.to_string(),
-            gst,
-            gsp,
-            fst,
-            fsp,
-        ]);
+        row(&[format!("{freq}"), support.to_string(), gst, gsp, fst, fsp]);
     }
     println!();
     println!("Expected shape (paper): both series grow exponentially as the");

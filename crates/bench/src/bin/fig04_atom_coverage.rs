@@ -21,11 +21,7 @@ fn main() {
     for (rank, &(label, count, cum)) in curve.iter().enumerate() {
         row(&[
             (rank + 1).to_string(),
-            data.db
-                .labels()
-                .node_name(label)
-                .unwrap_or("?")
-                .to_string(),
+            data.db.labels().node_name(label).unwrap_or("?").to_string(),
             count.to_string(),
             format!("{:.2}", cum * 100.0),
         ]);

@@ -25,7 +25,12 @@ fn main() {
     let (all, rwr_t) = timed(|| compute_all_vectors(&data.db, &fs, &RwrConfig::default(), 1));
     let groups = group_by_label(&all);
     println!("RWR pass: {}s (threshold-independent)", secs(rwr_t));
-    header(&["frequency %", "FVMine s", "set construction s", "sig. vectors"]);
+    header(&[
+        "frequency %",
+        "FVMine s",
+        "set construction s",
+        "sig. vectors",
+    ]);
     for freq in [1.0, 0.5, 0.1] {
         let (count, fv_t) = timed(|| {
             let mut total = 0usize;

@@ -38,7 +38,7 @@ fn main() {
     // expensive low-frequency points (the paper's headline regime) come
     // last. The RWR pass is shared across points via `prepare`.
     let base = GraphSig::new(GraphSigConfig {
-        threads: 1,
+        threads: cli.threads,
         ..Default::default()
     });
     let prepared = base.prepare(&data.db);
@@ -46,7 +46,7 @@ fn main() {
         // GraphSig: minFreq is the FVMine support threshold.
         let cfg = GraphSigConfig {
             min_freq: freq / 100.0,
-            threads: 1,
+            threads: cli.threads,
             ..Default::default()
         };
         let (result, total_t) = timed(|| GraphSig::new(cfg).mine_prepared(&data.db, &prepared));

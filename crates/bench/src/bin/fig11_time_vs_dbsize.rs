@@ -31,7 +31,7 @@ fn main() {
         let cfg = GraphSigConfig {
             min_freq: 0.1,
             max_pvalue: 0.1,
-            threads: 4,
+            threads: cli.threads,
             ..Default::default()
         };
         let (result, total_t) = timed(|| GraphSig::new(cfg).mine(&data.db));

@@ -28,7 +28,7 @@ fn main() {
         let cfg = GraphSigConfig {
             max_pvalue,
             min_freq: 0.01,
-            threads: 4,
+            threads: cli.threads,
             ..Default::default()
         };
         let (result, total_t) = timed(|| GraphSig::new(cfg).mine(&data.db));

@@ -18,7 +18,7 @@ fn mine(d: &Dataset) -> GraphSigResult {
         min_freq: 0.05,
         max_pvalue: 0.05,
         radius: 6,
-        threads: 4,
+        threads: 0, // auto: one worker per core
         ..Default::default()
     };
     GraphSig::new(cfg).mine(&d.active_subset())
@@ -27,10 +27,9 @@ fn mine(d: &Dataset) -> GraphSigResult {
 /// Does any mined structure overlap the motif (one contains the other, or
 /// the mined graph shares the motif's distinctive labeled core)?
 fn recovered(result: &GraphSigResult, motif: &Graph) -> Option<usize> {
-    result
-        .subgraphs
-        .iter()
-        .position(|sg| contains(motif, &sg.graph) && sg.graph.edge_count() >= 3 || contains(&sg.graph, motif))
+    result.subgraphs.iter().position(|sg| {
+        contains(motif, &sg.graph) && sg.graph.edge_count() >= 3 || contains(&sg.graph, motif)
+    })
 }
 
 fn report(title: &str, d: &Dataset, motif_names: &[&str]) {
@@ -76,7 +75,11 @@ fn main() {
 
     // Fig. 13: AIDS actives → AZT / FDT cores.
     let aids = aids_like((43_905.0 * cli.scale).round() as usize, cli.seed);
-    report("Fig. 13: AIDS-like actives (AZT / FDT cores)", &aids, &["azt", "fdt"]);
+    report(
+        "Fig. 13: AIDS-like actives (AZT / FDT cores)",
+        &aids,
+        &["azt", "fdt"],
+    );
 
     // Fig. 14: Melanoma (UACC-257) → phosphonium core.
     let melanoma = cancer_screen("UACC-257", cli.scale);

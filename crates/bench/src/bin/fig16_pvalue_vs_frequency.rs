@@ -20,7 +20,7 @@ fn main() {
         min_freq: 0.01,
         max_pvalue: 0.1,
         radius: 6,
-        threads: 4,
+        threads: 0, // auto: one worker per core
         ..Default::default()
     };
     let result = GraphSig::new(cfg).mine(&data.db);

@@ -13,7 +13,10 @@ use graphsig_datagen::{cancer_screen, cancer_screen_names};
 
 fn main() {
     let cli = Cli::parse(0.02);
-    println!("# Fig. 17 — classifier running time in seconds (scale {})", cli.scale);
+    println!(
+        "# Fig. 17 — classifier running time in seconds (scale {})",
+        cli.scale
+    );
     header(&["dataset", "OA s", "OA(3X) s", "LEAP s", "GraphSig s"]);
     let (mut t_oa, mut t_oa3, mut t_leap, mut t_gs) = (0.0, 0.0, 0.0, 0.0);
     let names = cancer_screen_names();

@@ -25,7 +25,11 @@ fn main() {
             name.to_string(),
             full.to_string(),
             d.len().to_string(),
-            format!("{} ({:.1}%)", d.active_count(), 100.0 * d.active_count() as f64 / d.len() as f64),
+            format!(
+                "{} ({:.1}%)",
+                d.active_count(),
+                100.0 * d.active_count() as f64 / d.len() as f64
+            ),
             format!("{:.1}", s.avg_nodes),
             format!("{:.1}", s.avg_edges),
             s.distinct_node_labels.to_string(),

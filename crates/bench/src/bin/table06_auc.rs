@@ -10,7 +10,10 @@ use graphsig_datagen::{cancer_screen, cancer_screen_names};
 
 fn main() {
     let cli = Cli::parse(0.02);
-    println!("# Table VI — AUC: OA vs LEAP vs GraphSig (scale {})", cli.scale);
+    println!(
+        "# Table VI — AUC: OA vs LEAP vs GraphSig (scale {})",
+        cli.scale
+    );
     header(&["dataset", "OA Kernel", "LEAP", "GraphSig"]);
     let (mut s_oa, mut s_leap, mut s_gs) = (0.0, 0.0, 0.0);
     let names = cancer_screen_names();
@@ -24,7 +27,11 @@ fn main() {
             .into_iter()
             .fold(f64::MIN, f64::max);
         let fmt = |s: graphsig_bench::screens::AucStat| {
-            let star = if (s.mean - best).abs() < 1e-9 { " *" } else { "" };
+            let star = if (s.mean - best).abs() < 1e-9 {
+                " *"
+            } else {
+                ""
+            };
             format!("{:.2} ± {:.2}{star}", s.mean, s.std)
         };
         row(&[

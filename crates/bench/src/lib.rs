@@ -9,8 +9,9 @@
 //!
 //! Every binary accepts:
 //!
-//! * `--scale <f64>` — dataset size multiplier (experiment-specific default)
-//! * `--seed <u64>`  — RNG seed (default 42)
+//! * `--scale <f64>`     — dataset size multiplier (experiment-specific default)
+//! * `--seed <u64>`      — RNG seed (default 42)
+//! * `--threads <usize>` — worker threads for GraphSig runs (default 0 = auto)
 
 use std::time::{Duration, Instant};
 
@@ -21,15 +22,18 @@ pub struct Cli {
     pub scale: f64,
     /// RNG seed.
     pub seed: u64,
+    /// Worker threads for GraphSig runs (`0` = auto, one per core).
+    pub threads: usize,
 }
 
 impl Cli {
-    /// Parse `--scale` / `--seed` from `std::env::args`, with the given
-    /// default scale.
+    /// Parse `--scale` / `--seed` / `--threads` from `std::env::args`,
+    /// with the given default scale.
     pub fn parse(default_scale: f64) -> Self {
         let mut cli = Self {
             scale: default_scale,
             seed: 42,
+            threads: 0,
         };
         let args: Vec<String> = std::env::args().collect();
         let mut i = 1;
@@ -47,6 +51,13 @@ impl Cli {
                         .get(i + 1)
                         .and_then(|s| s.parse().ok())
                         .unwrap_or_else(|| panic!("--seed needs an integer"));
+                    i += 2;
+                }
+                "--threads" => {
+                    cli.threads = args
+                        .get(i + 1)
+                        .and_then(|s| s.parse().ok())
+                        .unwrap_or_else(|| panic!("--threads needs an integer (0 = auto)"));
                     i += 2;
                 }
                 other => panic!("unknown argument {other}"),

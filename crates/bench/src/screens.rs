@@ -70,7 +70,7 @@ pub fn classifier_mining_config() -> GraphSigConfig {
     GraphSigConfig {
         min_freq: 0.05,
         max_pvalue: 0.1,
-        threads: 4,
+        threads: 0, // auto: one worker per core
         ..Default::default()
     }
 }
@@ -128,11 +128,10 @@ pub fn evaluate_screen(d: &Dataset, folds: usize, seed: u64) -> ScreenResult {
                 ..Default::default()
             },
         );
-        let (scores, dt) = timed(|| {
-            test.iter()
-                .map(|&(i, l)| (clf.score(d.db.graph(i)), l))
-                .collect::<Vec<_>>()
-        });
+        // Scoring is per-graph independent; run it through the shared
+        // executor (index-ordered merge keeps the AUC input deterministic).
+        let (scores, dt) =
+            timed(|| graphsig_core::par_map(0, &test, |&(i, l)| (clf.score(d.db.graph(i)), l)));
         t_gs += dt;
         auc_gs.push(auc_from_scores(&scores));
 
@@ -172,9 +171,8 @@ pub fn evaluate_screen(d: &Dataset, folds: usize, seed: u64) -> ScreenResult {
 
         // --- OA(3X): full balanced training part, first fold only --------
         if f == 0 {
-            let (_, dt) = timed(|| {
-                OaClassifier::train(&train_db, &train_labels, OaConfig::default())
-            });
+            let (_, dt) =
+                timed(|| OaClassifier::train(&train_db, &train_labels, OaConfig::default()));
             t_oa3x = dt;
         }
     }

@@ -89,11 +89,7 @@ pub fn stratified_folds(labels: &[bool], folds: usize, seed: u64) -> Vec<Vec<usi
 /// The paper's balanced-training protocol: sample `fraction` of the
 /// positives (e.g. 30%) and an equal number of negatives. Returns
 /// `(positive ids, negative ids)`; deterministic for a given seed.
-pub fn balanced_sample(
-    labels: &[bool],
-    fraction: f64,
-    seed: u64,
-) -> (Vec<usize>, Vec<usize>) {
+pub fn balanced_sample(labels: &[bool], fraction: f64, seed: u64) -> (Vec<usize>, Vec<usize>) {
     assert!((0.0..=1.0).contains(&fraction), "fraction must be in [0,1]");
     let mut rng = SmallRng::seed_from_u64(seed);
     let mut pos: Vec<usize> = (0..labels.len()).filter(|&i| labels[i]).collect();
@@ -250,7 +246,11 @@ pub fn pr_curve(samples: &[(f64, bool)]) -> Vec<(f64, f64)> {
             }
             i += 1;
         }
-        let recall = if total_pos == 0.0 { 0.0 } else { tp / total_pos };
+        let recall = if total_pos == 0.0 {
+            0.0
+        } else {
+            tp / total_pos
+        };
         let precision = if tp + fp == 0.0 { 1.0 } else { tp / (tp + fp) };
         curve.push((recall, precision));
     }
@@ -401,13 +401,27 @@ mod confusion_tests {
     use super::*;
 
     fn samples() -> Vec<(f64, bool)> {
-        vec![(0.9, true), (0.6, true), (0.4, false), (0.2, true), (0.1, false)]
+        vec![
+            (0.9, true),
+            (0.6, true),
+            (0.4, false),
+            (0.2, true),
+            (0.1, false),
+        ]
     }
 
     #[test]
     fn counts_at_half() {
         let c = Confusion::at_threshold(&samples(), 0.5);
-        assert_eq!(c, Confusion { tp: 2, fp: 0, tn: 2, fn_: 1 });
+        assert_eq!(
+            c,
+            Confusion {
+                tp: 2,
+                fp: 0,
+                tn: 2,
+                fn_: 1
+            }
+        );
         assert!((c.accuracy() - 0.8).abs() < 1e-12);
         assert_eq!(c.precision(), 1.0);
         assert!((c.recall() - 2.0 / 3.0).abs() < 1e-12);

@@ -79,11 +79,7 @@ impl<T> BoundedMinK<T> {
 
     /// The retained entries as `(key, value)`, ascending by key.
     pub fn into_sorted(self) -> Vec<(f64, T)> {
-        let mut v: Vec<(f64, T)> = self
-            .heap
-            .into_iter()
-            .map(|e| (e.key, e.value))
-            .collect();
+        let mut v: Vec<(f64, T)> = self.heap.into_iter().map(|e| (e.key, e.value)).collect();
         v.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
         v
     }

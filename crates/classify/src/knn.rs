@@ -117,18 +117,24 @@ impl GraphSigClassifier {
             cfg.mining.window,
             cfg.mining.threads,
         );
-        let mut out = Vec::new();
-        for group in group_by_label(&all) {
+        // FVMine per label group on the shared executor; flattening in
+        // group order keeps the model byte-identical to a sequential run.
+        let groups = group_by_label(&all);
+        graphsig_core::par_map(cfg.mining.threads, &groups, |group| {
             let min_support = cfg.mining.fvmine_support(group.vectors.len());
             if group.vectors.len() < min_support {
-                continue;
+                return Vec::new();
             }
             let miner = FvMiner::new(FvMineConfig::new(min_support, cfg.mining.max_pvalue));
-            for sv in miner.mine(&group.vectors) {
-                out.push(sv.vector);
-            }
-        }
-        out
+            miner
+                .mine(&group.vectors)
+                .into_iter()
+                .map(|sv| sv.vector)
+                .collect()
+        })
+        .into_iter()
+        .flatten()
+        .collect()
     }
 
     /// Number of mined positive / negative significant vectors.
@@ -200,16 +206,8 @@ mod tests {
             vec![2u8, 0, 1, 2], // v3
             vec![1u8, 0, 1, 0], // v4
         ];
-        let negatives = vec![
-            vec![0u8, 0, 1, 1],
-            vec![0u8, 1, 0, 0],
-            vec![1u8, 1, 0, 1],
-        ];
-        let positives = vec![
-            vec![2u8, 0, 1, 3],
-            vec![1u8, 0, 0, 0],
-            vec![0u8, 0, 0, 1],
-        ];
+        let negatives = vec![vec![0u8, 0, 1, 1], vec![0u8, 1, 0, 0], vec![1u8, 1, 0, 1]];
+        let positives = vec![vec![2u8, 0, 1, 3], vec![1u8, 0, 0, 0], vec![0u8, 0, 0, 1]];
         let score = score_vectors(&query, &positives, &negatives, 3, 0.0);
         assert!((score - 0.5).abs() < 1e-12, "score {score}");
         assert!(score > 0.0); // classified positive
@@ -220,16 +218,8 @@ mod tests {
         // v2's closest is N3 at distance 1; v3 has no finite sub-vector
         // among N1-N3/P2-P3? P2=[1,0,0,0] ⊆ v3=[2,0,1,2] at distance 4,
         // P3=[0,0,0,1] at distance 5, P1=[2,0,1,3] not ⊆ v3.
-        let negatives = vec![
-            vec![0u8, 0, 1, 1],
-            vec![0u8, 1, 0, 0],
-            vec![1u8, 1, 0, 1],
-        ];
-        let positives = vec![
-            vec![2u8, 0, 1, 3],
-            vec![1u8, 0, 0, 0],
-            vec![0u8, 0, 0, 1],
-        ];
+        let negatives = vec![vec![0u8, 0, 1, 1], vec![0u8, 1, 0, 0], vec![1u8, 1, 0, 1]];
+        let positives = vec![vec![2u8, 0, 1, 3], vec![1u8, 0, 0, 0], vec![0u8, 0, 0, 1]];
         let v2 = vec![1u8, 1, 0, 2];
         assert_eq!(min_dist(&v2, &negatives), 1.0);
         let v4 = vec![1u8, 0, 1, 0];

@@ -191,9 +191,11 @@ mod tests {
         let top = &clf.features()[0];
         assert!((top.leap() - 1.0).abs() < 1e-12, "top leap {}", top.leap());
         // The top feature must involve N (the class marker).
-        assert!(top.graph.node_labels().iter().any(|&l| {
-            db.labels().node_name(l) == Some("N")
-        }));
+        assert!(top
+            .graph
+            .node_labels()
+            .iter()
+            .any(|&l| { db.labels().node_name(l) == Some("N") }));
     }
 
     #[test]

@@ -27,7 +27,10 @@ pub mod leap;
 pub mod oa;
 pub mod svm;
 
-pub use eval::{auc_from_scores, balanced_sample, best_threshold_youden, pr_curve, roc_curve, stratified_folds, Confusion};
+pub use eval::{
+    auc_from_scores, balanced_sample, best_threshold_youden, pr_curve, roc_curve, stratified_folds,
+    Confusion,
+};
 pub use frequent::{FrequentConfig, FrequentPatternClassifier};
 pub use heap::BoundedMinK;
 pub use hungarian::hungarian_max;

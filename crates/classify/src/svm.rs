@@ -4,13 +4,12 @@
 //! the OA kernel and LEAP's pattern features into LIBSVM). This is the
 //! simplified sequential-minimal-optimization algorithm (Platt 1998, in the
 //! well-known simplified form): pairs of Lagrange multipliers are optimized
-//! analytically until no KKT violations remain. Training operates on a
-//! precomputed Gram matrix so arbitrary (even non-PSD, like OA) kernels can
-//! be used; prediction needs only kernel evaluations against the training
-//! set.
-
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+//! analytically until no KKT violations remain. The second multiplier is
+//! chosen by Platt's heuristic — maximize `|E_i - E_j|` — with an in-order
+//! scan as fallback, so training is fully deterministic (no RNG involved).
+//! Training operates on a precomputed Gram matrix so arbitrary (even
+//! non-PSD, like OA) kernels can be used; prediction needs only kernel
+//! evaluations against the training set.
 
 /// Kernel functions over dense feature vectors, for callers that don't
 /// precompute the Gram matrix themselves.
@@ -63,8 +62,6 @@ pub struct SvmConfig {
     pub max_passes: usize,
     /// Hard cap on outer iterations.
     pub max_iters: usize,
-    /// RNG seed for the second-multiplier choice (deterministic training).
-    pub seed: u64,
 }
 
 impl Default for SvmConfig {
@@ -74,7 +71,6 @@ impl Default for SvmConfig {
             tol: 1e-3,
             max_passes: 5,
             max_iters: 2_000,
-            seed: 0x5EED,
         }
     }
 }
@@ -102,7 +98,6 @@ impl Svm {
             "labels must be -1/+1"
         );
         assert!(n > 0, "empty training set");
-        let mut rng = SmallRng::seed_from_u64(cfg.seed);
         let mut alpha = vec![0.0f64; n];
         let mut b = 0.0f64;
         let f = |alpha: &[f64], b: f64, i: usize| -> f64 {
@@ -126,53 +121,66 @@ impl Svm {
                 {
                     continue;
                 }
-                // Pick a distinct second multiplier.
-                let mut j = rng.gen_range(0..n - 1);
-                if j >= i {
-                    j += 1;
+                // Second multiplier by Platt's heuristic: try candidates in
+                // decreasing `|E_i - E_j|` order, taking the first pair that
+                // makes progress. Deterministic, so training never depends
+                // on an RNG stream.
+                let errs: Vec<f64> = (0..n).map(|j| f(&alpha, b, j) - y[j]).collect();
+                let mut order: Vec<usize> = (0..n).filter(|&j| j != i).collect();
+                order.sort_by(|&a, &c| {
+                    (ei - errs[c])
+                        .abs()
+                        .partial_cmp(&(ei - errs[a]).abs())
+                        .unwrap()
+                        .then(a.cmp(&c))
+                });
+                for j in order {
+                    let ej = errs[j];
+                    let (ai_old, aj_old) = (alpha[i], alpha[j]);
+                    let (lo, hi) = if y[i] != y[j] {
+                        (
+                            (alpha[j] - alpha[i]).max(0.0),
+                            (cfg.c + alpha[j] - alpha[i]).min(cfg.c),
+                        )
+                    } else {
+                        (
+                            (alpha[i] + alpha[j] - cfg.c).max(0.0),
+                            (alpha[i] + alpha[j]).min(cfg.c),
+                        )
+                    };
+                    if lo >= hi {
+                        continue;
+                    }
+                    let eta = 2.0 * gram[i][j] - gram[i][i] - gram[j][j];
+                    if eta >= 0.0 {
+                        continue;
+                    }
+                    let mut aj = aj_old - y[j] * (ei - ej) / eta;
+                    aj = aj.clamp(lo, hi);
+                    if (aj - aj_old).abs() < 1e-7 {
+                        continue;
+                    }
+                    let ai = ai_old + y[i] * y[j] * (aj_old - aj);
+                    alpha[i] = ai;
+                    alpha[j] = aj;
+                    let b1 = b
+                        - ei
+                        - y[i] * (ai - ai_old) * gram[i][i]
+                        - y[j] * (aj - aj_old) * gram[i][j];
+                    let b2 = b
+                        - ej
+                        - y[i] * (ai - ai_old) * gram[i][j]
+                        - y[j] * (aj - aj_old) * gram[j][j];
+                    b = if 0.0 < ai && ai < cfg.c {
+                        b1
+                    } else if 0.0 < aj && aj < cfg.c {
+                        b2
+                    } else {
+                        (b1 + b2) / 2.0
+                    };
+                    changed += 1;
+                    break;
                 }
-                let ej = f(&alpha, b, j) - y[j];
-                let (ai_old, aj_old) = (alpha[i], alpha[j]);
-                let (lo, hi) = if y[i] != y[j] {
-                    (
-                        (alpha[j] - alpha[i]).max(0.0),
-                        (cfg.c + alpha[j] - alpha[i]).min(cfg.c),
-                    )
-                } else {
-                    (
-                        (alpha[i] + alpha[j] - cfg.c).max(0.0),
-                        (alpha[i] + alpha[j]).min(cfg.c),
-                    )
-                };
-                if lo >= hi {
-                    continue;
-                }
-                let eta = 2.0 * gram[i][j] - gram[i][i] - gram[j][j];
-                if eta >= 0.0 {
-                    continue;
-                }
-                let mut aj = aj_old - y[j] * (ei - ej) / eta;
-                aj = aj.clamp(lo, hi);
-                if (aj - aj_old).abs() < 1e-7 {
-                    continue;
-                }
-                let ai = ai_old + y[i] * y[j] * (aj_old - aj);
-                alpha[i] = ai;
-                alpha[j] = aj;
-                let b1 = b - ei
-                    - y[i] * (ai - ai_old) * gram[i][i]
-                    - y[j] * (aj - aj_old) * gram[i][j];
-                let b2 = b - ej
-                    - y[i] * (ai - ai_old) * gram[i][j]
-                    - y[j] * (aj - aj_old) * gram[j][j];
-                b = if 0.0 < ai && ai < cfg.c {
-                    b1
-                } else if 0.0 < aj && aj < cfg.c {
-                    b2
-                } else {
-                    (b1 + b2) / 2.0
-                };
-                changed += 1;
             }
             if changed == 0 {
                 passes += 1;
@@ -238,7 +246,11 @@ mod tests {
             assert_eq!(svm.predict(row), *want, "sample {i}");
         }
         // Generalization to held-out points.
-        let krow = |x: &Vec<f64>| xs.iter().map(|t| Kernel::Linear.eval(x, t)).collect::<Vec<_>>();
+        let krow = |x: &Vec<f64>| {
+            xs.iter()
+                .map(|t| Kernel::Linear.eval(x, t))
+                .collect::<Vec<_>>()
+        };
         assert_eq!(svm.predict(&krow(&vec![10.0])), 1.0);
         assert_eq!(svm.predict(&krow(&vec![-10.0])), -1.0);
     }
@@ -272,7 +284,10 @@ mod tests {
         let xs: Vec<Vec<f64>> = (0..20)
             .map(|i| vec![(i as f64) / 10.0 - 1.0, ((i * 7) % 13) as f64 / 13.0])
             .collect();
-        let y: Vec<f64> = xs.iter().map(|v| if v[0] > 0.0 { 1.0 } else { -1.0 }).collect();
+        let y: Vec<f64> = xs
+            .iter()
+            .map(|v| if v[0] > 0.0 { 1.0 } else { -1.0 })
+            .collect();
         let gram = Kernel::Linear.gram(&xs);
         let a = Svm::train(&gram, &y, SvmConfig::default());
         let b = Svm::train(&gram, &y, SvmConfig::default());
@@ -283,7 +298,10 @@ mod tests {
     #[test]
     fn support_vectors_are_sparse() {
         let xs: Vec<Vec<f64>> = (0..30).map(|i| vec![i as f64 - 15.0]).collect();
-        let y: Vec<f64> = xs.iter().map(|v| if v[0] > 0.0 { 1.0 } else { -1.0 }).collect();
+        let y: Vec<f64> = xs
+            .iter()
+            .map(|v| if v[0] > 0.0 { 1.0 } else { -1.0 })
+            .collect();
         let (svm, _) = train_on(&xs, &y, Kernel::Linear);
         // Far-away points should not all become support vectors.
         assert!(svm.support_vector_count() < xs.len());

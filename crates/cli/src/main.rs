@@ -48,6 +48,7 @@ fn print_usage() {
          USAGE:\n\
          \x20 graphsig mine <file> [--max-pvalue P] [--min-freq F] [--radius R]\n\
          \x20                      [--fsm-freq F] [--threads N] [--top N] [--backend fsg|gspan]\n\
+         \x20                      (--threads 0 = auto: one worker per core; the default)\n\
          \x20 graphsig stats <file>\n\
          \x20 graphsig classify <pos.txt> <neg.txt> <query.txt> [--k K] [--min-freq F]\n\
          \x20 graphsig generate aids <n> [--seed S]\n\
@@ -60,7 +61,10 @@ fn print_usage() {
 
 /// Pull `--flag value` pairs out of an argument list; returns remaining
 /// positional arguments.
-fn take_flags(args: &[String], flags: &mut [(&str, &mut Option<String>)]) -> Result<Vec<String>, String> {
+fn take_flags(
+    args: &[String],
+    flags: &mut [(&str, &mut Option<String>)],
+) -> Result<Vec<String>, String> {
     let mut positional = Vec::new();
     let mut i = 0;
     'outer: while i < args.len() {
@@ -91,8 +95,7 @@ fn parse_or<T: std::str::FromStr>(v: &Option<String>, default: T, what: &str) ->
 }
 
 fn load_db(path: &str) -> Result<GraphDb, String> {
-    let text =
-        std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
     parse_transactions(&text).map_err(|e| format!("{path}: {e}"))
 }
 
@@ -121,7 +124,8 @@ fn cmd_mine(args: &[String]) -> Result<(), String> {
         min_freq: parse_or(&min_freq, defaults.min_freq, "--min-freq")?,
         radius: parse_or(&radius, defaults.radius, "--radius")?,
         fsm_freq: parse_or(&fsm_freq, defaults.fsm_freq, "--fsm-freq")?,
-        threads: parse_or(&threads, 1, "--threads")?,
+        // 0 = auto (one worker per available core), n = exactly n workers.
+        threads: parse_or(&threads, defaults.threads, "--threads")?,
         fsm_backend: match backend.as_deref() {
             None | Some("fsg") => graphsig_core::FsmBackend::Fsg,
             Some("gspan") => graphsig_core::FsmBackend::GSpan,
@@ -249,14 +253,18 @@ fn cmd_classify(args: &[String]) -> Result<(), String> {
         mining: GraphSigConfig {
             min_freq: parse_or(&min_freq, 0.05, "--min-freq")?,
             max_pvalue: parse_or(&max_pvalue, defaults.max_pvalue, "--max-pvalue")?,
-            threads: parse_or(&threads, 1, "--threads")?,
+            threads: parse_or(&threads, defaults.threads, "--threads")?,
             ..defaults
         },
         ..Default::default()
     };
     let clf = GraphSigClassifier::train(&pos, &neg, cfg);
     let (np, nn) = clf.model_sizes();
-    eprintln!("# trained on {} positive / {} negative graphs; {np}/{nn} significant vectors", pos.len(), neg.len());
+    eprintln!(
+        "# trained on {} positive / {} negative graphs; {np}/{nn} significant vectors",
+        pos.len(),
+        neg.len()
+    );
     println!("graph_id\tscore\tclass");
     for (i, g) in query.graphs().iter().enumerate() {
         let score = clf.score(g);

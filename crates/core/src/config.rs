@@ -67,8 +67,10 @@ pub struct GraphSigConfig {
     /// `RunStats::truncated_sets`) and returns the maximal patterns of
     /// what was enumerated.
     pub max_patterns_per_set: usize,
-    /// Worker threads for the RWR pass (the embarrassingly parallel 20% of
-    /// the pipeline per Fig. 10). `1` = sequential.
+    /// Worker threads for the parallel pipeline phases (RWR pass, FVMine
+    /// per label group, CutGraph + maximal FSM per region set). `0` = auto
+    /// ([`std::thread::available_parallelism`]), `1` = sequential. The
+    /// mined output is byte-identical for every thread count.
     pub threads: usize,
 }
 
@@ -85,7 +87,7 @@ impl Default for GraphSigConfig {
             fsm_backend: FsmBackend::Fsg,
             max_pattern_edges: 25,
             max_patterns_per_set: 20_000,
-            threads: 1,
+            threads: 0, // auto: use every available core
         }
     }
 }
@@ -106,7 +108,9 @@ impl GraphSigConfig {
             "fsm_freq must be in (0,1]"
         );
         assert!(self.top_k_atoms >= 1, "top_k_atoms must be >= 1");
-        assert!(self.threads >= 1, "threads must be >= 1");
+        // Every `threads` value is valid: 0 = auto, n >= 1 = exactly n
+        // workers. Kept here so the convention is documented next to the
+        // other range checks.
     }
 
     /// Absolute FVMine support threshold for a group of `group_size`

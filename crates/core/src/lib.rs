@@ -47,11 +47,15 @@
 //! ```
 
 pub mod config;
+pub mod par;
 pub mod pipeline;
 pub mod report;
 pub mod vectors;
 
 pub use config::{FsmBackend, GraphSigConfig, WindowKind};
+pub use par::{par_map, par_map_range, resolve_threads};
 pub use pipeline::{GraphSig, GraphSigResult, Prepared, Profile, RunStats, SignificantSubgraph};
 pub use report::describe;
-pub use vectors::{compute_all_vectors, compute_all_window_vectors, group_by_label, GraphVectors, LabelGroup};
+pub use vectors::{
+    compute_all_vectors, compute_all_window_vectors, group_by_label, GraphVectors, LabelGroup,
+};

@@ -36,6 +36,38 @@ pub struct SignificantSubgraph {
     pub gids: Vec<u32>,
 }
 
+/// A [`SignificantSubgraph`] minus its canonical code. During the phase-3
+/// dedup the code serves as the `HashMap` key; holding the remaining
+/// fields separately lets the code move into the key and back out into
+/// the final answer without ever being cloned.
+struct CandidateRest {
+    graph: Graph,
+    source_vector: Vec<u8>,
+    vector_pvalue: f64,
+    vector_support: usize,
+    group_label: NodeLabel,
+    set_size: usize,
+    fsm_support: usize,
+    gids: Vec<u32>,
+}
+
+impl CandidateRest {
+    /// Reattach the canonical code.
+    fn into_subgraph(self, code: DfsCode) -> SignificantSubgraph {
+        SignificantSubgraph {
+            graph: self.graph,
+            code,
+            source_vector: self.source_vector,
+            vector_pvalue: self.vector_pvalue,
+            vector_support: self.vector_support,
+            group_label: self.group_label,
+            set_size: self.set_size,
+            fsm_support: self.fsm_support,
+            gids: self.gids,
+        }
+    }
+}
+
 impl SignificantSubgraph {
     /// Global frequency: fraction of database graphs containing a
     /// supporting region.
@@ -184,13 +216,8 @@ impl GraphSig {
     /// [`prepare`](Self::prepare) with an explicit feature set.
     pub fn prepare_with_features(&self, db: &GraphDb, fs: &FeatureSet) -> Prepared {
         let t0 = Instant::now();
-        let all_vectors = compute_all_window_vectors(
-            db,
-            fs,
-            &self.cfg.rwr,
-            self.cfg.window,
-            self.cfg.threads,
-        );
+        let all_vectors =
+            compute_all_window_vectors(db, fs, &self.cfg.rwr, self.cfg.window, self.cfg.threads);
         let rwr_time = t0.elapsed();
         let vectors = all_vectors.iter().map(|gv| gv.vectors.len()).sum();
         let groups = group_by_label(&all_vectors);
@@ -213,7 +240,11 @@ impl GraphSig {
     /// Panics if `prepared` was built for a different database size or a
     /// different window configuration than this miner's.
     pub fn mine_prepared(&self, db: &GraphDb, prepared: &Prepared) -> GraphSigResult {
-        assert_eq!(prepared.db_len, db.len(), "prepared for a different database");
+        assert_eq!(
+            prepared.db_len,
+            db.len(),
+            "prepared for a different database"
+        );
         assert_eq!(
             prepared.window, self.cfg.window,
             "prepared with a different window mechanism"
@@ -232,112 +263,166 @@ impl GraphSig {
         };
 
         // ---- Phase 2: FVMine per group (lines 5-9) ------------------------
+        // Label groups are independent, so each group's FVMine runs as one
+        // task on the shared executor. Flattening the per-group outputs in
+        // group order reproduces the sequential work list exactly.
         let t1 = Instant::now();
         let groups = &prepared.groups;
         stats.groups = groups.len();
         // (group label, significant vector, supporting (gid, node) pairs).
         type WorkItem = (NodeLabel, SignificantVector, Vec<(u32, u32)>);
-        let mut work: Vec<WorkItem> = Vec::new();
-        for group in groups {
-            let min_support = self.cfg.fvmine_support(group.vectors.len());
-            if group.vectors.len() < min_support {
-                continue;
-            }
-            let miner = FvMiner::new(FvMineConfig::new(min_support, self.cfg.max_pvalue));
-            for sv in miner.mine(&group.vectors) {
-                // Line 9: nodes described by the vector = its exact support
-                // set, which FVMine already carries.
-                let nodes: Vec<(u32, u32)> = sv
-                    .support_ids
-                    .iter()
-                    .map(|&i| group.members[i as usize])
-                    .collect();
-                debug_assert!(nodes
-                    .iter()
-                    .zip(&sv.support_ids)
-                    .all(|(&(_, _), &i)| is_sub_vector(&sv.vector, &group.vectors[i as usize])));
-                work.push((group.label, sv, nodes));
-            }
-        }
+        let per_group: Vec<Vec<WorkItem>> =
+            crate::par::par_map(self.cfg.threads, groups, |group| {
+                let min_support = self.cfg.fvmine_support(group.vectors.len());
+                if group.vectors.len() < min_support {
+                    return Vec::new();
+                }
+                let miner = FvMiner::new(FvMineConfig::new(min_support, self.cfg.max_pvalue));
+                miner
+                    .mine(&group.vectors)
+                    .into_iter()
+                    .map(|sv| {
+                        // Line 9: nodes described by the vector = its exact
+                        // support set, which FVMine already carries.
+                        let nodes: Vec<(u32, u32)> = sv
+                            .support_ids
+                            .iter()
+                            .map(|&i| group.members[i as usize])
+                            .collect();
+                        debug_assert!(nodes.iter().zip(&sv.support_ids).all(|(&(_, _), &i)| {
+                            is_sub_vector(&sv.vector, &group.vectors[i as usize])
+                        }));
+                        (group.label, sv, nodes)
+                    })
+                    .collect()
+            });
+        let work: Vec<WorkItem> = per_group.into_iter().flatten().collect();
         stats.significant_vectors = work.len();
         profile.feature_analysis = t1.elapsed();
 
         // ---- Phase 3: CutGraph + maximal FSM per set (lines 10-13) --------
+        // Each work item is an independent region set — embarrassingly
+        // parallel. Workers return per-item outcomes; counters and the
+        // cross-vector dedup are merged on this thread in item order, so
+        // the result is byte-identical for any thread count.
+        struct SetOutcome {
+            /// Reached the FSM step (at least two supporting nodes).
+            mined: bool,
+            truncated: bool,
+            /// Produced no pattern: feature-space false positive.
+            pruned: bool,
+            /// `(canonical code, rest of the answer)` pairs; the code is
+            /// moved (never cloned) and becomes the dedup key.
+            candidates: Vec<(DfsCode, CandidateRest)>,
+        }
         let t2 = Instant::now();
-        let mut best: HashMap<DfsCode, SignificantSubgraph> = HashMap::new();
-        for (label, sv, nodes) in work {
-            if nodes.len() < 2 {
+        let outcomes: Vec<SetOutcome> =
+            crate::par::par_map(self.cfg.threads, &work, |(label, sv, nodes)| {
+                if nodes.len() < 2 {
+                    return SetOutcome {
+                        mined: false,
+                        truncated: false,
+                        pruned: false,
+                        candidates: Vec::new(),
+                    };
+                }
+                // Cut one region per described node; remember each region's
+                // source graph for global-frequency accounting.
+                let mut regions = GraphDb::from_parts(Vec::new(), db.labels().clone());
+                let mut region_sources: Vec<u32> = Vec::with_capacity(nodes.len());
+                for &(gid, node) in nodes {
+                    let (region, _) = cut_graph(db.graph(gid as usize), node, self.cfg.radius);
+                    regions.push(region);
+                    region_sources.push(gid);
+                }
+                let support = self.cfg.fsm_support(regions.len());
+                let (patterns, truncated) = self.maximal_fsm(&regions, support);
+                let pruned = patterns.is_empty();
+                let candidates = patterns
+                    .into_iter()
+                    .map(|p| {
+                        let mut gids: Vec<u32> = p
+                            .gids
+                            .iter()
+                            .map(|&rid| region_sources[rid as usize])
+                            .collect();
+                        gids.sort_unstable();
+                        gids.dedup();
+                        let rest = CandidateRest {
+                            graph: p.graph,
+                            source_vector: sv.vector.clone(),
+                            vector_pvalue: sv.p_value,
+                            vector_support: sv.support(),
+                            group_label: *label,
+                            set_size: nodes.len(),
+                            fsm_support: p.support,
+                            gids,
+                        };
+                        (p.code, rest)
+                    })
+                    .collect();
+                SetOutcome {
+                    mined: true,
+                    truncated,
+                    pruned,
+                    candidates,
+                }
+            });
+        // Deterministic merge: aggregate counters and dedup in item order.
+        // Keep the most significant evidence per canonical code; the code
+        // itself is transferred into the map key, so dedup allocates
+        // nothing beyond the map entries.
+        let mut best: HashMap<DfsCode, CandidateRest> = HashMap::new();
+        for outcome in outcomes {
+            if !outcome.mined {
                 continue;
             }
             stats.region_sets += 1;
-            // Cut one region per described node; remember each region's
-            // source graph for global-frequency accounting.
-            let mut regions = GraphDb::from_parts(Vec::new(), db.labels().clone());
-            let mut region_sources: Vec<u32> = Vec::with_capacity(nodes.len());
-            for &(gid, node) in &nodes {
-                let (region, _) = cut_graph(db.graph(gid as usize), node, self.cfg.radius);
-                regions.push(region);
-                region_sources.push(gid);
-            }
-            let support = self.cfg.fsm_support(regions.len());
-            let (patterns, truncated) = self.maximal_fsm(&regions, support);
-            if truncated {
+            if outcome.truncated {
                 stats.truncated_sets += 1;
             }
-            if patterns.is_empty() {
+            if outcome.pruned {
                 stats.pruned_sets += 1;
                 continue;
             }
-            for p in patterns {
-                let mut gids: Vec<u32> = p
-                    .gids
-                    .iter()
-                    .map(|&rid| region_sources[rid as usize])
-                    .collect();
-                gids.sort_unstable();
-                gids.dedup();
-                let candidate = SignificantSubgraph {
-                    graph: p.graph,
-                    code: p.code.clone(),
-                    source_vector: sv.vector.clone(),
-                    vector_pvalue: sv.p_value,
-                    vector_support: sv.support(),
-                    group_label: label,
-                    set_size: nodes.len(),
-                    fsm_support: p.support,
-                    gids,
-                };
-                // Dedup across vectors: keep the most significant evidence.
-                match best.entry(p.code) {
+            for (code, rest) in outcome.candidates {
+                match best.entry(code) {
                     std::collections::hash_map::Entry::Occupied(mut o) => {
-                        if candidate.vector_pvalue < o.get().vector_pvalue {
-                            o.insert(candidate);
+                        if rest.vector_pvalue < o.get().vector_pvalue {
+                            o.insert(rest);
                         }
                     }
                     std::collections::hash_map::Entry::Vacant(v) => {
-                        v.insert(candidate);
+                        v.insert(rest);
                     }
                 }
             }
         }
         profile.fsm = t2.elapsed();
 
-        let mut subgraphs: Vec<SignificantSubgraph> = best.into_values().collect();
+        // Final sort with the canonical-code tiebreak key computed once per
+        // subgraph (it allocates a Vec — computing it inside the comparator
+        // would cost O(n log n) allocations).
         let code_key = |c: &DfsCode| {
             c.edges()
                 .iter()
                 .map(|e| (e.from, e.to, e.from_label, e.edge_label, e.to_label))
                 .collect::<Vec<_>>()
         };
-        subgraphs.sort_by(|a, b| {
+        let mut decorated: Vec<_> = best
+            .into_iter()
+            .map(|(code, rest)| (code_key(&code), rest.into_subgraph(code)))
+            .collect();
+        decorated.sort_by(|(ka, a), (kb, b)| {
             a.vector_pvalue
                 .partial_cmp(&b.vector_pvalue)
                 .unwrap_or(std::cmp::Ordering::Equal)
                 .then_with(|| b.graph.edge_count().cmp(&a.graph.edge_count()))
                 // Canonical-code tiebreak: HashMap iteration order must not
                 // leak into the result.
-                .then_with(|| code_key(&a.code).cmp(&code_key(&b.code)))
+                .then_with(|| ka.cmp(kb))
         });
+        let subgraphs: Vec<SignificantSubgraph> = decorated.into_iter().map(|(_, sg)| sg).collect();
         GraphSigResult {
             subgraphs,
             profile,
@@ -416,9 +501,10 @@ mod tests {
         // cores share the C/N ring), with at least 4 edges.
         let alphabet = standard_alphabet();
         let n_label = alphabet.atom("N");
-        let found_core = result.subgraphs.iter().any(|sg| {
-            sg.graph.edge_count() >= 4 && sg.graph.node_labels().contains(&n_label)
-        });
+        let found_core = result
+            .subgraphs
+            .iter()
+            .any(|sg| sg.graph.edge_count() >= 4 && sg.graph.node_labels().contains(&n_label));
         assert!(found_core, "no N-bearing core among mined subgraphs");
         // All claims verify in graph space.
         for sg in &result.subgraphs {

@@ -1,10 +1,13 @@
 //! The database-wide RWR pass and label grouping (Alg. 2 lines 3–6).
 //!
 //! `D <- D + RWR(g)` for every graph, then `D_a <- {v in D : label(v) = a}`.
-//! The RWR pass is embarrassingly parallel across graphs and is chunked
-//! over scoped threads when `threads > 1`.
+//! The RWR pass is embarrassingly parallel across graphs and runs through
+//! the shared dynamically-scheduled executor ([`crate::par`]) when more
+//! than one thread is configured (`threads == 0` means auto).
 
-use graphsig_features::{graph_count_vectors, graph_feature_vectors, FeatureSet, NodeVector, RwrConfig};
+use graphsig_features::{
+    graph_count_vectors, graph_feature_vectors, FeatureSet, NodeVector, RwrConfig,
+};
 use graphsig_graph::{GraphDb, NodeLabel};
 
 use crate::config::WindowKind;
@@ -32,8 +35,9 @@ pub struct LabelGroup {
 
 /// Run RWR on every node of every graph (Alg. 2 lines 3–4).
 ///
-/// With `threads > 1` the database is chunked across scoped threads; the
-/// output order is identical to the sequential run.
+/// With `threads != 1` the graphs are distributed over scoped worker
+/// threads by dynamic self-scheduling (`threads == 0` = auto); the output
+/// is byte-identical to the sequential run for any thread count.
 pub fn compute_all_vectors(
     db: &GraphDb,
     fs: &FeatureSet,
@@ -52,8 +56,10 @@ pub fn compute_all_window_vectors(
     window: WindowKind,
     threads: usize,
 ) -> Vec<GraphVectors> {
-    assert!(threads >= 1, "threads must be >= 1");
-    let extract = |gid: usize| {
+    // Dynamic scheduling instead of static contiguous chunking: graph
+    // sizes are skewed, and a contiguous run of large molecules used to
+    // leave one worker as the straggler while the others sat idle.
+    crate::par::par_map_range(threads, db.len(), |gid| {
         let g = db.graph(gid);
         let vectors = match window {
             WindowKind::Rwr => graph_feature_vectors(g, fs, rwr),
@@ -63,30 +69,7 @@ pub fn compute_all_window_vectors(
             gid: gid as u32,
             vectors,
         }
-    };
-    if threads == 1 || db.len() < 2 * threads {
-        return (0..db.len()).map(extract).collect();
-    }
-    let chunk = db.len().div_ceil(threads);
-    let mut out: Vec<Option<GraphVectors>> = (0..db.len()).map(|_| None).collect();
-    std::thread::scope(|s| {
-        let mut rest: &mut [Option<GraphVectors>] = &mut out;
-        let mut start = 0usize;
-        while start < db.len() {
-            let take = chunk.min(db.len() - start);
-            let (head, tail) = rest.split_at_mut(take);
-            rest = tail;
-            let begin = start;
-            let extract = &extract;
-            s.spawn(move || {
-                for (offset, slot) in head.iter_mut().enumerate() {
-                    *slot = Some(extract(begin + offset));
-                }
-            });
-            start += take;
-        }
-    });
-    out.into_iter().map(|o| o.expect("all chunks filled")).collect()
+    })
 }
 
 /// Group all vectors by source-node label (Alg. 2 line 6), returning the

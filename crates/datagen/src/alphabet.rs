@@ -22,27 +22,107 @@ pub struct AtomSpec {
 
 /// The 20 atom types. The first five carry 99% of the mass.
 pub const ATOMS: [AtomSpec; 20] = [
-    AtomSpec { name: "C", weight: 0.44, valence: 4 },
-    AtomSpec { name: "O", weight: 0.20, valence: 2 },
-    AtomSpec { name: "N", weight: 0.18, valence: 3 },
-    AtomSpec { name: "H", weight: 0.09, valence: 1 },
-    AtomSpec { name: "S", weight: 0.08, valence: 2 },
+    AtomSpec {
+        name: "C",
+        weight: 0.44,
+        valence: 4,
+    },
+    AtomSpec {
+        name: "O",
+        weight: 0.20,
+        valence: 2,
+    },
+    AtomSpec {
+        name: "N",
+        weight: 0.18,
+        valence: 3,
+    },
+    AtomSpec {
+        name: "H",
+        weight: 0.09,
+        valence: 1,
+    },
+    AtomSpec {
+        name: "S",
+        weight: 0.08,
+        valence: 2,
+    },
     // 1% of rare heteroatoms.
-    AtomSpec { name: "P", weight: 0.01 / 15.0, valence: 5 },
-    AtomSpec { name: "F", weight: 0.01 / 15.0, valence: 1 },
-    AtomSpec { name: "Cl", weight: 0.01 / 15.0, valence: 1 },
-    AtomSpec { name: "Br", weight: 0.01 / 15.0, valence: 1 },
-    AtomSpec { name: "I", weight: 0.01 / 15.0, valence: 1 },
-    AtomSpec { name: "Sb", weight: 0.01 / 15.0, valence: 3 },
-    AtomSpec { name: "Bi", weight: 0.01 / 15.0, valence: 3 },
-    AtomSpec { name: "Na", weight: 0.01 / 15.0, valence: 1 },
-    AtomSpec { name: "Se", weight: 0.01 / 15.0, valence: 2 },
-    AtomSpec { name: "Si", weight: 0.01 / 15.0, valence: 4 },
-    AtomSpec { name: "B", weight: 0.01 / 15.0, valence: 3 },
-    AtomSpec { name: "K", weight: 0.01 / 15.0, valence: 1 },
-    AtomSpec { name: "Zn", weight: 0.01 / 15.0, valence: 2 },
-    AtomSpec { name: "Cu", weight: 0.01 / 15.0, valence: 2 },
-    AtomSpec { name: "Fe", weight: 0.01 / 15.0, valence: 3 },
+    AtomSpec {
+        name: "P",
+        weight: 0.01 / 15.0,
+        valence: 5,
+    },
+    AtomSpec {
+        name: "F",
+        weight: 0.01 / 15.0,
+        valence: 1,
+    },
+    AtomSpec {
+        name: "Cl",
+        weight: 0.01 / 15.0,
+        valence: 1,
+    },
+    AtomSpec {
+        name: "Br",
+        weight: 0.01 / 15.0,
+        valence: 1,
+    },
+    AtomSpec {
+        name: "I",
+        weight: 0.01 / 15.0,
+        valence: 1,
+    },
+    AtomSpec {
+        name: "Sb",
+        weight: 0.01 / 15.0,
+        valence: 3,
+    },
+    AtomSpec {
+        name: "Bi",
+        weight: 0.01 / 15.0,
+        valence: 3,
+    },
+    AtomSpec {
+        name: "Na",
+        weight: 0.01 / 15.0,
+        valence: 1,
+    },
+    AtomSpec {
+        name: "Se",
+        weight: 0.01 / 15.0,
+        valence: 2,
+    },
+    AtomSpec {
+        name: "Si",
+        weight: 0.01 / 15.0,
+        valence: 4,
+    },
+    AtomSpec {
+        name: "B",
+        weight: 0.01 / 15.0,
+        valence: 3,
+    },
+    AtomSpec {
+        name: "K",
+        weight: 0.01 / 15.0,
+        valence: 1,
+    },
+    AtomSpec {
+        name: "Zn",
+        weight: 0.01 / 15.0,
+        valence: 2,
+    },
+    AtomSpec {
+        name: "Cu",
+        weight: 0.01 / 15.0,
+        valence: 2,
+    },
+    AtomSpec {
+        name: "Fe",
+        weight: 0.01 / 15.0,
+        valence: 3,
+    },
 ];
 
 /// Bond types: name and sampling weight (single bonds dominate).

@@ -226,9 +226,10 @@ pub fn generate_with_alphabet(spec: &DatasetSpec, alphabet: &Alphabet) -> Datase
     // Guarantee at least one active molecule when actives are requested:
     // tiny scaled screens can otherwise draw none, which breaks every
     // classifier protocol downstream.
-    if spec.active_fraction > 0.0 && motif_dist.is_some() && !active.iter().any(|&a| a) && n > 0
+    if let Some(dist) = motif_dist
+        .as_ref()
+        .filter(|_| spec.active_fraction > 0.0 && !active.iter().any(|&a| a) && n > 0)
     {
-        let dist = motif_dist.as_ref().expect("checked above");
         let mut grafts: Vec<&Graph> = Vec::new();
         if rng.gen_bool(spec.benzene_fraction) {
             grafts.push(&benzene);
@@ -257,10 +258,7 @@ pub fn generate_with_alphabet(spec: &DatasetSpec, alphabet: &Alphabet) -> Datase
 /// approximately conserved core). Motifs without leaves are returned
 /// unchanged.
 fn erode_leaf(motif: &Graph, rng: &mut SmallRng) -> Graph {
-    let leaves: Vec<u32> = motif
-        .nodes()
-        .filter(|&n| motif.degree(n) == 1)
-        .collect();
+    let leaves: Vec<u32> = motif.nodes().filter(|&n| motif.degree(n) == 1).collect();
     if leaves.is_empty() {
         return motif.clone();
     }
@@ -303,7 +301,13 @@ fn screen_motifs(name: &str) -> Vec<(&'static str, f64)> {
         "SN12C" => vec![("phosphonium", 0.4), ("azt", 0.4), ("nitro", 0.2)],
         "SW-620" => vec![("azt", 0.5), ("fdt", 0.5)],
         "UACC-257" => vec![("phosphonium", 0.8), ("azt", 0.2)],
-        "Yeast" => vec![("azt", 0.3), ("fdt", 0.3), ("phosphonium", 0.2), ("fused", 0.1), ("nitro", 0.1)],
+        "Yeast" => vec![
+            ("azt", 0.3),
+            ("fdt", 0.3),
+            ("phosphonium", 0.2),
+            ("fused", 0.1),
+            ("nitro", 0.1),
+        ],
         other => panic!("unknown cancer screen {other}"),
     }
 }
@@ -406,12 +410,7 @@ mod tests {
         let alphabet = standard_alphabet();
         let d = aids_like(500, 11);
         let benz = motifs::benzene(&alphabet);
-        let hits = d
-            .db
-            .graphs()
-            .iter()
-            .filter(|g| contains(g, &benz))
-            .count();
+        let hits = d.db.graphs().iter().filter(|g| contains(g, &benz)).count();
         let frac = hits as f64 / d.len() as f64;
         assert!(frac > 0.6 && frac < 0.85, "benzene fraction {frac}");
     }
@@ -431,8 +430,16 @@ mod tests {
     fn dataset_shape_matches_aids_profile() {
         let d = aids_like(400, 17);
         let s = d.db.stats();
-        assert!((s.avg_nodes - 27.0).abs() < 6.0, "avg nodes {}", s.avg_nodes);
-        assert!(s.avg_edges >= s.avg_nodes - 1.0, "avg edges {}", s.avg_edges);
+        assert!(
+            (s.avg_nodes - 27.0).abs() < 6.0,
+            "avg nodes {}",
+            s.avg_nodes
+        );
+        assert!(
+            s.avg_edges >= s.avg_nodes - 1.0,
+            "avg edges {}",
+            s.avg_edges
+        );
     }
 
     #[test]
@@ -483,13 +490,15 @@ mod tests {
         let s2 = d.sample(40, 9);
         assert_eq!(s.active, s2.active);
         let s3 = d.sample(40, 10);
-        assert!(s.active != s3.active || {
-            // identical label patterns are possible; compare structures too
-            s.db.graphs()
-                .iter()
-                .zip(s3.db.graphs())
-                .any(|(a, b)| a.node_labels() != b.node_labels())
-        });
+        assert!(
+            s.active != s3.active || {
+                // identical label patterns are possible; compare structures too
+                s.db.graphs()
+                    .iter()
+                    .zip(s3.db.graphs())
+                    .any(|(a, b)| a.node_labels() != b.node_labels())
+            }
+        );
     }
 
     #[test]
@@ -508,10 +517,8 @@ mod tests {
             .collect();
         assert!(actives.len() >= 5);
         // Degree sequences around the motif differ across molecules.
-        let signatures: std::collections::HashSet<Vec<u16>> = actives
-            .iter()
-            .map(|g| g.sorted_node_labels())
-            .collect();
+        let signatures: std::collections::HashSet<Vec<u16>> =
+            actives.iter().map(|g| g.sorted_node_labels()).collect();
         assert!(signatures.len() > 1, "all active contexts identical");
     }
 

@@ -30,5 +30,7 @@ pub mod molecule;
 pub mod motifs;
 
 pub use alphabet::{standard_alphabet, Alphabet};
-pub use dataset::{aids_like, cancer_screen, cancer_screen_eroded, cancer_screen_names, Dataset, DatasetSpec};
+pub use dataset::{
+    aids_like, cancer_screen, cancer_screen_eroded, cancer_screen_names, Dataset, DatasetSpec,
+};
 pub use molecule::{MoleculeConfig, MoleculeGen};

@@ -114,13 +114,13 @@ impl<'a> MoleculeGen<'a> {
         // Ring closures: extra edges between non-adjacent open nodes.
         // GraphBuilder only detects duplicate edges at build() time, so we
         // keep our own adjacency set for the edges added so far.
-        let mut adjacent: std::collections::HashSet<(NodeId, NodeId)> =
-            b.clone()
-                .build()
-                .edges()
-                .iter()
-                .map(|e| (e.u.min(e.v), e.u.max(e.v)))
-                .collect();
+        let mut adjacent: std::collections::HashSet<(NodeId, NodeId)> = b
+            .clone()
+            .build()
+            .edges()
+            .iter()
+            .map(|e| (e.u.min(e.v), e.u.max(e.v)))
+            .collect();
         let rings = sample_poissonish(rng, self.cfg.avg_rings);
         for _ in 0..rings {
             for _attempt in 0..10 {
@@ -171,9 +171,10 @@ impl<'a> MoleculeGen<'a> {
                 let target = offset + rng.gen_range(0..m.node_count()) as NodeId;
                 let label = self.atom_dist.sample(rng) as u16;
                 let child = b.add_node(label);
-                room.push(0);
                 b.add_edge(target, child, self.bond_dist.sample(rng) as u16);
             }
+            // Substituent children start with no remaining valence room.
+            room.extend(std::iter::repeat_n(0, decorations));
         }
 
         b.build()
@@ -244,7 +245,9 @@ mod tests {
         let a = standard_alphabet();
         let gen = MoleculeGen::new(&a, MoleculeConfig::default());
         let mut r = rng(11);
-        let sizes: Vec<usize> = (0..300).map(|_| gen.molecule(&mut r).node_count()).collect();
+        let sizes: Vec<usize> = (0..300)
+            .map(|_| gen.molecule(&mut r).node_count())
+            .collect();
         let mean = sizes.iter().sum::<usize>() as f64 / sizes.len() as f64;
         assert!((mean - 25.0).abs() < 3.0, "mean size {mean}");
     }

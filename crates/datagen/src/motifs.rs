@@ -181,7 +181,16 @@ mod tests {
     #[test]
     fn all_motifs_are_connected() {
         let a = standard_alphabet();
-        for name in ["benzene", "azt", "fdt", "phosphonium", "sb", "bi", "fused", "nitro"] {
+        for name in [
+            "benzene",
+            "azt",
+            "fdt",
+            "phosphonium",
+            "sb",
+            "bi",
+            "fused",
+            "nitro",
+        ] {
             let g = by_name(&a, name);
             assert!(g.is_connected(), "{name}");
             assert!(g.node_count() >= 6, "{name}");
@@ -191,7 +200,16 @@ mod tests {
     #[test]
     fn motifs_respect_valence() {
         let a = standard_alphabet();
-        for name in ["benzene", "azt", "fdt", "phosphonium", "sb", "bi", "fused", "nitro"] {
+        for name in [
+            "benzene",
+            "azt",
+            "fdt",
+            "phosphonium",
+            "sb",
+            "bi",
+            "fused",
+            "nitro",
+        ] {
             let g = by_name(&a, name);
             for n in g.nodes() {
                 assert!(

@@ -17,6 +17,9 @@ pub mod rwr;
 pub mod selection;
 pub mod window_count;
 
-pub use rwr::{discretize, feature_distribution, graph_feature_vectors, rwr_node_distribution, NodeVector, RwrConfig};
+pub use rwr::{
+    discretize, feature_distribution, graph_feature_vectors, rwr_node_distribution, NodeVector,
+    RwrConfig,
+};
 pub use selection::{greedy_select, FeatureKind, FeatureSet, GreedyParams};
 pub use window_count::{count_feature_distribution, graph_count_vectors};

@@ -141,7 +141,10 @@ pub fn feature_distribution(
 /// `round(10 · v)` — the paper's examples: 0.07 → 1, 0.34 → 3.
 #[inline]
 pub fn discretize(v: f64) -> u8 {
-    debug_assert!((0.0..=1.0 + 1e-9).contains(&v), "feature value {v} out of [0,1]");
+    debug_assert!(
+        (0.0..=1.0 + 1e-9).contains(&v),
+        "feature value {v} out of [0,1]"
+    );
     ((v * 10.0).round() as i64).clamp(0, 10) as u8
 }
 

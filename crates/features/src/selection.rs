@@ -82,15 +82,27 @@ impl FeatureSet {
         for &(a, e, b) in &edge_types {
             edge_index.insert((a, e, b), features.len());
             features.push(FeatureKind::EdgeType(a, e, b));
-            let an = labels.node_name(a).map(str::to_owned).unwrap_or_else(|| a.to_string());
-            let bn = labels.node_name(b).map(str::to_owned).unwrap_or_else(|| b.to_string());
-            let en = labels.edge_name(e).map(str::to_owned).unwrap_or_else(|| e.to_string());
+            let an = labels
+                .node_name(a)
+                .map(str::to_owned)
+                .unwrap_or_else(|| a.to_string());
+            let bn = labels
+                .node_name(b)
+                .map(str::to_owned)
+                .unwrap_or_else(|| b.to_string());
+            let en = labels
+                .edge_name(e)
+                .map(str::to_owned)
+                .unwrap_or_else(|| e.to_string());
             names.push(format!("{an}[{en}]{bn}"));
         }
         for &a in &atom_types {
             atom_index.insert(a, features.len());
             features.push(FeatureKind::AtomType(a));
-            let an = labels.node_name(a).map(str::to_owned).unwrap_or_else(|| a.to_string());
+            let an = labels
+                .node_name(a)
+                .map(str::to_owned)
+                .unwrap_or_else(|| a.to_string());
             names.push(format!("atom:{an}"));
         }
         Self {

@@ -110,10 +110,9 @@ mod tests {
 
     #[test]
     fn distributions_are_normalized() {
-        let db = parse_transactions(
-            "t # 0\nv 0 C\nv 1 O\nv 2 N\nv 3 C\ne 0 1 s\ne 1 2 d\ne 2 3 s\n",
-        )
-        .unwrap();
+        let db =
+            parse_transactions("t # 0\nv 0 C\nv 1 O\nv 2 N\nv 3 C\ne 0 1 s\ne 1 2 d\ne 2 3 s\n")
+                .unwrap();
         let fs = FeatureSet::for_chemical(&db, 5);
         let g = db.graph(0);
         for n in g.nodes() {
@@ -133,10 +132,7 @@ mod tests {
 
     #[test]
     fn vectors_have_graph_shape() {
-        let db = parse_transactions(
-            "t # 0\nv 0 C\nv 1 O\nv 2 C\ne 0 1 s\ne 1 2 s\n",
-        )
-        .unwrap();
+        let db = parse_transactions("t # 0\nv 0 C\nv 1 O\nv 2 C\ne 0 1 s\ne 1 2 s\n").unwrap();
         let fs = FeatureSet::for_chemical(&db, 5);
         let vs = graph_count_vectors(db.graph(0), 2, &fs);
         assert_eq!(vs.len(), 3);

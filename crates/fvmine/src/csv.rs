@@ -42,13 +42,16 @@ pub fn to_csv(vectors: &[Vec<u8>], names: Option<&[&str]>) -> String {
     out
 }
 
+/// Parsed CSV content: the vectors plus header names when present.
+pub type CsvTable = (Vec<Vec<u8>>, Option<Vec<String>>);
+
 /// Parse a CSV produced by [`to_csv`] (or any comma-separated integer
 /// table). Returns `(vectors, header names if present)`.
 ///
 /// # Errors
 /// Returns a message naming the offending 1-based line on bad integers or
 /// inconsistent dimensions.
-pub fn from_csv(text: &str) -> Result<(Vec<Vec<u8>>, Option<Vec<String>>), String> {
+pub fn from_csv(text: &str) -> Result<CsvTable, String> {
     let mut vectors: Vec<Vec<u8>> = Vec::new();
     let mut names: Option<Vec<String>> = None;
     let mut dim: Option<usize> = None;

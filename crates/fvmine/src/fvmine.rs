@@ -313,7 +313,9 @@ mod tests {
         for _ in 0..10 {
             let mut v = Vec::new();
             for _ in 0..5 {
-                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 v.push(((state >> 33) % 4) as u8);
             }
             db.push(v);

@@ -69,10 +69,7 @@ impl Priors {
     /// `P(y_i >= v)`; values above the estimated bin range have
     /// probability 0.
     pub fn exceedance(&self, feature: usize, v: u8) -> f64 {
-        self.p_geq[feature]
-            .get(v as usize)
-            .copied()
-            .unwrap_or(0.0)
+        self.p_geq[feature].get(v as usize).copied().unwrap_or(0.0)
     }
 
     /// Probability of `x` occurring in a random vector (Eqn. 4):

@@ -41,7 +41,9 @@ pub fn floor_of<'a>(mut vectors: impl Iterator<Item = &'a [u8]>) -> FeatureVecto
 /// # Panics
 /// Panics on an empty iterator or mismatched dimensions.
 pub fn ceiling_of<'a>(mut vectors: impl Iterator<Item = &'a [u8]>) -> FeatureVector {
-    let first = vectors.next().expect("ceiling of an empty set is undefined");
+    let first = vectors
+        .next()
+        .expect("ceiling of an empty set is undefined");
     let mut out = first.to_vec();
     for v in vectors {
         assert_eq!(v.len(), out.len(), "dimension mismatch");

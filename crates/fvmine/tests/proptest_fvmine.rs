@@ -23,9 +23,7 @@ fn brute_force(db: &[Vec<u8>], min_sup: usize, max_p: f64) -> Vec<(Vec<u8>, usiz
         if !seen.insert(f.clone()) {
             continue;
         }
-        let support: Vec<usize> = (0..n)
-            .filter(|&i| is_sub_vector(&f, &db[i]))
-            .collect();
+        let support: Vec<usize> = (0..n).filter(|&i| is_sub_vector(&f, &db[i])).collect();
         let refloor = floor_of(support.iter().map(|&i| db[i].as_slice()));
         if refloor != f || support.len() < min_sup {
             continue;

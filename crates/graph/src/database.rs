@@ -95,7 +95,12 @@ impl GraphDb {
     /// label `l` across the whole database. The vector is indexed by label
     /// id and covers all interned labels.
     pub fn node_label_counts(&self) -> Vec<usize> {
-        let mut counts = vec![0usize; self.labels.node_label_count().max(self.max_node_label_used())];
+        let mut counts = vec![
+            0usize;
+            self.labels
+                .node_label_count()
+                .max(self.max_node_label_used())
+        ];
         for g in &self.graphs {
             for &l in g.node_labels() {
                 if counts.len() <= l as usize {
@@ -131,8 +136,16 @@ impl GraphDb {
             graph_count: n,
             total_nodes,
             total_edges,
-            avg_nodes: if n == 0 { 0.0 } else { total_nodes as f64 / n as f64 },
-            avg_edges: if n == 0 { 0.0 } else { total_edges as f64 / n as f64 },
+            avg_nodes: if n == 0 {
+                0.0
+            } else {
+                total_nodes as f64 / n as f64
+            },
+            avg_edges: if n == 0 {
+                0.0
+            } else {
+                total_edges as f64 / n as f64
+            },
             distinct_node_labels: node_seen.len(),
             distinct_edge_labels: edge_seen.len(),
         }
@@ -157,7 +170,15 @@ impl GraphDb {
             .into_iter()
             .map(|(l, c)| {
                 cum += c;
-                (l, c, if total == 0 { 0.0 } else { cum as f64 / total as f64 })
+                (
+                    l,
+                    c,
+                    if total == 0 {
+                        0.0
+                    } else {
+                        cum as f64 / total as f64
+                    },
+                )
             })
             .collect()
     }

@@ -65,10 +65,7 @@ mod tests {
 
     #[test]
     fn renders_names_and_ids() {
-        let db = parse_transactions(
-            "t # 0\nv 0 C\nv 1 N\nv 2 O\ne 0 1 s\ne 1 2 d\n",
-        )
-        .unwrap();
+        let db = parse_transactions("t # 0\nv 0 C\nv 1 N\nv 2 O\ne 0 1 s\ne 1 2 d\n").unwrap();
         let s = display_with(db.graph(0), db.labels()).to_string();
         assert_eq!(s, "atoms [C N O] bonds [C0(s)N1, N1(d)O2]");
     }

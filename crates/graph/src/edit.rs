@@ -17,10 +17,7 @@ pub fn induced_subgraph(g: &Graph, keep: &[NodeId]) -> (Graph, Vec<NodeId>) {
     let mut new_id = vec![u32::MAX; g.node_count()];
     let mut b = GraphBuilder::with_capacity(keep.len(), g.edge_count());
     for &old in keep {
-        assert!(
-            (old as usize) < g.node_count(),
-            "node {old} out of range"
-        );
+        assert!((old as usize) < g.node_count(), "node {old} out of range");
         assert_eq!(new_id[old as usize], u32::MAX, "duplicate node {old}");
         new_id[old as usize] = b.add_node(g.node_label(old));
     }

@@ -87,7 +87,10 @@ pub fn parse_transactions(input: &str) -> Result<GraphDb, ParseError> {
                 if id != b.node_count() {
                     return Err(err(
                         lineno,
-                        format!("node ids must be dense; expected {}, got {id}", b.node_count()),
+                        format!(
+                            "node ids must be dense; expected {}, got {id}",
+                            b.node_count()
+                        ),
                     ));
                 }
                 let l = db.labels_mut().intern_node(label);

@@ -37,7 +37,8 @@ impl LabelTable {
         if let Some(&id) = self.node_ids.get(name) {
             return id;
         }
-        let id = NodeLabel::try_from(self.node_names.len()).expect("more than u16::MAX node labels");
+        let id =
+            NodeLabel::try_from(self.node_names.len()).expect("more than u16::MAX node labels");
         self.node_names.push(name.to_owned());
         self.node_ids.insert(name.to_owned(), id);
         id
@@ -48,7 +49,8 @@ impl LabelTable {
         if let Some(&id) = self.edge_ids.get(name) {
             return id;
         }
-        let id = EdgeLabel::try_from(self.edge_names.len()).expect("more than u16::MAX edge labels");
+        let id =
+            EdgeLabel::try_from(self.edge_names.len()).expect("more than u16::MAX edge labels");
         self.edge_names.push(name.to_owned());
         self.edge_ids.insert(name.to_owned(), id);
         id

@@ -97,7 +97,9 @@ mod tests {
         let mut ids: Vec<_> = ball.iter().map(|&(n, _)| n).collect();
         ids.sort_unstable();
         assert_eq!(ids, vec![0, 1, 5, 6]);
-        assert!(ball.iter().all(|&(n, d)| if n == 0 { d == 0 } else { d == 1 }));
+        assert!(ball
+            .iter()
+            .all(|&(n, d)| if n == 0 { d == 0 } else { d == 1 }));
     }
 
     #[test]

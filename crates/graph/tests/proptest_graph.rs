@@ -4,8 +4,8 @@
 use proptest::prelude::*;
 
 use graphsig_graph::{
-    cut_graph, neighborhood::bfs_ball, parse_transactions, write_transactions, Graph,
-    GraphBuilder, GraphDb, LabelTable,
+    cut_graph, neighborhood::bfs_ball, parse_transactions, write_transactions, Graph, GraphBuilder,
+    GraphDb, LabelTable,
 };
 
 /// Strategy: a connected labeled graph (random tree plus optional extras).

@@ -57,7 +57,13 @@ pub(crate) fn enumerate_extensions(
         for a in g.neighbors(vr_node) {
             if a.to == j_node && !used_edge[a.edge as usize] {
                 out(Extension {
-                    dfs: DfsEdge::new(maxidx, j, labels[maxidx as usize], a.label, labels[j as usize]),
+                    dfs: DfsEdge::new(
+                        maxidx,
+                        j,
+                        labels[maxidx as usize],
+                        a.label,
+                        labels[j as usize],
+                    ),
                     gfrom: vr_node,
                     gto: j_node,
                     edge: a.edge,

@@ -38,8 +38,8 @@
 //! assert!(patterns.iter().any(|p| p.graph.edge_count() == 1 && p.support == 2));
 //! ```
 
-mod extend;
 pub mod dfs_code;
+mod extend;
 pub mod min_code;
 pub mod miner;
 pub mod pattern;

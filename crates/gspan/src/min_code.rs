@@ -96,8 +96,13 @@ fn build_min(g: &Graph, check: Option<&DfsCode>) -> Option<DfsCode> {
         let mut best: Option<DfsEdge> = None;
         let mut best_children: Vec<SelfEmb> = Vec::new();
         for emb in &embs {
-            enumerate_extensions(g, &code, &emb.nodes, &emb.used_node, &emb.used_edge, &mut |ext| {
-                match &best {
+            enumerate_extensions(
+                g,
+                &code,
+                &emb.nodes,
+                &emb.used_node,
+                &emb.used_edge,
+                &mut |ext| match &best {
                     Some(b) => match extension_order(&ext.dfs, b) {
                         std::cmp::Ordering::Less => {
                             best = Some(ext.dfs);
@@ -111,8 +116,8 @@ fn build_min(g: &Graph, check: Option<&DfsCode>) -> Option<DfsCode> {
                         best = Some(ext.dfs);
                         best_children.push(emb.extended(&ext));
                     }
-                }
-            });
+                },
+            );
         }
         let best = best.expect("connected graph always extends until all edges used");
         if let Some(c) = check {

@@ -186,7 +186,10 @@ fn distinct_gids(embs: &[Emb]) -> Vec<u32> {
     let mut gids = Vec::new();
     for e in embs {
         if gids.last() != Some(&e.gid) {
-            debug_assert!(gids.last().is_none_or(|&g| g < e.gid), "embeddings out of order");
+            debug_assert!(
+                gids.last().is_none_or(|&g| g < e.gid),
+                "embeddings out of order"
+            );
             gids.push(e.gid);
         }
     }
@@ -313,7 +316,9 @@ mod tests {
         let db = tiny_db();
         let pats = GSpan::new(MinerConfig::new(1)).mine(&db);
         // Additional pattern: C-N with support 1.
-        assert!(pats.iter().any(|p| p.support == 1 && p.graph.edge_count() == 1));
+        assert!(pats
+            .iter()
+            .any(|p| p.support == 1 && p.graph.edge_count() == 1));
         // Every reported pattern must occur (VF2-verified) in exactly
         // `support` graphs.
         for p in &pats {

@@ -148,7 +148,9 @@ mod tests {
         let mut sizes: Vec<_> = closed.iter().map(|p| p.graph.edge_count()).collect();
         sizes.sort_unstable();
         assert_eq!(sizes, vec![1, 2]); // C-C (support 3) and C-C-O (support 2)
-        assert!(closed.iter().any(|p| p.support == 3 && p.graph.edge_count() == 1));
+        assert!(closed
+            .iter()
+            .any(|p| p.support == 3 && p.graph.edge_count() == 1));
     }
 
     #[test]

@@ -191,7 +191,11 @@ mod tests {
         close(binomial_tail_upper(2, 0.5, 1), 0.75, 1e-12);
         close(binomial_tail_upper(2, 0.5, 2), 0.25, 1e-12);
         // From the paper's sample computation style: Bin(4, 3/16).
-        close(binomial_tail_upper(4, 3.0 / 16.0, 1), 1.0 - (13.0f64 / 16.0).powi(4), 1e-12);
+        close(
+            binomial_tail_upper(4, 3.0 / 16.0, 1),
+            1.0 - (13.0f64 / 16.0).powi(4),
+            1e-12,
+        );
     }
 
     #[test]

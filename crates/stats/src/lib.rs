@@ -28,14 +28,14 @@
 //! exact summation and published reference values.
 
 pub mod beta;
-pub mod descriptive;
 pub mod binomial;
+pub mod descriptive;
 pub mod gamma;
 pub mod normal;
 
 pub use beta::betainc_regularized;
-pub use descriptive::{median, percentile, Accumulator};
 pub use binomial::{binomial_tail_upper, Binomial, TailMethod};
+pub use descriptive::{median, percentile, Accumulator};
 pub use gamma::{ln_choose, ln_gamma};
 pub use normal::{normal_cdf, normal_sf};
 

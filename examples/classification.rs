@@ -42,7 +42,7 @@ fn main() {
             k: 9,
             mining: GraphSigConfig {
                 min_freq: 0.05,
-                threads: 4,
+                threads: 0, // auto: one worker per core
                 ..Default::default()
             },
             ..Default::default()

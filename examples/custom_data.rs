@@ -96,7 +96,11 @@ fn main() {
             sg.graph.edge_count(),
             sg.gids.len(),
             db.len(),
-            if has_bridge { "  <- the planted X-Y bridge" } else { "" }
+            if has_bridge {
+                "  <- the planted X-Y bridge"
+            } else {
+                ""
+            }
         );
     }
     assert!(found_bridge, "the planted bridge should be significant");

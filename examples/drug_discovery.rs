@@ -25,7 +25,11 @@ fn main() {
     let bi = motifs::bi_motif(&alphabet);
 
     let global_freq = |motif| {
-        data.db.graphs().iter().filter(|g| contains(g, motif)).count() as f64
+        data.db
+            .graphs()
+            .iter()
+            .filter(|g| contains(g, motif))
+            .count() as f64
             / data.len() as f64
     };
     println!(
@@ -41,7 +45,7 @@ fn main() {
         min_freq: 0.03,
         max_pvalue: 0.05,
         radius: 6,
-        threads: 4,
+        threads: 0, // auto: one worker per core
         ..Default::default()
     };
     let result = GraphSig::new(config).mine(&actives);
@@ -52,11 +56,9 @@ fn main() {
 
     // Look for answers overlapping each metal core.
     for (name, motif) in [("antimony (Sb)", &sb), ("bismuth (Bi)", &bi)] {
-        let hit = result
-            .subgraphs
-            .iter()
-            .find(|sg| contains(motif, &sg.graph) && sg.graph.edge_count() >= 3
-                || contains(&sg.graph, motif));
+        let hit = result.subgraphs.iter().find(|sg| {
+            contains(motif, &sg.graph) && sg.graph.edge_count() >= 3 || contains(&sg.graph, motif)
+        });
         match hit {
             Some(sg) => println!(
                 "{name} core RECOVERED: p-value {:.3e}, {} edges, supported by {} actives",
@@ -76,11 +78,7 @@ fn main() {
     );
 
     // Show the atoms of the most significant large structure.
-    if let Some(sg) = result
-        .subgraphs
-        .iter()
-        .max_by_key(|s| s.graph.edge_count())
-    {
+    if let Some(sg) = result.subgraphs.iter().max_by_key(|s| s.graph.edge_count()) {
         let atoms: Vec<&str> = sg
             .graph
             .node_labels()

@@ -37,7 +37,7 @@ fn main() {
         min_freq: 0.02,
         max_pvalue: 0.05,
         radius: 5,
-        threads: 4,
+        threads: 0, // auto: one worker per core
         ..Default::default()
     })
     .mine(&data.db);
@@ -49,7 +49,11 @@ fn main() {
     println!(
         "GraphSig answer set: {} subgraphs; benzene among them: {}",
         result.subgraphs.len(),
-        if benzene_reported { "YES (unexpected!)" } else { "no" }
+        if benzene_reported {
+            "YES (unexpected!)"
+        } else {
+            "no"
+        }
     );
 
     // The frequency spectrum of what IS significant.

@@ -28,7 +28,7 @@ fn main() {
         min_freq: 0.05,   // FVMine support threshold (fraction of group)
         max_pvalue: 0.05, // significance threshold
         radius: 6,        // CutGraph radius
-        threads: 4,
+        threads: 0,       // auto: one worker per core
         ..Default::default()
     };
 

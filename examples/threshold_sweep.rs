@@ -17,10 +17,13 @@ use graphsig_datagen::aids_like;
 fn main() {
     let data = aids_like(500, 42);
     let actives = data.active_subset();
-    println!("sweeping thresholds over {} active molecules", actives.len());
+    println!(
+        "sweeping thresholds over {} active molecules",
+        actives.len()
+    );
 
     let base = GraphSig::new(GraphSigConfig {
-        threads: 4,
+        threads: 0, // auto: one worker per core
         ..Default::default()
     });
     let t = Instant::now();
@@ -32,14 +35,17 @@ fn main() {
         t.elapsed().as_secs_f64()
     );
 
-    println!("\n{:<12} {:<12} {:>12} {:>9} {:>9}", "min_freq", "max_pvalue", "sig.vectors", "answers", "secs");
+    println!(
+        "\n{:<12} {:<12} {:>12} {:>9} {:>9}",
+        "min_freq", "max_pvalue", "sig.vectors", "answers", "secs"
+    );
     for min_freq in [0.15, 0.1, 0.05] {
         for max_pvalue in [0.01, 0.05, 0.1] {
             let miner = GraphSig::new(GraphSigConfig {
                 min_freq,
                 max_pvalue,
                 radius: 5,
-                threads: 4,
+                threads: 0, // auto: one worker per core
                 max_pattern_edges: 12,
                 max_patterns_per_set: 5_000,
                 ..Default::default()

@@ -77,9 +77,7 @@ fn rwr_bins_are_bounded_and_dense_enough() {
 #[test]
 fn tighter_pvalue_threshold_yields_subset() {
     let db = carbon_group_vectors();
-    let mine = |p: f64| {
-        FvMiner::new(FvMineConfig::new((db.len() / 20).max(2), p)).mine(&db)
-    };
+    let mine = |p: f64| FvMiner::new(FvMineConfig::new((db.len() / 20).max(2), p)).mine(&db);
     let loose = mine(0.2);
     let tight = mine(0.01);
     let loose_set: std::collections::HashSet<Vec<u8>> =
@@ -93,9 +91,7 @@ fn tighter_pvalue_threshold_yields_subset() {
 #[test]
 fn higher_support_threshold_yields_subset() {
     let db = carbon_group_vectors();
-    let mine = |s: usize| {
-        FvMiner::new(FvMineConfig::new(s, 0.5)).mine(&db)
-    };
+    let mine = |s: usize| FvMiner::new(FvMineConfig::new(s, 0.5)).mine(&db);
     let low = mine(3);
     let high = mine(10);
     let low_set: std::collections::HashSet<Vec<u8>> =

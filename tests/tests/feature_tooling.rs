@@ -17,7 +17,11 @@ fn diagnostics_reflect_rwr_structure() {
     assert_eq!(d.dim, fs.dim());
     assert_eq!(d.vectors, carbon.vectors.len());
     // RWR vectors are sparse: a window touches a handful of features.
-    assert!(d.avg_nonzero < d.dim as f64 / 2.0, "avg nonzero {}", d.avg_nonzero);
+    assert!(
+        d.avg_nonzero < d.dim as f64 / 2.0,
+        "avg nonzero {}",
+        d.avg_nonzero
+    );
     // At least one feature varies (entropy > 0) — otherwise nothing mines.
     assert!(d.features.iter().any(|f| f.entropy > 0.5));
     // Dense chemistry: the carbon-carbon single bond feature is common.
@@ -63,7 +67,10 @@ fn reports_render_for_every_answer() {
         let text = describe(sg, &fs, actives.labels());
         assert!(text.contains("evidence: p-value"));
         // The evidence lines must reference real feature names.
-        for line in text.lines().filter(|l| l.trim_start().ends_with(|c: char| c.is_ascii_digit()) && l.contains(">=")) {
+        for line in text
+            .lines()
+            .filter(|l| l.trim_start().ends_with(|c: char| c.is_ascii_digit()) && l.contains(">="))
+        {
             let name = line.trim().split(" >=").next().unwrap();
             assert!(
                 (0..fs.dim()).any(|i| fs.name(i) == name),

@@ -14,13 +14,7 @@ use graphsig_graph::{GraphBuilder, GraphDb, NodeId};
 
 /// Shorthand: feature value of the edge-type (na, nb) from the 'a'-node
 /// distribution.
-fn edge_val(
-    db: &GraphDb,
-    fs: &FeatureSet,
-    dist: &[f64],
-    na: &str,
-    nb: &str,
-) -> f64 {
+fn edge_val(db: &GraphDb, fs: &FeatureSet, dist: &[f64], na: &str, nb: &str) -> f64 {
     let la = db.labels().node_id(na).unwrap();
     let lb = db.labels().node_id(nb).unwrap();
     let le = db.labels().edge_id("-").unwrap();
@@ -135,7 +129,11 @@ fn table2_common_features_point_to_the_common_subgraph() {
     let dim = fs.dim();
     for i in 0..dim {
         let everywhere = dists.iter().all(|d| d[i] > 0.0);
-        assert!(!everywhere, "feature {} non-zero across all four graphs", fs.name(i));
+        assert!(
+            !everywhere,
+            "feature {} non-zero across all four graphs",
+            fs.name(i)
+        );
     }
 }
 

@@ -1,0 +1,102 @@
+//! Full-pipeline determinism across thread counts.
+//!
+//! The parallel executor must be invisible in the output: for any worker
+//! count, `GraphSig::mine` must return byte-identical subgraphs (codes,
+//! gids, p-values) and identical run counters. This pins the index-ordered
+//! merge invariant of `graphsig_core::par` end to end, for both FSM
+//! backends and for the `Prepared`-reuse path.
+
+use graphsig_core::{FsmBackend, GraphSig, GraphSigConfig, GraphSigResult};
+use graphsig_datagen::aids_like;
+
+fn cfg(threads: usize, backend: FsmBackend) -> GraphSigConfig {
+    GraphSigConfig {
+        min_freq: 0.1,
+        max_pvalue: 0.05,
+        radius: 4,
+        threads,
+        fsm_backend: backend,
+        max_pattern_edges: 12,
+        max_patterns_per_set: 5_000,
+        ..Default::default()
+    }
+}
+
+/// Assert two results are identical in everything the user can observe.
+fn assert_identical(a: &GraphSigResult, b: &GraphSigResult, what: &str) {
+    assert_eq!(a.subgraphs.len(), b.subgraphs.len(), "{what}: answer count");
+    for (x, y) in a.subgraphs.iter().zip(&b.subgraphs) {
+        assert_eq!(x.code, y.code, "{what}: code order/content");
+        assert_eq!(x.gids, y.gids, "{what}: supporting gids");
+        assert_eq!(x.vector_support, y.vector_support, "{what}: support");
+        assert_eq!(x.fsm_support, y.fsm_support, "{what}: fsm support");
+        assert_eq!(x.group_label, y.group_label, "{what}: group label");
+        assert_eq!(x.set_size, y.set_size, "{what}: set size");
+        assert!(
+            (x.vector_pvalue - y.vector_pvalue).abs() < 1e-15,
+            "{what}: p-value"
+        );
+    }
+    assert_eq!(a.stats.vectors, b.stats.vectors, "{what}: stats.vectors");
+    assert_eq!(a.stats.groups, b.stats.groups, "{what}: stats.groups");
+    assert_eq!(
+        a.stats.significant_vectors, b.stats.significant_vectors,
+        "{what}: stats.significant_vectors"
+    );
+    assert_eq!(
+        a.stats.region_sets, b.stats.region_sets,
+        "{what}: stats.region_sets"
+    );
+    assert_eq!(
+        a.stats.pruned_sets, b.stats.pruned_sets,
+        "{what}: stats.pruned_sets"
+    );
+    assert_eq!(
+        a.stats.truncated_sets, b.stats.truncated_sets,
+        "{what}: stats.truncated_sets"
+    );
+}
+
+fn check_backend(backend: FsmBackend) {
+    let data = aids_like(250, 2009);
+    let db = data.active_subset();
+    let baseline = GraphSig::new(cfg(1, backend)).mine(&db);
+    assert!(
+        !baseline.subgraphs.is_empty(),
+        "workload must actually mine something for the test to mean anything"
+    );
+    for threads in [2, 4, 8] {
+        let r = GraphSig::new(cfg(threads, backend)).mine(&db);
+        assert_identical(&baseline, &r, &format!("{backend:?} threads={threads}"));
+    }
+}
+
+#[test]
+fn mine_is_identical_for_any_thread_count_fsg() {
+    check_backend(FsmBackend::Fsg);
+}
+
+#[test]
+fn mine_is_identical_for_any_thread_count_gspan() {
+    check_backend(FsmBackend::GSpan);
+}
+
+#[test]
+fn prepared_reuse_is_identical_across_thread_counts() {
+    // The RWR pass is computed once under one thread count and the rest of
+    // the pipeline re-run under others — mixing `prepare` and
+    // `mine_prepared` parallelism must not change the answers either.
+    let data = aids_like(250, 2009);
+    let db = data.active_subset();
+    let baseline = GraphSig::new(cfg(1, FsmBackend::Fsg)).mine(&db);
+
+    let prepared = GraphSig::new(cfg(4, FsmBackend::Fsg)).prepare(&db);
+    for threads in [1, 2, 8] {
+        let r = GraphSig::new(cfg(threads, FsmBackend::Fsg)).mine_prepared(&db, &prepared);
+        assert_identical(
+            &baseline,
+            &r,
+            &format!("prepared(4) + mine_prepared({threads})"),
+        );
+    }
+}

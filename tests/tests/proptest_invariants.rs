@@ -88,7 +88,11 @@ fn permuted(g: &Graph, seed: u64) -> Graph {
         b.add_node(g.node_label(inv[new] as u32));
     }
     for e in g.edges() {
-        b.add_edge(perm[e.u as usize] as u32, perm[e.v as usize] as u32, e.label);
+        b.add_edge(
+            perm[e.u as usize] as u32,
+            perm[e.v as usize] as u32,
+            e.label,
+        );
     }
     b.build()
 }
