@@ -12,6 +12,8 @@
 //! * `--scale <f64>`     — dataset size multiplier (experiment-specific default)
 //! * `--seed <u64>`      — RNG seed (default 42)
 //! * `--threads <usize>` — worker threads for GraphSig runs (default 0 = auto)
+//! * `--smoke`           — tiny-dataset CI mode: verify invariants (e.g.
+//!   sequential == parallel), skip writing result files
 
 use std::time::{Duration, Instant};
 
@@ -24,16 +26,19 @@ pub struct Cli {
     pub seed: u64,
     /// Worker threads for GraphSig runs (`0` = auto, one per core).
     pub threads: usize,
+    /// CI smoke mode: tiny dataset, assertions only, no files written.
+    pub smoke: bool,
 }
 
 impl Cli {
-    /// Parse `--scale` / `--seed` / `--threads` from `std::env::args`,
-    /// with the given default scale.
+    /// Parse `--scale` / `--seed` / `--threads` / `--smoke` from
+    /// `std::env::args`, with the given default scale.
     pub fn parse(default_scale: f64) -> Self {
         let mut cli = Self {
             scale: default_scale,
             seed: 42,
             threads: 0,
+            smoke: false,
         };
         let args: Vec<String> = std::env::args().collect();
         let mut i = 1;
@@ -59,6 +64,10 @@ impl Cli {
                         .and_then(|s| s.parse().ok())
                         .unwrap_or_else(|| panic!("--threads needs an integer (0 = auto)"));
                     i += 2;
+                }
+                "--smoke" => {
+                    cli.smoke = true;
+                    i += 1;
                 }
                 other => panic!("unknown argument {other}"),
             }

@@ -1,157 +1,10 @@
 //! Deterministic dynamically-scheduled parallel execution.
 //!
-//! Every parallel phase of the pipeline (RWR extraction, FVMine per label
-//! group, CutGraph + maximal FSM per region set) runs through this one
-//! executor. The design is deliberately tiny — `std::thread::scope`
-//! workers pulling item indices from a shared `AtomicUsize` — and has two
-//! properties the pipeline depends on:
-//!
-//! * **Dynamic scheduling.** Workers claim the next unprocessed index as
-//!   they finish, so skewed item costs (a giant label group, one dense
-//!   region set) do not leave threads idle the way static contiguous
-//!   chunking does.
-//! * **Determinism by index merge.** Each worker tags results with their
-//!   item index and the executor reassembles them in index order, so the
-//!   output of [`par_map`] is *identical* to the sequential map for any
-//!   thread count — byte-for-byte, not just set-equal. Downstream
-//!   dedup/sort passes therefore see the exact sequential order.
-//!
-//! No external dependencies (see DESIGN.md §6); scoped threads have been
-//! stable since Rust 1.63.
+//! The executor itself lives in [`graphsig_graph::par`] — the workspace's
+//! root crate — so the gSpan/FSG baseline miners can run on the same
+//! machinery without a dependency cycle (`graphsig-core` depends on the
+//! miners, not the other way round). This module re-exports it under the
+//! historical `graphsig_core::par` path; see the source module for the
+//! scheduling and determinism guarantees the pipeline relies on.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
-
-/// Resolve a `threads` configuration value: `0` means "auto", i.e.
-/// [`std::thread::available_parallelism`] (falling back to 1 if the
-/// parallelism cannot be determined).
-pub fn resolve_threads(threads: usize) -> usize {
-    if threads == 0 {
-        std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1)
-    } else {
-        threads
-    }
-}
-
-/// Map `f` over `0..n` with `threads` workers (`0` = auto) and return the
-/// results in index order. Equivalent to
-/// `(0..n).map(f).collect()` for every thread count.
-///
-/// Workers self-schedule over a shared atomic index (dynamic scheduling),
-/// collect `(index, result)` pairs locally, and the caller's thread
-/// merges them into index-ordered slots — no locks on the hot path, no
-/// nondeterminism in the output.
-pub fn par_map_range<U, F>(threads: usize, n: usize, f: F) -> Vec<U>
-where
-    U: Send,
-    F: Fn(usize) -> U + Sync,
-{
-    let threads = resolve_threads(threads).min(n.max(1));
-    if threads <= 1 || n < 2 {
-        return (0..n).map(f).collect();
-    }
-    let next = AtomicUsize::new(0);
-    let mut slots: Vec<Option<U>> = Vec::with_capacity(n);
-    slots.resize_with(n, || None);
-    std::thread::scope(|s| {
-        let handles: Vec<_> = (0..threads)
-            .map(|_| {
-                let next = &next;
-                let f = &f;
-                s.spawn(move || {
-                    let mut local: Vec<(usize, U)> = Vec::new();
-                    loop {
-                        let i = next.fetch_add(1, Ordering::Relaxed);
-                        if i >= n {
-                            break;
-                        }
-                        local.push((i, f(i)));
-                    }
-                    local
-                })
-            })
-            .collect();
-        for h in handles {
-            for (i, v) in h.join().expect("parallel worker panicked") {
-                debug_assert!(slots[i].is_none(), "index {i} produced twice");
-                slots[i] = Some(v);
-            }
-        }
-    });
-    slots
-        .into_iter()
-        .map(|o| o.expect("all indices claimed exactly once"))
-        .collect()
-}
-
-/// Map `f` over a slice with `threads` workers (`0` = auto), returning
-/// results in item order. See [`par_map_range`] for the scheduling and
-/// determinism guarantees.
-pub fn par_map<T, U, F>(threads: usize, items: &[T], f: F) -> Vec<U>
-where
-    T: Sync,
-    U: Send,
-    F: Fn(&T) -> U + Sync,
-{
-    par_map_range(threads, items.len(), |i| f(&items[i]))
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn matches_sequential_for_any_thread_count() {
-        let items: Vec<usize> = (0..257).collect();
-        let expected: Vec<usize> = items.iter().map(|&x| x * x).collect();
-        for threads in [1, 2, 3, 4, 8, 64] {
-            let got = par_map(threads, &items, |&x| x * x);
-            assert_eq!(got, expected, "threads={threads}");
-        }
-    }
-
-    #[test]
-    fn auto_threads_resolves_to_at_least_one() {
-        assert!(resolve_threads(0) >= 1);
-        assert_eq!(resolve_threads(3), 3);
-    }
-
-    #[test]
-    fn handles_empty_and_single_item() {
-        assert_eq!(par_map_range(4, 0, |i| i), Vec::<usize>::new());
-        assert_eq!(par_map_range(4, 1, |i| i + 10), vec![10]);
-    }
-
-    #[test]
-    fn skewed_workloads_keep_order() {
-        // Item cost varies by orders of magnitude; output order must not.
-        let n = 40;
-        let out = par_map_range(4, n, |i| {
-            let spins = if i % 7 == 0 { 200_000 } else { 10 };
-            let mut acc = i as u64;
-            for k in 0..spins {
-                acc = acc.wrapping_mul(6364136223846793005).wrapping_add(k);
-            }
-            (i, acc)
-        });
-        for (i, item) in out.iter().enumerate() {
-            assert_eq!(item.0, i);
-        }
-        let seq = par_map_range(1, n, |i| {
-            let spins = if i % 7 == 0 { 200_000 } else { 10 };
-            let mut acc = i as u64;
-            for k in 0..spins {
-                acc = acc.wrapping_mul(6364136223846793005).wrapping_add(k);
-            }
-            (i, acc)
-        });
-        assert_eq!(out, seq);
-    }
-
-    #[test]
-    fn more_threads_than_items_is_safe() {
-        let got = par_map_range(16, 3, |i| i * 2);
-        assert_eq!(got, vec![0, 2, 4]);
-    }
-}
+pub use graphsig_graph::par::{par_map, par_map_range, resolve_threads};

@@ -316,6 +316,13 @@ impl GraphSig {
             candidates: Vec<(DfsCode, CandidateRest)>,
         }
         let t2 = Instant::now();
+        // Outer parallelism spreads the work items across cores; any cores
+        // the item fan-out can't use go to the miners inside each item
+        // (inner > 1 only when there are fewer items than cores). Both
+        // miners are byte-deterministic at every thread count, so the
+        // split never changes the output.
+        let inner_threads =
+            (crate::par::resolve_threads(self.cfg.threads) / work.len().max(1)).max(1);
         let outcomes: Vec<SetOutcome> =
             crate::par::par_map(self.cfg.threads, &work, |(label, sv, nodes)| {
                 if nodes.len() < 2 {
@@ -336,7 +343,7 @@ impl GraphSig {
                     region_sources.push(gid);
                 }
                 let support = self.cfg.fsm_support(regions.len());
-                let (patterns, truncated) = self.maximal_fsm(&regions, support);
+                let (patterns, truncated) = self.maximal_fsm(&regions, support, inner_threads);
                 let pruned = patterns.is_empty();
                 let candidates = patterns
                     .into_iter()
@@ -430,8 +437,14 @@ impl GraphSig {
         }
     }
 
-    /// Run the configured miner and return `(maximal patterns, truncated)`.
-    fn maximal_fsm(&self, regions: &GraphDb, support: usize) -> (Vec<Pattern>, bool) {
+    /// Run the configured miner with `threads` workers and return
+    /// `(maximal patterns, truncated)`.
+    fn maximal_fsm(
+        &self,
+        regions: &GraphDb,
+        support: usize,
+        threads: usize,
+    ) -> (Vec<Pattern>, bool) {
         if regions.len() < support {
             return (Vec::new(), false);
         }
@@ -440,13 +453,15 @@ impl GraphSig {
             FsmBackend::Fsg => Fsg::new(
                 FsgConfig::new(support)
                     .with_max_edges(self.cfg.max_pattern_edges)
-                    .with_max_patterns(cap),
+                    .with_max_patterns(cap)
+                    .with_threads(threads),
             )
             .mine(regions),
             FsmBackend::GSpan => GSpan::new(
                 MinerConfig::new(support)
                     .with_max_edges(self.cfg.max_pattern_edges)
-                    .with_max_patterns(cap),
+                    .with_max_patterns(cap)
+                    .with_threads(threads),
             )
             .mine(regions),
         };

@@ -124,10 +124,105 @@ impl<'a> SubgraphMatcher<'a> {
         }
         let mut map = vec![u32::MAX; pn];
         let mut used = vec![false; self.target.node_count()];
-        self.extend(0, &mut map, &mut used, visit);
+        let ctx = SearchCtx {
+            pattern: self.pattern,
+            target: self.target,
+            order: &self.order,
+            anchor: &self.anchor,
+        };
+        ctx.extend(0, &mut map, &mut used, visit);
+    }
+}
+
+/// One pattern matched against many targets, reusing the matching order and
+/// the backtracking scratch buffers across calls.
+///
+/// [`SubgraphMatcher`] recomputes the pattern's matching order and
+/// reallocates its `map`/`used` buffers per `(pattern, target)` pair; in
+/// support-counting loops (one candidate against every TID-list graph) that
+/// allocation dominates. `MultiMatcher` computes the order once per pattern
+/// and keeps the buffers warm — the backtracking search restores them to
+/// their cleared state on exit, so consecutive calls need no reset.
+///
+/// # Example
+///
+/// ```
+/// use graphsig_graph::{GraphBuilder, MultiMatcher};
+/// let mut b = GraphBuilder::new();
+/// let u = b.add_node(0);
+/// let v = b.add_node(0);
+/// b.add_edge(u, v, 7);
+/// let pattern = b.build();
+/// let mut b = GraphBuilder::new();
+/// let n: Vec<_> = (0..3).map(|_| b.add_node(0)).collect();
+/// b.add_edge(n[0], n[1], 7);
+/// b.add_edge(n[1], n[2], 7);
+/// let target = b.build();
+/// let mut m = MultiMatcher::new(&pattern);
+/// assert!(m.exists_in(&target));
+/// assert!(m.exists_in(&target)); // buffers reused, same answer
+/// ```
+pub struct MultiMatcher<'p> {
+    pattern: &'p Graph,
+    order: Vec<NodeId>,
+    anchor: Vec<Option<usize>>,
+    map: Vec<NodeId>,
+    used: Vec<bool>,
+}
+
+impl<'p> MultiMatcher<'p> {
+    /// Prepare the matching order for `pattern`.
+    pub fn new(pattern: &'p Graph) -> Self {
+        let (order, anchor) = matching_order(pattern);
+        let map = vec![u32::MAX; pattern.node_count()];
+        Self {
+            pattern,
+            order,
+            anchor,
+            map,
+            used: Vec::new(),
+        }
     }
 
+    /// Whether the pattern occurs in `target` (subgraph monomorphism).
+    pub fn exists_in(&mut self, target: &Graph) -> bool {
+        let pn = self.pattern.node_count();
+        if pn == 0 {
+            return true;
+        }
+        if pn > target.node_count() || self.pattern.edge_count() > target.edge_count() {
+            return false;
+        }
+        if self.used.len() < target.node_count() {
+            self.used.resize(target.node_count(), false);
+        }
+        let ctx = SearchCtx {
+            pattern: self.pattern,
+            target,
+            order: &self.order,
+            anchor: &self.anchor,
+        };
+        let mut found = false;
+        ctx.extend(0, &mut self.map, &mut self.used, &mut |_| {
+            found = true;
+            false // stop at the first embedding
+        });
+        found
+    }
+}
+
+/// The backtracking search shared by [`SubgraphMatcher`] and
+/// [`MultiMatcher`]: pattern, target, and the precomputed matching order.
+struct SearchCtx<'a> {
+    pattern: &'a Graph,
+    target: &'a Graph,
+    order: &'a [NodeId],
+    anchor: &'a [Option<usize>],
+}
+
+impl SearchCtx<'_> {
     /// Depth-first extension; returns `false` when enumeration should stop.
+    /// `map` and `used` are restored to their entry state before returning.
     fn extend(
         &self,
         depth: usize,
@@ -432,6 +527,38 @@ mod tests {
         b.add_edge(n[2], n[3], 9);
         let paw = b.build();
         assert!(!are_isomorphic(&c4, &paw));
+    }
+
+    #[test]
+    fn multi_matcher_agrees_with_subgraph_matcher() {
+        let targets = [
+            labeled_path(&[0, 1, 2], &[5, 6]),
+            cycle(&[0, 1, 2], 5),
+            labeled_path(&[3, 4, 5, 4, 3], &[1, 1, 1, 1]),
+            cycle(&[0, 0, 0, 0], 9),
+            GraphBuilder::new().build(),
+        ];
+        let patterns = [
+            edge_graph(0, 5, 1),
+            edge_graph(1, 5, 0),
+            edge_graph(0, 6, 1),
+            labeled_path(&[0, 1, 2], &[5, 6]),
+            cycle(&[0, 0, 0], 9),
+            GraphBuilder::new().build(),
+        ];
+        for p in &patterns {
+            // One matcher per pattern, reused across targets of varying
+            // size — must agree with the fresh per-pair matcher every time.
+            let mut m = MultiMatcher::new(p);
+            for t in &targets {
+                assert_eq!(m.exists_in(t), contains(t, p));
+            }
+            // Second sweep over the same targets: buffers must have been
+            // restored, answers unchanged.
+            for t in &targets {
+                assert_eq!(m.exists_in(t), contains(t, p));
+            }
+        }
     }
 
     #[test]

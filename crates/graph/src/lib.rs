@@ -17,10 +17,16 @@
 //!   enumeration, and whole-graph isomorphism tests. Used for support
 //!   counting in the FSG baseline, maximality filtering, and verifying that
 //!   mined patterns really occur where claimed.
+//! * [`index`] — [`LabelPairIndex`]: a database-wide index from
+//!   (node-label, edge-label, node-label) triples to per-graph edge
+//!   occurrence lists. Both baseline miners seed from it instead of
+//!   rescanning the database.
 //! * [`io`] — the line-oriented graph transaction format used by the
 //!   original gSpan/FSG tools (`t # id` / `v id label` / `e u v label`).
 //! * [`algorithms`] — components, eccentricity/diameter, cycle rank.
 //! * [`edit`] — edge/node removal and induced subgraphs (new graphs).
+//! * [`par`] — the deterministic dynamically-scheduled parallel executor
+//!   shared by the GraphSig pipeline and the baseline miners.
 //!
 //! # Example
 //!
@@ -44,17 +50,21 @@ pub mod database;
 pub mod display;
 pub mod edit;
 pub mod graph;
+pub mod index;
 pub mod io;
 pub mod iso;
 pub mod labels;
 pub mod neighborhood;
+pub mod par;
 
 pub use algorithms::{connected_components, cycle_rank, diameter, eccentricity};
 pub use database::{DbStats, GraphDb};
 pub use display::{display_with, DisplayWith};
 pub use edit::{induced_subgraph, remove_edge, remove_node};
 pub use graph::{Edge, Graph, GraphBuilder, NodeId};
+pub use index::{EdgeOccurrence, LabelPairEntry, LabelPairIndex, LabelTriple};
 pub use io::{parse_transactions, write_transactions, ParseError};
-pub use iso::{are_isomorphic, SubgraphMatcher};
+pub use iso::{are_isomorphic, MultiMatcher, SubgraphMatcher};
 pub use labels::{EdgeLabel, LabelTable, NodeLabel};
 pub use neighborhood::cut_graph;
+pub use par::{par_map, par_map_range, resolve_threads};

@@ -5,6 +5,16 @@
 //! database, each represented as a persistent chain of steps shared with its
 //! parent via `Rc`. Extending a pattern never rescans the database — it only
 //! extends the surviving embeddings.
+//!
+//! Seeds — the frequent single-edge codes — come from a
+//! [`LabelPairIndex`] rather than a database scan, and each seed's DFS
+//! subtree is independent of every other's (no state is shared between
+//! subtrees of gSpan's search). That independence is what the parallel
+//! path exploits: with `threads > 1`, seeds become tasks on the shared
+//! deterministic executor ([`graphsig_graph::par`]), each mining its own
+//! subtree; the per-seed outputs are merged in seed (key) order, which is
+//! exactly the order the sequential search emits, so the mined pattern
+//! list is byte-identical for every thread count.
 
 use std::collections::BTreeMap;
 use std::rc::Rc;
@@ -13,7 +23,7 @@ use crate::dfs_code::{extension_order, DfsCode, DfsEdge};
 use crate::extend::enumerate_extensions;
 use crate::min_code::is_min;
 use crate::pattern::Pattern;
-use graphsig_graph::{GraphDb, NodeId};
+use graphsig_graph::{GraphDb, LabelPairEntry, LabelPairIndex, NodeId};
 
 /// Configuration for [`GSpan`].
 #[derive(Debug, Clone)]
@@ -27,6 +37,10 @@ pub struct MinerConfig {
     /// for the low-frequency scalability experiments, where the pattern
     /// space explodes by design).
     pub max_patterns: Option<usize>,
+    /// Worker threads for per-seed subtree mining: `1` = sequential
+    /// (the default), `0` = auto (one per core). The mined pattern list is
+    /// byte-identical for every thread count.
+    pub threads: usize,
 }
 
 impl MinerConfig {
@@ -36,6 +50,7 @@ impl MinerConfig {
             min_support,
             max_edges: None,
             max_patterns: None,
+            threads: 1,
         }
     }
 
@@ -48,6 +63,12 @@ impl MinerConfig {
     /// Limit the number of emitted patterns.
     pub fn with_max_patterns(mut self, max_patterns: usize) -> Self {
         self.max_patterns = Some(max_patterns);
+        self
+    }
+
+    /// Set the worker thread count (`0` = auto, `1` = sequential).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
         self
     }
 
@@ -121,51 +142,51 @@ impl GSpan {
 
     /// Mine all frequent connected subgraphs with at least one edge.
     pub fn mine(&self, db: &GraphDb) -> Vec<Pattern> {
-        let mut ctx = Ctx {
-            db,
-            cfg: &self.cfg,
-            out: Vec::new(),
-            stopped: false,
-        };
+        self.mine_indexed(db, &LabelPairIndex::build(db))
+    }
 
-        // Seed: all frequent single-edge codes in canonical orientation.
-        let mut initial: BTreeMap<(u16, u16, u16), Vec<Emb>> = BTreeMap::new();
-        for (gid, g) in db.graphs().iter().enumerate() {
-            for (eid, e) in g.edges().iter().enumerate() {
-                let (lu, lv) = (g.node_label(e.u), g.node_label(e.v));
-                let mut push = |gfrom: NodeId, gto: NodeId, lf: u16, lt: u16| {
-                    initial.entry((lf, e.label, lt)).or_default().push(Emb {
-                        gid: gid as u32,
-                        last: Rc::new(Step {
-                            gfrom,
-                            gto,
-                            edge: eid as u32,
-                            prev: None,
-                        }),
-                    });
-                };
-                // Only the canonical (smaller-label-first) orientation can
-                // start a minimal code; equal labels contribute both.
-                if lu <= lv {
-                    push(e.u, e.v, lu, lv);
+    /// [`mine`](Self::mine) with a prebuilt [`LabelPairIndex`] of `db`.
+    /// Sharing one index across repeated mining runs (threshold sweeps on
+    /// the same database) skips the per-run database scan.
+    pub fn mine_indexed(&self, db: &GraphDb, index: &LabelPairIndex) -> Vec<Pattern> {
+        // Seeds: all frequent single-edge codes, ascending by (la, le, lb)
+        // key — the order the sequential search visits them.
+        let seeds: Vec<&LabelPairEntry> = index.frequent(self.cfg.min_support).collect();
+        let threads = graphsig_graph::resolve_threads(self.cfg.threads);
+
+        if threads <= 1 || seeds.len() < 2 {
+            // Sequential: one context shared across seeds, so the
+            // `max_patterns` cap stops the whole search.
+            let mut ctx = Ctx::new(db, &self.cfg);
+            for entry in &seeds {
+                if ctx.stopped {
+                    break;
                 }
-                if lv < lu || lu == lv {
-                    push(e.v, e.u, lv, lu);
-                }
+                ctx.mine_seed(entry);
             }
+            return ctx.out;
         }
 
-        for ((la, le, lb), embs) in initial {
-            if ctx.stopped {
-                break;
-            }
-            if distinct_gids(&embs).len() < self.cfg.min_support {
-                continue;
-            }
-            let mut code = DfsCode::from_initial(la, le, lb);
-            ctx.recurse(&mut code, &embs);
+        // Parallel: each seed's DFS subtree is one task. A task caps its
+        // own output at `max_patterns` — only the first `max_patterns`
+        // results can survive the global truncation below, so any task
+        // output beyond that is unreachable. Merging in seed order and
+        // truncating reproduces the sequential emission order exactly:
+        // the sequential search emits seed subtrees back to back in the
+        // same seed order, stopping at the same global cap.
+        let per_seed: Vec<Vec<Pattern>> = graphsig_graph::par_map(threads, &seeds, |entry| {
+            let mut ctx = Ctx::new(db, &self.cfg);
+            ctx.mine_seed(entry);
+            ctx.out
+        });
+        let mut out: Vec<Pattern> = Vec::with_capacity(per_seed.iter().map(Vec::len).sum());
+        for mut patterns in per_seed {
+            out.append(&mut patterns);
         }
-        ctx.out
+        if let Some(m) = self.cfg.max_patterns {
+            out.truncate(m);
+        }
+        out
     }
 
     /// Mine, then keep only closed patterns (no super-pattern with equal
@@ -196,19 +217,85 @@ fn distinct_gids(embs: &[Emb]) -> Vec<u32> {
     gids
 }
 
+/// Initial embedding list of a seed edge type, in the index's `(gid, edge)`
+/// scan order. Distinct endpoint labels admit only the canonical
+/// (smaller-label-first) orientation; equal labels contribute both.
+fn seed_embeddings(entry: &LabelPairEntry) -> Vec<Emb> {
+    let both = entry.key.0 == entry.key.2;
+    let mut embs = Vec::with_capacity(entry.occurrences.len() * if both { 2 } else { 1 });
+    for occ in &entry.occurrences {
+        embs.push(Emb {
+            gid: occ.gid,
+            last: Rc::new(Step {
+                gfrom: occ.from,
+                gto: occ.to,
+                edge: occ.edge,
+                prev: None,
+            }),
+        });
+        if both {
+            embs.push(Emb {
+                gid: occ.gid,
+                last: Rc::new(Step {
+                    gfrom: occ.to,
+                    gto: occ.from,
+                    edge: occ.edge,
+                    prev: None,
+                }),
+            });
+        }
+    }
+    embs
+}
+
+/// Per-embedding reconstruction buffers, reused across every embedding a
+/// context visits instead of being reallocated per embedding. The
+/// `used_node`/`used_edge` bit vectors grow to the largest graph seen and
+/// are kept all-false between embeddings (each embedding unsets exactly the
+/// bits it set).
+#[derive(Default)]
+struct Scratch {
+    /// The embedding's step chain, last step first: `(gfrom, gto, edge)`.
+    steps: Vec<(NodeId, NodeId, u32)>,
+    /// `nodes[dfs_index] = graph node`.
+    nodes: Vec<NodeId>,
+    used_node: Vec<bool>,
+    used_edge: Vec<bool>,
+}
+
 struct Ctx<'a> {
     db: &'a GraphDb,
     cfg: &'a MinerConfig,
     out: Vec<Pattern>,
     stopped: bool,
+    scratch: Scratch,
 }
 
-impl Ctx<'_> {
-    fn recurse(&mut self, code: &mut DfsCode, embs: &[Emb]) {
+impl<'a> Ctx<'a> {
+    fn new(db: &'a GraphDb, cfg: &'a MinerConfig) -> Self {
+        Self {
+            db,
+            cfg,
+            out: Vec::new(),
+            stopped: false,
+            scratch: Scratch::default(),
+        }
+    }
+
+    /// Mine the full DFS subtree rooted at one seed edge type.
+    fn mine_seed(&mut self, entry: &LabelPairEntry) {
+        let (la, le, lb) = entry.key;
+        let embs = seed_embeddings(entry);
+        let mut code = DfsCode::from_initial(la, le, lb);
+        self.recurse(&mut code, &embs, entry.tids.clone());
+    }
+
+    /// Emit `code` (whose supporting graphs are `gids`, already computed by
+    /// the caller) and grow it along the rightmost path.
+    fn recurse(&mut self, code: &mut DfsCode, embs: &[Emb], gids: Vec<u32>) {
         if self.stopped || !is_min(code) {
             return;
         }
-        let gids = distinct_gids(embs);
         debug_assert!(gids.len() >= self.cfg.min_support);
         self.out.push(Pattern {
             graph: code.to_graph(),
@@ -228,51 +315,76 @@ impl Ctx<'_> {
         let mut children: BTreeMap<OrdExt, Vec<Emb>> = BTreeMap::new();
         let code_len = code.len();
         let node_count = code.node_count();
+        // Take the scratch buffers out of `self` for the duration of the
+        // loop (no recursion happens inside it).
+        let mut scratch = std::mem::take(&mut self.scratch);
         for emb in embs {
             let g = self.db.graph(emb.gid as usize);
             // Reconstruct the embedding state from the step chain.
-            let mut steps: Vec<&Step> = Vec::with_capacity(code_len);
+            scratch.steps.clear();
             let mut cur: Option<&Rc<Step>> = Some(&emb.last);
             while let Some(s) = cur {
-                steps.push(s);
+                scratch.steps.push((s.gfrom, s.gto, s.edge));
                 cur = s.prev.as_ref();
             }
-            debug_assert_eq!(steps.len(), code_len);
-            let mut nodes = vec![u32::MAX; node_count];
-            let mut used_node = vec![false; g.node_count()];
-            let mut used_edge = vec![false; g.edge_count()];
-            for (k, &s) in steps.iter().rev().enumerate() {
+            debug_assert_eq!(scratch.steps.len(), code_len);
+            scratch.nodes.clear();
+            scratch.nodes.resize(node_count, u32::MAX);
+            if scratch.used_node.len() < g.node_count() {
+                scratch.used_node.resize(g.node_count(), false);
+            }
+            if scratch.used_edge.len() < g.edge_count() {
+                scratch.used_edge.resize(g.edge_count(), false);
+            }
+            for (k, &(gfrom, gto, edge)) in scratch.steps.iter().rev().enumerate() {
                 let ce = code.edges()[k];
                 if ce.is_forward() {
-                    nodes[ce.from as usize] = s.gfrom;
-                    nodes[ce.to as usize] = s.gto;
+                    scratch.nodes[ce.from as usize] = gfrom;
+                    scratch.nodes[ce.to as usize] = gto;
                 }
-                used_node[s.gfrom as usize] = true;
-                used_node[s.gto as usize] = true;
-                used_edge[s.edge as usize] = true;
+                scratch.used_node[gfrom as usize] = true;
+                scratch.used_node[gto as usize] = true;
+                scratch.used_edge[edge as usize] = true;
             }
-            enumerate_extensions(g, code, &nodes, &used_node, &used_edge, &mut |ext| {
-                children.entry(OrdExt(ext.dfs)).or_default().push(Emb {
-                    gid: emb.gid,
-                    last: Rc::new(Step {
-                        gfrom: ext.gfrom,
-                        gto: ext.gto,
-                        edge: ext.edge,
-                        prev: Some(emb.last.clone()),
-                    }),
-                });
-            });
+            enumerate_extensions(
+                g,
+                code,
+                &scratch.nodes,
+                &scratch.used_node,
+                &scratch.used_edge,
+                &mut |ext| {
+                    children.entry(OrdExt(ext.dfs)).or_default().push(Emb {
+                        gid: emb.gid,
+                        last: Rc::new(Step {
+                            gfrom: ext.gfrom,
+                            gto: ext.gto,
+                            edge: ext.edge,
+                            prev: Some(emb.last.clone()),
+                        }),
+                    });
+                },
+            );
+            // Unset exactly the bits this embedding set, restoring the
+            // all-false invariant for the next (possibly smaller) graph.
+            for &(gfrom, gto, edge) in &scratch.steps {
+                scratch.used_node[gfrom as usize] = false;
+                scratch.used_node[gto as usize] = false;
+                scratch.used_edge[edge as usize] = false;
+            }
         }
+        self.scratch = scratch;
 
         for (ext, child_embs) in children {
             if self.stopped {
                 return;
             }
-            if distinct_gids(&child_embs).len() < self.cfg.min_support {
+            // Computed once per candidate; passed through to the emit site.
+            let child_gids = distinct_gids(&child_embs);
+            if child_gids.len() < self.cfg.min_support {
                 continue;
             }
             code.push(ext.0);
-            self.recurse(code, &child_embs);
+            self.recurse(code, &child_embs, child_gids);
             code.pop();
         }
     }
@@ -387,6 +499,53 @@ mod tests {
     fn empty_db_yields_nothing() {
         let pats = GSpan::new(MinerConfig::new(1)).mine(&GraphDb::new());
         assert!(pats.is_empty());
+    }
+
+    #[test]
+    fn parallel_output_identical_to_sequential() {
+        let db = tiny_db();
+        for support in [1, 2, 3] {
+            let seq = GSpan::new(MinerConfig::new(support)).mine(&db);
+            for threads in [0, 2, 4, 8] {
+                let par = GSpan::new(MinerConfig::new(support).with_threads(threads)).mine(&db);
+                assert_eq!(seq.len(), par.len(), "support={support} threads={threads}");
+                for (a, b) in seq.iter().zip(&par) {
+                    assert_eq!(a.code, b.code, "support={support} threads={threads}");
+                    assert_eq!(a.support, b.support);
+                    assert_eq!(a.gids, b.gids);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_respects_max_patterns_cap() {
+        let db = tiny_db();
+        for cap in 1..=4 {
+            let seq = GSpan::new(MinerConfig::new(1).with_max_patterns(cap)).mine(&db);
+            let par =
+                GSpan::new(MinerConfig::new(1).with_max_patterns(cap).with_threads(4)).mine(&db);
+            assert_eq!(seq.len(), cap.min(seq.len()));
+            assert_eq!(seq.len(), par.len(), "cap={cap}");
+            for (a, b) in seq.iter().zip(&par) {
+                assert_eq!(a.code, b.code, "cap={cap}");
+                assert_eq!(a.gids, b.gids, "cap={cap}");
+            }
+        }
+    }
+
+    #[test]
+    fn prebuilt_index_matches_fresh_mine() {
+        let db = tiny_db();
+        let index = LabelPairIndex::build(&db);
+        let miner = GSpan::new(MinerConfig::new(1));
+        let fresh = miner.mine(&db);
+        let indexed = miner.mine_indexed(&db, &index);
+        assert_eq!(fresh.len(), indexed.len());
+        for (a, b) in fresh.iter().zip(&indexed) {
+            assert_eq!(a.code, b.code);
+            assert_eq!(a.gids, b.gids);
+        }
     }
 
     #[test]

@@ -8,6 +8,9 @@
 
 use graphsig_core::{FsmBackend, GraphSig, GraphSigConfig, GraphSigResult};
 use graphsig_datagen::aids_like;
+use graphsig_fsg::{Fsg, FsgConfig};
+use graphsig_gspan::{GSpan, MinerConfig, Pattern};
+use proptest::{proptest, ProptestConfig};
 
 fn cfg(threads: usize, backend: FsmBackend) -> GraphSigConfig {
     GraphSigConfig {
@@ -79,6 +82,56 @@ fn mine_is_identical_for_any_thread_count_fsg() {
 #[test]
 fn mine_is_identical_for_any_thread_count_gspan() {
     check_backend(FsmBackend::GSpan);
+}
+
+/// Assert two mined pattern lists are byte-identical.
+fn assert_patterns_identical(a: &[Pattern], b: &[Pattern], what: &str) {
+    assert_eq!(a.len(), b.len(), "{what}: pattern count");
+    for (x, y) in a.iter().zip(b) {
+        assert_eq!(x.code, y.code, "{what}: code order/content");
+        assert_eq!(x.support, y.support, "{what}: support");
+        assert_eq!(x.gids, y.gids, "{what}: gids");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Property: on arbitrary generated databases, both baseline miners
+    /// produce byte-identical pattern lists at every thread count —
+    /// including with a `max_patterns` cap, the trickiest merge path.
+    #[test]
+    fn baseline_miners_identical_for_any_thread_count(
+        n in 10usize..40,
+        seed in proptest::any::<u64>(),
+    ) {
+        let db = aids_like(n, seed).db;
+        let support = (n / 5).max(2);
+
+        let gspan_cfg = MinerConfig::new(support)
+            .with_max_edges(6)
+            .with_max_patterns(500);
+        let gspan_seq = GSpan::new(gspan_cfg.clone()).mine(&db);
+        let fsg_cfg = FsgConfig::new(support)
+            .with_max_edges(5)
+            .with_max_patterns(500);
+        let fsg_seq = Fsg::new(fsg_cfg.clone()).mine(&db);
+
+        for threads in [2usize, 4, 8] {
+            let g = GSpan::new(gspan_cfg.clone().with_threads(threads)).mine(&db);
+            assert_patterns_identical(
+                &gspan_seq,
+                &g,
+                &format!("gSpan n={n} seed={seed} threads={threads}"),
+            );
+            let f = Fsg::new(fsg_cfg.clone().with_threads(threads)).mine(&db);
+            assert_patterns_identical(
+                &fsg_seq,
+                &f,
+                &format!("FSG n={n} seed={seed} threads={threads}"),
+            );
+        }
+    }
 }
 
 #[test]
