@@ -18,7 +18,7 @@ use std::time::Duration;
 use graphsig_bench::{secs, timed, Cli};
 use graphsig_datagen::aids_like;
 use graphsig_fsg::{Fsg, FsgConfig};
-use graphsig_graph::{resolve_threads, GraphDb, LabelPairIndex};
+use graphsig_graph::{resolve_threads, Budget, GraphDb, LabelPairIndex};
 use graphsig_gspan::{GSpan, MinerConfig, Pattern};
 
 /// Abort cap shared by every run: the low-frequency points explode by
@@ -48,20 +48,27 @@ impl Miner {
         index: &LabelPairIndex,
         support: usize,
         threads: usize,
+        budget: Option<&Budget>,
     ) -> (Vec<Pattern>, Duration) {
         match self {
             Miner::GSpan => {
-                let cfg = MinerConfig::new(support)
+                let mut cfg = MinerConfig::new(support)
                     .with_max_edges(MAX_EDGES)
                     .with_max_patterns(MAX_PATTERNS)
                     .with_threads(threads);
+                if let Some(b) = budget {
+                    cfg = cfg.with_budget(b.clone());
+                }
                 timed(|| GSpan::new(cfg.clone()).mine_indexed(db, index))
             }
             Miner::Fsg => {
-                let cfg = FsgConfig::new(support)
+                let mut cfg = FsgConfig::new(support)
                     .with_max_edges(MAX_EDGES)
                     .with_max_patterns(MAX_PATTERNS)
                     .with_threads(threads);
+                if let Some(b) = budget {
+                    cfg = cfg.with_budget(b.clone());
+                }
                 timed(|| Fsg::new(cfg.clone()).mine_indexed(db, index))
             }
         }
@@ -86,16 +93,22 @@ fn run_point(
     db: &GraphDb,
     support: usize,
     par_threads: usize,
+    budget: Option<&Budget>,
 ) -> String {
     let index = LabelPairIndex::build(db);
-    let (seq, seq_t) = miner.mine(db, &index, support, 1);
-    let (par, par_t) = miner.mine(db, &index, support, par_threads);
-    assert_eq!(
-        fingerprint(&seq),
-        fingerprint(&par),
-        "{} {sweep}={param}: parallel output differs from sequential",
-        miner.name()
-    );
+    let (seq, seq_t) = miner.mine(db, &index, support, 1, budget);
+    let (par, par_t) = miner.mine(db, &index, support, par_threads, budget);
+    // Step-budget truncation is deterministic, so the byte-identity gate
+    // holds under `--max-steps`; a wall-clock deadline makes the stop
+    // point scheduling-dependent, so only then is the gate waived.
+    if budget.is_none_or(|b| b.deadline().is_none()) {
+        assert_eq!(
+            fingerprint(&seq),
+            fingerprint(&par),
+            "{} {sweep}={param}: parallel output differs from sequential",
+            miner.name()
+        );
+    }
     let speedup = secs(seq_t) / secs(par_t).max(1e-9);
     println!(
         "{:<5} {sweep}={param:<6} |D|={:<5} support={:<4} patterns={:<6} seq {}s, par {}s, speedup {:.2}x",
@@ -124,22 +137,29 @@ fn main() {
     let par_threads = resolve_threads(cli.threads).max(2);
     let cores = resolve_threads(0);
 
+    let budget = cli.budget();
     if cli.smoke {
         // CI gate: tiny dataset, assert sequential == parallel for both
-        // miners at a couple of thread counts, write nothing.
+        // miners at a couple of thread counts, write nothing. With budget
+        // flags this doubles as fault injection: a step-budgeted run must
+        // stay byte-identical across thread counts even while truncated.
         let data = aids_like(60, cli.seed);
         let index = LabelPairIndex::build(&data.db);
         for miner in [Miner::GSpan, Miner::Fsg] {
-            let (seq, _) = miner.mine(&data.db, &index, 6, 1);
-            assert!(!seq.is_empty(), "smoke workload mined nothing");
-            for threads in [2, 4] {
-                let (par, _) = miner.mine(&data.db, &index, 6, threads);
-                assert_eq!(
-                    fingerprint(&seq),
-                    fingerprint(&par),
-                    "smoke: {} threads={threads} output differs",
-                    miner.name()
-                );
+            let (seq, _) = miner.mine(&data.db, &index, 6, 1, budget.as_ref());
+            if budget.is_none() {
+                assert!(!seq.is_empty(), "smoke workload mined nothing");
+            }
+            if budget.as_ref().is_none_or(|b| b.deadline().is_none()) {
+                for threads in [2, 4] {
+                    let (par, _) = miner.mine(&data.db, &index, 6, threads, budget.as_ref());
+                    assert_eq!(
+                        fingerprint(&seq),
+                        fingerprint(&par),
+                        "smoke: {} threads={threads} output differs",
+                        miner.name()
+                    );
+                }
             }
             println!("smoke: {} OK ({} patterns)", miner.name(), seq.len());
         }
@@ -169,6 +189,7 @@ fn main() {
                 &data.db,
                 support,
                 par_threads,
+                budget.as_ref(),
             ));
         }
     }
@@ -187,6 +208,7 @@ fn main() {
                 &sub.db,
                 support,
                 par_threads,
+                budget.as_ref(),
             ));
         }
     }

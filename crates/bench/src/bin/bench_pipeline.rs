@@ -6,24 +6,33 @@
 //! output, and writes the numbers to `BENCH_pipeline.json` so speedups can
 //! be tracked across commits.
 //!
-//! Usage: `bench_pipeline [--scale f] [--seed u] [--threads n]`
-//! where `--threads` sets the parallel arm (`0` = auto).
+//! Usage: `bench_pipeline [--scale f] [--seed u] [--threads n] [--smoke]
+//!                        [--timeout-ms MS] [--max-steps N]`
+//! where `--threads` sets the parallel arm (`0` = auto), `--smoke` runs a
+//! tiny dataset and writes nothing (the CI gate), and the budget flags
+//! switch to fault-injection mode: the governed run must end cleanly with
+//! a truncated — but well-formed — partial result, exit code 0.
 
 use std::fmt::Write as _;
+use std::process::ExitCode;
 use std::time::Duration;
 
 use graphsig_bench::{secs, timed, Cli};
-use graphsig_core::{resolve_threads, GraphSig, GraphSigConfig, GraphSigResult};
+use graphsig_core::{resolve_threads, Budget, GraphSig, GraphSigConfig, GraphSigResult, Outcome};
 use graphsig_datagen::aids_like;
 
-fn mine(db: &graphsig_graph::GraphDb, threads: usize) -> (GraphSigResult, Duration) {
-    let cfg = GraphSigConfig {
+fn config(threads: usize, budget: Option<Budget>) -> GraphSigConfig {
+    GraphSigConfig {
         min_freq: 0.05,
         max_pvalue: 0.1,
         threads,
+        budget,
         ..Default::default()
-    };
-    timed(|| GraphSig::new(cfg).mine(db))
+    }
+}
+
+fn mine(db: &graphsig_graph::GraphDb, threads: usize) -> (GraphSigResult, Duration) {
+    timed(|| GraphSig::new(config(threads, None)).mine(db))
 }
 
 /// A stable fingerprint of the mined output: every code, p-value and
@@ -51,12 +60,62 @@ fn phase_json(label: &str, r: &GraphSigResult, total: Duration) -> String {
     )
 }
 
-fn main() {
+/// Fault-injection mode (`--timeout-ms` / `--max-steps`): run the governed
+/// pipeline and require a clean truncated exit — partial results intact, a
+/// stop reason reported, no panic, exit code 0. With a pure step budget the
+/// truncated output must additionally be byte-identical across thread
+/// counts (deadline truncation is documented best-effort, so it is only
+/// checked for a clean stop, not for determinism).
+fn run_governed(db: &graphsig_graph::GraphDb, par_threads: usize, budget: &Budget) {
+    let mine_governed = |threads: usize| -> (Outcome<GraphSigResult>, Duration) {
+        timed(|| GraphSig::new(config(threads, Some(budget.clone()))).mine_outcome(db))
+    };
+    let (seq, seq_t) = mine_governed(1);
+    println!(
+        "governed threads=1: {} subgraphs, completion: {}, {}s",
+        seq.result.subgraphs.len(),
+        seq.completion,
+        secs(seq_t)
+    );
+    assert!(
+        !seq.completion.is_complete(),
+        "fault injection expected a truncated run; budget too generous for this workload"
+    );
+    if budget.max_steps().is_some() && budget.deadline().is_none() {
+        let fp = fingerprint(&seq.result);
+        for threads in [2, par_threads] {
+            let (par, _) = mine_governed(threads);
+            assert_eq!(
+                seq.completion, par.completion,
+                "threads={threads}: truncated completion differs"
+            );
+            assert_eq!(
+                fp,
+                fingerprint(&par.result),
+                "threads={threads}: truncated output differs from sequential"
+            );
+        }
+        println!("governed: truncated output identical at threads 1/2/{par_threads}");
+    }
+    println!("governed: OK (clean truncated exit)");
+}
+
+fn main() -> ExitCode {
     let cli = Cli::parse(0.01);
     let par_threads = resolve_threads(cli.threads).max(2);
     let cores = resolve_threads(0);
-    let n = (43_905.0 * cli.scale).round() as usize;
+    let n = if cli.smoke {
+        60
+    } else {
+        (43_905.0 * cli.scale).round() as usize
+    };
     let data = aids_like(n, cli.seed);
+
+    if let Some(budget) = cli.budget() {
+        run_governed(&data.db, par_threads, &budget);
+        return ExitCode::SUCCESS;
+    }
+
     println!(
         "# bench_pipeline — {} molecules, sequential vs {} threads ({} core(s) available)",
         data.len(),
@@ -95,6 +154,11 @@ fn main() {
     let speedup = secs(seq_t) / secs(par_t).max(1e-9);
     println!("speedup: {:.2}x", speedup);
 
+    if cli.smoke {
+        println!("smoke: OK (outputs identical, nothing written)");
+        return ExitCode::SUCCESS;
+    }
+
     let json = format!
     (
         "{{\n  \"bench\": \"pipeline\",\n  \"molecules\": {},\n  \"seed\": {},\n  \"cores\": {},\n  \"parallel_threads\": {},\n  \"phases\": {{\n{},\n{}\n  }},\n  \"speedup\": {:.3},\n  \"outputs_identical\": true\n}}\n",
@@ -108,4 +172,5 @@ fn main() {
     );
     std::fs::write("BENCH_pipeline.json", &json).expect("write BENCH_pipeline.json");
     println!("wrote BENCH_pipeline.json");
+    ExitCode::SUCCESS
 }

@@ -14,8 +14,12 @@
 //! * `--threads <usize>` — worker threads for GraphSig runs (default 0 = auto)
 //! * `--smoke`           — tiny-dataset CI mode: verify invariants (e.g.
 //!   sequential == parallel), skip writing result files
+//! * `--timeout-ms <u64>` / `--max-steps <u64>` — budget-govern the runs;
+//!   see [`Cli::budget`]
 
 use std::time::{Duration, Instant};
+
+use graphsig_graph::Budget;
 
 /// Parsed common CLI options.
 #[derive(Debug, Clone, Copy)]
@@ -28,17 +32,24 @@ pub struct Cli {
     pub threads: usize,
     /// CI smoke mode: tiny dataset, assertions only, no files written.
     pub smoke: bool,
+    /// Wall-clock deadline for governed runs (`--timeout-ms`).
+    pub timeout_ms: Option<u64>,
+    /// Per-work-unit step allowance for governed runs (`--max-steps`).
+    pub max_steps: Option<u64>,
 }
 
 impl Cli {
-    /// Parse `--scale` / `--seed` / `--threads` / `--smoke` from
-    /// `std::env::args`, with the given default scale.
+    /// Parse `--scale` / `--seed` / `--threads` / `--smoke` /
+    /// `--timeout-ms` / `--max-steps` from `std::env::args`, with the
+    /// given default scale.
     pub fn parse(default_scale: f64) -> Self {
         let mut cli = Self {
             scale: default_scale,
             seed: 42,
             threads: 0,
             smoke: false,
+            timeout_ms: None,
+            max_steps: None,
         };
         let args: Vec<String> = std::env::args().collect();
         let mut i = 1;
@@ -69,10 +80,42 @@ impl Cli {
                     cli.smoke = true;
                     i += 1;
                 }
+                "--timeout-ms" => {
+                    cli.timeout_ms = Some(
+                        args.get(i + 1)
+                            .and_then(|s| s.parse().ok())
+                            .unwrap_or_else(|| panic!("--timeout-ms needs an integer")),
+                    );
+                    i += 2;
+                }
+                "--max-steps" => {
+                    cli.max_steps = Some(
+                        args.get(i + 1)
+                            .and_then(|s| s.parse().ok())
+                            .unwrap_or_else(|| panic!("--max-steps needs an integer")),
+                    );
+                    i += 2;
+                }
                 other => panic!("unknown argument {other}"),
             }
         }
         cli
+    }
+
+    /// The run [`Budget`] assembled from `--timeout-ms` / `--max-steps`,
+    /// or `None` when neither flag was given (ungoverned run).
+    pub fn budget(&self) -> Option<Budget> {
+        if self.timeout_ms.is_none() && self.max_steps.is_none() {
+            return None;
+        }
+        let mut budget = Budget::unlimited();
+        if let Some(ms) = self.timeout_ms {
+            budget = budget.with_deadline(Duration::from_millis(ms));
+        }
+        if let Some(n) = self.max_steps {
+            budget = budget.with_max_steps(n);
+        }
+        Some(budget)
     }
 }
 

@@ -14,9 +14,10 @@
 //! with its statistics, so the output is itself parseable.
 
 use std::process::ExitCode;
+use std::time::Duration;
 
 use graphsig_classify::{GraphSigClassifier, KnnConfig};
-use graphsig_core::{GraphSig, GraphSigConfig};
+use graphsig_core::{Budget, GraphSig, GraphSigConfig};
 use graphsig_graph::{parse_transactions, write_transactions, GraphDb};
 
 fn main() -> ExitCode {
@@ -48,9 +49,13 @@ fn print_usage() {
          USAGE:\n\
          \x20 graphsig mine <file> [--max-pvalue P] [--min-freq F] [--radius R]\n\
          \x20                      [--fsm-freq F] [--threads N] [--top N] [--backend fsg|gspan]\n\
+         \x20                      [--timeout-ms MS] [--max-steps N]\n\
          \x20                      (--threads 0 = auto: one worker per core; the default)\n\
+         \x20                      (--timeout-ms / --max-steps bound the run; a truncated\n\
+         \x20                       run exits 0 and reports its completion on stderr)\n\
          \x20 graphsig stats <file>\n\
          \x20 graphsig classify <pos.txt> <neg.txt> <query.txt> [--k K] [--min-freq F]\n\
+         \x20                      [--timeout-ms MS] [--max-steps N]\n\
          \x20 graphsig generate aids <n> [--seed S]\n\
          \x20 graphsig generate screen <NAME> <scale> (names: MCF-7 MOLT-4 NCI-H23 OVCAR-8\n\
          \x20                      P388 PC-3 SF-295 SN12C SW-620 UACC-257 Yeast)\n\
@@ -94,6 +99,33 @@ fn parse_or<T: std::str::FromStr>(v: &Option<String>, default: T, what: &str) ->
     }
 }
 
+fn parse_opt<T: std::str::FromStr>(v: &Option<String>, what: &str) -> Result<Option<T>, String> {
+    v.as_ref()
+        .map(|s| s.parse().map_err(|_| format!("bad value for {what}: {s}")))
+        .transpose()
+}
+
+/// Assemble the run [`Budget`] from `--timeout-ms` / `--max-steps`, if
+/// either was given.
+fn parse_budget(
+    timeout_ms: &Option<String>,
+    max_steps: &Option<String>,
+) -> Result<Option<Budget>, String> {
+    let timeout: Option<u64> = parse_opt(timeout_ms, "--timeout-ms")?;
+    let steps: Option<u64> = parse_opt(max_steps, "--max-steps")?;
+    if timeout.is_none() && steps.is_none() {
+        return Ok(None);
+    }
+    let mut budget = Budget::unlimited();
+    if let Some(ms) = timeout {
+        budget = budget.with_deadline(Duration::from_millis(ms));
+    }
+    if let Some(n) = steps {
+        budget = budget.with_max_steps(n);
+    }
+    Ok(Some(budget))
+}
+
 fn load_db(path: &str) -> Result<GraphDb, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
     parse_transactions(&text).map_err(|e| format!("{path}: {e}"))
@@ -102,6 +134,7 @@ fn load_db(path: &str) -> Result<GraphDb, String> {
 fn cmd_mine(args: &[String]) -> Result<(), String> {
     let (mut max_pvalue, mut min_freq, mut radius, mut fsm_freq) = (None, None, None, None);
     let (mut threads, mut top, mut backend) = (None, None, None);
+    let (mut timeout_ms, mut max_steps) = (None, None);
     let positional = take_flags(
         args,
         &mut [
@@ -112,6 +145,8 @@ fn cmd_mine(args: &[String]) -> Result<(), String> {
             ("--threads", &mut threads),
             ("--top", &mut top),
             ("--backend", &mut backend),
+            ("--timeout-ms", &mut timeout_ms),
+            ("--max-steps", &mut max_steps),
         ],
     )?;
     let [path] = positional.as_slice() else {
@@ -131,11 +166,17 @@ fn cmd_mine(args: &[String]) -> Result<(), String> {
             Some("gspan") => graphsig_core::FsmBackend::GSpan,
             Some(other) => return Err(format!("unknown backend {other}")),
         },
+        budget: parse_budget(&timeout_ms, &max_steps)?,
         ..defaults
     };
     let top: usize = parse_or(&top, usize::MAX, "--top")?;
 
-    let result = GraphSig::new(cfg).mine(&db);
+    let outcome = GraphSig::new(cfg).mine_outcome(&db);
+    // Truncation is graceful, not an error: the partial answer below is
+    // well-formed, the completion line says what cut the run short, and
+    // the process still exits 0. Only hard failures exit nonzero.
+    eprintln!("# completion: {}", outcome.completion);
+    let result = outcome.result;
     eprintln!(
         "# {} graphs, {} vectors, {} significant vectors, {} region sets \
          ({} pruned, {} truncated), {} significant subgraphs",
@@ -232,6 +273,7 @@ fn cmd_generate(args: &[String]) -> Result<(), String> {
 
 fn cmd_classify(args: &[String]) -> Result<(), String> {
     let (mut k, mut min_freq, mut max_pvalue, mut threads) = (None, None, None, None);
+    let (mut timeout_ms, mut max_steps) = (None, None);
     let positional = take_flags(
         args,
         &mut [
@@ -239,6 +281,8 @@ fn cmd_classify(args: &[String]) -> Result<(), String> {
             ("--min-freq", &mut min_freq),
             ("--max-pvalue", &mut max_pvalue),
             ("--threads", &mut threads),
+            ("--timeout-ms", &mut timeout_ms),
+            ("--max-steps", &mut max_steps),
         ],
     )?;
     let [pos_path, neg_path, query_path] = positional.as_slice() else {
@@ -254,6 +298,7 @@ fn cmd_classify(args: &[String]) -> Result<(), String> {
             min_freq: parse_or(&min_freq, 0.05, "--min-freq")?,
             max_pvalue: parse_or(&max_pvalue, defaults.max_pvalue, "--max-pvalue")?,
             threads: parse_or(&threads, defaults.threads, "--threads")?,
+            budget: parse_budget(&timeout_ms, &max_steps)?,
             ..defaults
         },
         ..Default::default()
@@ -306,5 +351,39 @@ mod tests {
         assert_eq!(parse_or::<usize>(&None, 7, "x").unwrap(), 7);
         assert_eq!(parse_or::<usize>(&Some("3".into()), 7, "x").unwrap(), 3);
         assert!(parse_or::<usize>(&Some("zzz".into()), 7, "x").is_err());
+    }
+
+    #[test]
+    fn parse_budget_builds_from_flags() {
+        assert!(parse_budget(&None, &None).unwrap().is_none());
+        let b = parse_budget(&Some("250".into()), &None).unwrap().unwrap();
+        assert!(b.deadline().is_some());
+        assert_eq!(b.max_steps(), None);
+        let b = parse_budget(&None, &Some("42".into())).unwrap().unwrap();
+        assert_eq!(b.max_steps(), Some(42));
+        assert!(b.deadline().is_none());
+        assert!(parse_budget(&Some("soon".into()), &None).is_err());
+        assert!(parse_budget(&None, &Some("-1".into())).is_err());
+    }
+
+    #[test]
+    fn load_db_reports_line_numbered_parse_errors() {
+        // A malformed `e` line on line 4 must surface as a structured
+        // error naming the file and the 1-based line — never a panic.
+        let path = std::env::temp_dir().join("graphsig_cli_bad_input.txt");
+        std::fs::write(&path, "t # 0\nv 0 C\nv 1 C\ne 0 5 s\n").unwrap();
+        let err = load_db(path.to_str().unwrap()).unwrap_err();
+        std::fs::remove_file(&path).ok();
+        assert!(err.contains("line 4"), "missing line number: {err}");
+        assert!(
+            err.contains("graphsig_cli_bad_input.txt"),
+            "missing path: {err}"
+        );
+    }
+
+    #[test]
+    fn load_db_reports_missing_file() {
+        let err = load_db("/nonexistent/graphsig/input.txt").unwrap_err();
+        assert!(err.contains("cannot read"), "{err}");
     }
 }

@@ -1,6 +1,7 @@
 //! GraphSig configuration — the paper's Table IV.
 
 use graphsig_features::RwrConfig;
+use graphsig_graph::Budget;
 
 /// How the sliding window captures a node's neighborhood.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -72,6 +73,14 @@ pub struct GraphSigConfig {
     /// ([`std::thread::available_parallelism`]), `1` = sequential. The
     /// mined output is byte-identical for every thread count.
     pub threads: usize,
+    /// Optional resource governance for the whole run: wall-clock deadline,
+    /// cooperative step budget, external cancellation. `None` (the default)
+    /// mines exhaustively with zero overhead. When set, the pipeline checks
+    /// the budget cooperatively in every phase and returns a *truncated but
+    /// well-formed* partial result instead of running away; step-budget
+    /// truncation is deterministic across thread counts, deadline and
+    /// cancellation are best-effort (see [`graphsig_graph::control`]).
+    pub budget: Option<Budget>,
 }
 
 impl Default for GraphSigConfig {
@@ -88,11 +97,18 @@ impl Default for GraphSigConfig {
             max_pattern_edges: 25,
             max_patterns_per_set: 20_000,
             threads: 0, // auto: use every available core
+            budget: None,
         }
     }
 }
 
 impl GraphSigConfig {
+    /// Set the run's resource [`Budget`] (builder-style).
+    pub fn with_budget(mut self, budget: Budget) -> Self {
+        self.budget = Some(budget);
+        self
+    }
+
     /// Validate ranges; called by [`crate::GraphSig::new`].
     pub fn validate(&self) {
         assert!(

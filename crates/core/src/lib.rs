@@ -52,10 +52,18 @@ pub mod pipeline;
 pub mod report;
 pub mod vectors;
 
+/// Request-level resource governance (re-exported from
+/// [`graphsig_graph::control`]): [`Budget`], [`CancelToken`], and the
+/// [`Outcome`]/[`Completion`] types the `*_outcome` pipeline entry points
+/// report truncation through.
+pub use graphsig_graph::control;
+pub use graphsig_graph::{Budget, CancelToken, Completion, Outcome, StopReason};
+
 pub use config::{FsmBackend, GraphSigConfig, WindowKind};
-pub use par::{par_map, par_map_range, resolve_threads};
+pub use par::{par_map, par_map_range, resolve_threads, try_par_map, try_par_map_range};
 pub use pipeline::{GraphSig, GraphSigResult, Prepared, Profile, RunStats, SignificantSubgraph};
-pub use report::describe;
+pub use report::{describe, describe_run};
 pub use vectors::{
-    compute_all_vectors, compute_all_window_vectors, group_by_label, GraphVectors, LabelGroup,
+    compute_all_vectors, compute_all_window_vectors, compute_all_window_vectors_governed,
+    group_by_label, GraphVectors, LabelGroup,
 };

@@ -7,4 +7,6 @@
 //! historical `graphsig_core::par` path; see the source module for the
 //! scheduling and determinism guarantees the pipeline relies on.
 
-pub use graphsig_graph::par::{par_map, par_map_range, resolve_threads};
+pub use graphsig_graph::par::{
+    par_map, par_map_range, resolve_threads, try_par_map, try_par_map_range, TaskPanicked,
+};

@@ -6,11 +6,12 @@ use std::time::{Duration, Instant};
 use graphsig_features::FeatureSet;
 use graphsig_fsg::{Fsg, FsgConfig};
 use graphsig_fvmine::{is_sub_vector, FvMineConfig, FvMiner, SignificantVector};
+use graphsig_graph::control::{self, Completion, Meter, Outcome, StopReason};
 use graphsig_graph::{cut_graph, Graph, GraphDb, NodeLabel};
 use graphsig_gspan::{DfsCode, GSpan, MinerConfig, Pattern};
 
 use crate::config::{FsmBackend, GraphSigConfig};
-use crate::vectors::{compute_all_window_vectors, group_by_label};
+use crate::vectors::{compute_all_window_vectors_governed, group_by_label};
 
 /// One mined significant subgraph, with its feature-space and graph-space
 /// evidence.
@@ -153,6 +154,9 @@ pub struct Prepared {
     db_len: usize,
     window: crate::config::WindowKind,
     alpha: f64,
+    /// First stop reason hit during the window pass, if the run's budget
+    /// truncated it (graph-id order).
+    truncation: Option<StopReason>,
 }
 
 impl Prepared {
@@ -169,6 +173,15 @@ impl Prepared {
     /// Wall-clock time of the window pass.
     pub fn window_time(&self) -> Duration {
         self.rwr_time
+    }
+
+    /// Whether the window pass ran to convergence everywhere or was cut
+    /// short by the run's budget.
+    pub fn completion(&self) -> Completion {
+        match self.truncation {
+            Some(reason) => Completion::Truncated(reason),
+            None => Completion::Complete,
+        }
     }
 }
 
@@ -192,15 +205,34 @@ impl GraphSig {
     /// Mine significant subgraphs from `db`, building the chemical feature
     /// set from the database itself (Sec. II-B).
     pub fn mine(&self, db: &GraphDb) -> GraphSigResult {
+        self.mine_outcome(db).result
+    }
+
+    /// [`mine`](Self::mine), additionally reporting whether the run was
+    /// truncated by the configured [`Budget`](graphsig_graph::Budget).
+    /// Unbudgeted runs always report [`Completion::Complete`]; a
+    /// `max_patterns_per_set` hit reports `Truncated(PatternCap)` even
+    /// without a budget (it was always a silent cap before).
+    pub fn mine_outcome(&self, db: &GraphDb) -> Outcome<GraphSigResult> {
         let fs = FeatureSet::for_chemical(db, self.cfg.top_k_atoms);
-        self.mine_with_features(db, &fs)
+        self.mine_with_features_outcome(db, &fs)
     }
 
     /// Mine with a caller-supplied feature set (e.g. one selected on a
     /// larger corpus, or via the greedy selector).
     pub fn mine_with_features(&self, db: &GraphDb, fs: &FeatureSet) -> GraphSigResult {
+        self.mine_with_features_outcome(db, fs).result
+    }
+
+    /// [`mine_with_features`](Self::mine_with_features) with completion
+    /// reporting (see [`mine_outcome`](Self::mine_outcome)).
+    pub fn mine_with_features_outcome(
+        &self,
+        db: &GraphDb,
+        fs: &FeatureSet,
+    ) -> Outcome<GraphSigResult> {
         let prepared = self.prepare_with_features(db, fs);
-        self.mine_prepared(db, &prepared)
+        self.mine_prepared_outcome(db, &prepared)
     }
 
     /// Run the window pass once (phases 1–2a) and keep the result for
@@ -216,8 +248,14 @@ impl GraphSig {
     /// [`prepare`](Self::prepare) with an explicit feature set.
     pub fn prepare_with_features(&self, db: &GraphDb, fs: &FeatureSet) -> Prepared {
         let t0 = Instant::now();
-        let all_vectors =
-            compute_all_window_vectors(db, fs, &self.cfg.rwr, self.cfg.window, self.cfg.threads);
+        let (all_vectors, truncation) = compute_all_window_vectors_governed(
+            db,
+            fs,
+            &self.cfg.rwr,
+            self.cfg.window,
+            self.cfg.threads,
+            self.cfg.budget.as_ref(),
+        );
         let rwr_time = t0.elapsed();
         let vectors = all_vectors.iter().map(|gv| gv.vectors.len()).sum();
         let groups = group_by_label(&all_vectors);
@@ -228,6 +266,7 @@ impl GraphSig {
             db_len: db.len(),
             window: self.cfg.window,
             alpha: self.cfg.rwr.alpha,
+            truncation,
         }
     }
 
@@ -240,6 +279,20 @@ impl GraphSig {
     /// Panics if `prepared` was built for a different database size or a
     /// different window configuration than this miner's.
     pub fn mine_prepared(&self, db: &GraphDb, prepared: &Prepared) -> GraphSigResult {
+        self.mine_prepared_outcome(db, prepared).result
+    }
+
+    /// [`mine_prepared`](Self::mine_prepared) with completion reporting
+    /// (see [`mine_outcome`](Self::mine_outcome)). Truncation reasons are
+    /// merged in a fixed phase/unit order (window pass by graph id, FVMine
+    /// by group, FSM by region set), so with a pure step budget the
+    /// reported completion — like the result itself — is byte-identical
+    /// across thread counts.
+    pub fn mine_prepared_outcome(
+        &self,
+        db: &GraphDb,
+        prepared: &Prepared,
+    ) -> Outcome<GraphSigResult> {
         assert_eq!(
             prepared.db_len,
             db.len(),
@@ -261,6 +314,11 @@ impl GraphSig {
             vectors: prepared.vectors,
             ..RunStats::default()
         };
+        let budget = self.cfg.budget.as_ref();
+        // First stop reason across the whole run, in deterministic phase
+        // and work-unit order: window pass, then FVMine groups, then FSM
+        // region sets.
+        let mut truncation = prepared.truncation;
 
         // ---- Phase 2: FVMine per group (lines 5-9) ------------------------
         // Label groups are independent, so each group's FVMine runs as one
@@ -271,15 +329,25 @@ impl GraphSig {
         stats.groups = groups.len();
         // (group label, significant vector, supporting (gid, node) pairs).
         type WorkItem = (NodeLabel, SignificantVector, Vec<(u32, u32)>);
-        let per_group: Vec<Vec<WorkItem>> =
+        let per_group: Vec<(Vec<WorkItem>, Option<StopReason>)> =
             crate::par::par_map(self.cfg.threads, groups, |group| {
                 let min_support = self.cfg.fvmine_support(group.vectors.len());
                 if group.vectors.len() < min_support {
-                    return Vec::new();
+                    return (Vec::new(), None);
                 }
+                if let Some(reason) = control::check_start(budget) {
+                    // Out of time / cancelled: skip the group entirely —
+                    // fewer significant vectors, but every one we *did*
+                    // produce stays exact.
+                    return (Vec::new(), Some(reason));
+                }
+                // Each group is one metered work unit: its FVMine branch
+                // expansions draw on a fresh per-unit step allowance, so
+                // exhaustion is a property of the group, not the schedule.
+                let mut meter = Meter::new(budget);
                 let miner = FvMiner::new(FvMineConfig::new(min_support, self.cfg.max_pvalue));
-                miner
-                    .mine(&group.vectors)
+                let items = miner
+                    .mine_metered(&group.vectors, &mut meter)
                     .into_iter()
                     .map(|sv| {
                         // Line 9: nodes described by the vector = its exact
@@ -294,9 +362,17 @@ impl GraphSig {
                         }));
                         (group.label, sv, nodes)
                     })
-                    .collect()
+                    .collect();
+                let stop = meter.stop_reason();
+                (items, stop)
             });
-        let work: Vec<WorkItem> = per_group.into_iter().flatten().collect();
+        let mut work: Vec<WorkItem> = Vec::new();
+        for (items, stop) in per_group {
+            if truncation.is_none() {
+                truncation = stop;
+            }
+            work.extend(items);
+        }
         stats.significant_vectors = work.len();
         profile.feature_analysis = t1.elapsed();
 
@@ -311,6 +387,8 @@ impl GraphSig {
             truncated: bool,
             /// Produced no pattern: feature-space false positive.
             pruned: bool,
+            /// Budget stop hit while (or before) mining this set.
+            stop: Option<StopReason>,
             /// `(canonical code, rest of the answer)` pairs; the code is
             /// moved (never cloned) and becomes the dedup key.
             candidates: Vec<(DfsCode, CandidateRest)>,
@@ -330,6 +408,18 @@ impl GraphSig {
                         mined: false,
                         truncated: false,
                         pruned: false,
+                        stop: None,
+                        candidates: Vec::new(),
+                    };
+                }
+                if let Some(reason) = control::check_start(budget) {
+                    // Out of time / cancelled before this set: drop it and
+                    // report why. Everything already mined stays exact.
+                    return SetOutcome {
+                        mined: false,
+                        truncated: false,
+                        pruned: false,
+                        stop: Some(reason),
                         candidates: Vec::new(),
                     };
                 }
@@ -343,7 +433,8 @@ impl GraphSig {
                     region_sources.push(gid);
                 }
                 let support = self.cfg.fsm_support(regions.len());
-                let (patterns, truncated) = self.maximal_fsm(&regions, support, inner_threads);
+                let (patterns, truncated, stop) =
+                    self.maximal_fsm(&regions, support, inner_threads);
                 let pruned = patterns.is_empty();
                 let candidates = patterns
                     .into_iter()
@@ -372,6 +463,7 @@ impl GraphSig {
                     mined: true,
                     truncated,
                     pruned,
+                    stop,
                     candidates,
                 }
             });
@@ -381,6 +473,9 @@ impl GraphSig {
         // nothing beyond the map entries.
         let mut best: HashMap<DfsCode, CandidateRest> = HashMap::new();
         for outcome in outcomes {
+            if truncation.is_none() {
+                truncation = outcome.stop;
+            }
             if !outcome.mined {
                 continue;
             }
@@ -430,43 +525,67 @@ impl GraphSig {
                 .then_with(|| ka.cmp(kb))
         });
         let subgraphs: Vec<SignificantSubgraph> = decorated.into_iter().map(|(_, sg)| sg).collect();
-        GraphSigResult {
-            subgraphs,
-            profile,
-            stats,
+        let mut completion = match truncation {
+            Some(reason) => Completion::Truncated(reason),
+            None => Completion::Complete,
+        };
+        if stats.truncated_sets > 0 {
+            completion = completion.merge(Completion::Truncated(StopReason::PatternCap));
         }
+        Outcome::new(
+            GraphSigResult {
+                subgraphs,
+                profile,
+                stats,
+            },
+            completion,
+        )
     }
 
     /// Run the configured miner with `threads` workers and return
-    /// `(maximal patterns, truncated)`.
+    /// `(maximal patterns, hit the per-set pattern cap, budget stop)`.
     fn maximal_fsm(
         &self,
         regions: &GraphDb,
         support: usize,
         threads: usize,
-    ) -> (Vec<Pattern>, bool) {
+    ) -> (Vec<Pattern>, bool, Option<StopReason>) {
         if regions.len() < support {
-            return (Vec::new(), false);
+            return (Vec::new(), false, None);
         }
         let cap = self.cfg.max_patterns_per_set;
-        let all = match self.cfg.fsm_backend {
-            FsmBackend::Fsg => Fsg::new(
-                FsgConfig::new(support)
+        let outcome = match self.cfg.fsm_backend {
+            FsmBackend::Fsg => {
+                let mut cfg = FsgConfig::new(support)
                     .with_max_edges(self.cfg.max_pattern_edges)
                     .with_max_patterns(cap)
-                    .with_threads(threads),
-            )
-            .mine(regions),
-            FsmBackend::GSpan => GSpan::new(
-                MinerConfig::new(support)
+                    .with_threads(threads);
+                if let Some(b) = self.cfg.budget.as_ref() {
+                    cfg = cfg.with_budget(b.clone());
+                }
+                Fsg::new(cfg).mine_outcome(regions)
+            }
+            FsmBackend::GSpan => {
+                let mut cfg = MinerConfig::new(support)
                     .with_max_edges(self.cfg.max_pattern_edges)
                     .with_max_patterns(cap)
-                    .with_threads(threads),
-            )
-            .mine(regions),
+                    .with_threads(threads);
+                if let Some(b) = self.cfg.budget.as_ref() {
+                    cfg = cfg.with_budget(b.clone());
+                }
+                GSpan::new(cfg).mine_outcome(regions)
+            }
         };
+        let all = outcome.result;
         let truncated = all.len() >= cap;
-        (graphsig_gspan::filter_maximal(all), truncated)
+        // The per-set pattern cap is already surfaced through `truncated`
+        // (and the run's `truncated_sets` counter); only budget stops need
+        // to flow out of here.
+        let stop = match outcome.completion {
+            Completion::Truncated(reason) if reason != StopReason::PatternCap => Some(reason),
+            _ => None,
+        };
+        (graphsig_gspan::filter_maximal(all), truncated, stop)
     }
 }
 
@@ -645,6 +764,92 @@ mod tests {
         // Not asserting pruned_sets > 0 strictly — but the counter must be
         // consistent.
         assert!(result.stats.pruned_sets <= result.stats.region_sets);
+    }
+}
+
+#[cfg(test)]
+mod budget_tests {
+    use super::*;
+    use graphsig_datagen::aids_like;
+    use graphsig_graph::{Budget, CancelToken};
+    use std::time::Duration;
+
+    fn cfg() -> GraphSigConfig {
+        GraphSigConfig {
+            min_freq: 0.05,
+            max_pvalue: 0.05,
+            radius: 3,
+            max_pattern_edges: 8,
+            ..Default::default()
+        }
+    }
+
+    fn fingerprint(r: &GraphSigResult) -> Vec<String> {
+        r.subgraphs
+            .iter()
+            .map(|s| format!("{} {:?}", s.code, s.gids))
+            .collect()
+    }
+
+    #[test]
+    fn unbudgeted_outcome_is_complete_and_matches_mine() {
+        let data = aids_like(60, 11);
+        let actives = data.active_subset();
+        let miner = GraphSig::new(cfg());
+        let outcome = miner.mine_outcome(&actives);
+        assert!(outcome.completion.is_complete());
+        assert_eq!(
+            fingerprint(&outcome.result),
+            fingerprint(&miner.mine(&actives))
+        );
+    }
+
+    #[test]
+    fn step_budget_truncation_is_identical_across_thread_counts() {
+        let data = aids_like(60, 12);
+        let actives = data.active_subset();
+        for &max_steps in &[0u64, 5, 2_000] {
+            let mut runs = Vec::new();
+            for &threads in &[1usize, 2, 4, 8] {
+                let c = GraphSigConfig { threads, ..cfg() }
+                    .with_budget(Budget::unlimited().with_max_steps(max_steps));
+                let outcome = GraphSig::new(c).mine_outcome(&actives);
+                runs.push((fingerprint(&outcome.result), outcome.completion));
+            }
+            for w in runs.windows(2) {
+                assert_eq!(w[0], w[1], "max_steps={max_steps}");
+            }
+            if max_steps == 0 {
+                assert_eq!(runs[0].1, Completion::Truncated(StopReason::StepBudget));
+                assert!(runs[0].0.is_empty(), "zero budget must yield no subgraphs");
+            }
+        }
+    }
+
+    #[test]
+    fn expired_deadline_yields_truncated_outcome() {
+        let data = aids_like(40, 13);
+        let c = cfg().with_budget(Budget::unlimited().with_deadline(Duration::ZERO));
+        let outcome = GraphSig::new(c).mine_outcome(&data.db);
+        assert_eq!(
+            outcome.completion,
+            Completion::Truncated(StopReason::Deadline)
+        );
+        assert!(outcome.result.subgraphs.is_empty());
+    }
+
+    #[test]
+    fn cancelled_token_yields_truncated_outcome() {
+        let data = aids_like(40, 14);
+        let token = CancelToken::new();
+        token.cancel();
+        let c = cfg().with_budget(Budget::unlimited().with_cancel(token));
+        let outcome = GraphSig::new(c).mine_outcome(&data.db);
+        assert_eq!(
+            outcome.completion,
+            Completion::Truncated(StopReason::Cancelled)
+        );
+        assert!(outcome.result.subgraphs.is_empty());
     }
 }
 

@@ -6,9 +6,10 @@
 //! can see what was found and why it was surprising.
 
 use graphsig_features::FeatureSet;
-use graphsig_graph::LabelTable;
+use graphsig_graph::{Completion, LabelTable};
 
 use crate::pipeline::SignificantSubgraph;
+use crate::pipeline::{GraphSigResult, RunStats};
 
 /// Multi-line description of one answer: structure, statistics, and the
 /// non-zero features of the sub-feature vector that discovered it.
@@ -53,6 +54,32 @@ pub fn describe(sg: &SignificantSubgraph, fs: &FeatureSet, labels: &LabelTable) 
     out
 }
 
+/// One-line run summary: answer count, counters, and — when the run was
+/// budget-governed — whether it completed or what cut it short. Used by the
+/// CLI and the benchmark harness so truncation is never silent.
+pub fn describe_run(result: &GraphSigResult, completion: Completion) -> String {
+    let RunStats {
+        vectors,
+        groups,
+        significant_vectors,
+        region_sets,
+        pruned_sets,
+        truncated_sets,
+    } = result.stats;
+    format!(
+        "{} subgraphs ({}); {} vectors in {} groups -> {} significant, \
+         {} region sets ({} pruned, {} truncated)",
+        result.subgraphs.len(),
+        completion,
+        vectors,
+        groups,
+        significant_vectors,
+        region_sets,
+        pruned_sets,
+        truncated_sets,
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -81,5 +108,27 @@ mod tests {
         assert!(text.contains(">="), "no feature evidence lines:\n{text}");
         // Names resolved, not raw ids.
         assert!(!text.contains('?'), "unresolved label in:\n{text}");
+    }
+
+    #[test]
+    fn describe_run_shows_completion() {
+        use graphsig_graph::{Completion, StopReason};
+        let data = aids_like(60, 6);
+        let cfg = GraphSigConfig {
+            min_freq: 0.1,
+            max_pvalue: 0.05,
+            radius: 3,
+            max_pattern_edges: 8,
+            ..Default::default()
+        };
+        let outcome = GraphSig::new(cfg).mine_outcome(&data.db);
+        let line = describe_run(&outcome.result, outcome.completion);
+        assert!(line.contains("subgraphs"), "{line}");
+        assert!(line.contains("region sets"), "{line}");
+        let truncated = describe_run(&outcome.result, Completion::Truncated(StopReason::Deadline));
+        assert!(
+            truncated.contains("truncated (deadline exceeded)"),
+            "{truncated}"
+        );
     }
 }

@@ -6,8 +6,10 @@
 //! than one thread is configured (`threads == 0` means auto).
 
 use graphsig_features::{
-    graph_count_vectors, graph_feature_vectors, FeatureSet, NodeVector, RwrConfig,
+    graph_count_vectors, graph_feature_vectors, graph_feature_vectors_metered, FeatureSet,
+    NodeVector, RwrConfig,
 };
+use graphsig_graph::control::{self, Budget, Meter, StopReason};
 use graphsig_graph::{GraphDb, NodeLabel};
 
 use crate::config::WindowKind;
@@ -56,20 +58,71 @@ pub fn compute_all_window_vectors(
     window: WindowKind,
     threads: usize,
 ) -> Vec<GraphVectors> {
+    compute_all_window_vectors_governed(db, fs, rwr, window, threads, None).0
+}
+
+/// [`compute_all_window_vectors`] under a resource [`Budget`]. Each graph is
+/// one metered work unit (one RWR power-iteration sweep = one step), so
+/// step-budget truncation is a per-graph property and the output is
+/// byte-identical for any thread count. Truncated graphs still emit one
+/// vector per node — computed from however many sweeps the budget allowed
+/// (zero sweeps = the point mass at each source node) — so downstream phases
+/// always see structurally complete input. The second return value is the
+/// first stop reason encountered, in graph-id order.
+pub fn compute_all_window_vectors_governed(
+    db: &GraphDb,
+    fs: &FeatureSet,
+    rwr: &RwrConfig,
+    window: WindowKind,
+    threads: usize,
+    budget: Option<&Budget>,
+) -> (Vec<GraphVectors>, Option<StopReason>) {
     // Dynamic scheduling instead of static contiguous chunking: graph
     // sizes are skewed, and a contiguous run of large molecules used to
     // leave one worker as the straggler while the others sat idle.
-    crate::par::par_map_range(threads, db.len(), |gid| {
-        let g = db.graph(gid);
-        let vectors = match window {
-            WindowKind::Rwr => graph_feature_vectors(g, fs, rwr),
-            WindowKind::Count { radius } => graph_count_vectors(g, radius, fs),
-        };
-        GraphVectors {
-            gid: gid as u32,
-            vectors,
+    let per_graph: Vec<(GraphVectors, Option<StopReason>)> =
+        crate::par::par_map_range(threads, db.len(), |gid| {
+            let g = db.graph(gid);
+            let early = control::check_start(budget);
+            let (vectors, stop) = match window {
+                WindowKind::Rwr => {
+                    if early.is_some() {
+                        // Already cancelled / past the deadline: run zero
+                        // sweeps so every node still gets a well-formed
+                        // (point-mass) vector.
+                        let degenerate = RwrConfig {
+                            max_iters: 0,
+                            ..*rwr
+                        };
+                        (graph_feature_vectors(g, fs, &degenerate), early)
+                    } else {
+                        let mut meter = Meter::new(budget);
+                        let v = graph_feature_vectors_metered(g, fs, rwr, &mut meter);
+                        let stop = meter.stop_reason();
+                        (v, stop)
+                    }
+                }
+                // The counting window has no iterative inner loop to meter;
+                // only the start-of-unit deadline/cancel check applies.
+                WindowKind::Count { radius } => (graph_count_vectors(g, radius, fs), early),
+            };
+            (
+                GraphVectors {
+                    gid: gid as u32,
+                    vectors,
+                },
+                stop,
+            )
+        });
+    let mut out = Vec::with_capacity(per_graph.len());
+    let mut truncation: Option<StopReason> = None;
+    for (gv, stop) in per_graph {
+        if truncation.is_none() {
+            truncation = stop;
         }
-    })
+        out.push(gv);
+    }
+    (out, truncation)
 }
 
 /// Group all vectors by source-node label (Alg. 2 line 6), returning the

@@ -28,6 +28,7 @@
 
 use crate::pvalue::SignificanceModel;
 use crate::vector::{ceiling_of, floor_of};
+use graphsig_graph::control::Meter;
 
 /// Thresholds for [`FvMiner`]. The paper's Table IV defaults are
 /// `maxPvalue = 0.1` and a relative support of 0.1% of the group.
@@ -112,11 +113,31 @@ impl FvMiner {
 
     /// Like [`mine`](Self::mine), also returning search counters.
     pub fn mine_with_stats(&self, db: &[Vec<u8>]) -> (Vec<SignificantVector>, FvMineStats) {
+        self.mine_with_stats_metered(db, &mut Meter::unbudgeted())
+    }
+
+    /// Budget-governed [`mine`](Self::mine): one [`Meter`] step per lattice
+    /// state visited and per branch expansion. When the meter runs dry the
+    /// search unwinds — already-found vectors are kept (each is exact on
+    /// its own), the rest of the lattice is skipped, and the caller reads
+    /// the truncation reason off the meter. Truncation is deterministic
+    /// for step budgets (the search is sequential within one meter).
+    pub fn mine_metered(&self, db: &[Vec<u8>], meter: &mut Meter<'_>) -> Vec<SignificantVector> {
+        self.mine_with_stats_metered(db, meter).0
+    }
+
+    /// [`mine_with_stats`](Self::mine_with_stats) under a [`Meter`]; see
+    /// [`mine_metered`](Self::mine_metered).
+    pub fn mine_with_stats_metered(
+        &self,
+        db: &[Vec<u8>],
+        meter: &mut Meter<'_>,
+    ) -> (Vec<SignificantVector>, FvMineStats) {
         if db.is_empty() {
             return (Vec::new(), FvMineStats::default());
         }
         let model = SignificanceModel::from_vectors(db, 10);
-        self.mine_with_model_and_stats(db, &model)
+        self.mine_with_model_stats_metered(db, &model, meter)
     }
 
     /// Mine `db` against an externally supplied significance model (e.g.
@@ -135,6 +156,17 @@ impl FvMiner {
         db: &[Vec<u8>],
         model: &SignificanceModel,
     ) -> (Vec<SignificantVector>, FvMineStats) {
+        self.mine_with_model_stats_metered(db, model, &mut Meter::unbudgeted())
+    }
+
+    /// Full-control entry point under a [`Meter`]; see
+    /// [`mine_metered`](Self::mine_metered).
+    pub fn mine_with_model_stats_metered(
+        &self,
+        db: &[Vec<u8>],
+        model: &SignificanceModel,
+        meter: &mut Meter<'_>,
+    ) -> (Vec<SignificantVector>, FvMineStats) {
         let mut stats = FvMineStats::default();
         if db.is_empty() {
             return (Vec::new(), stats);
@@ -145,7 +177,16 @@ impl FvMiner {
         }
         let root = floor_of(db.iter().map(|v| v.as_slice()));
         let mut out = Vec::new();
-        self.recurse(db, model, &root, &root_support, 0, &mut out, &mut stats);
+        self.recurse(
+            db,
+            model,
+            &root,
+            &root_support,
+            0,
+            meter,
+            &mut out,
+            &mut stats,
+        );
         (out, stats)
     }
 
@@ -157,9 +198,15 @@ impl FvMiner {
         x: &[u8],
         support: &[u32],
         b: usize,
+        meter: &mut Meter<'_>,
         out: &mut Vec<SignificantVector>,
         stats: &mut FvMineStats,
     ) {
+        // One step per lattice state. Sticky: an exhausted meter unwinds
+        // the whole subtree (already-emitted vectors remain valid).
+        if !meter.tick() {
+            return;
+        }
         stats.states_visited += 1;
         let p = model.p_value(x, support.len() as u64);
         if p <= self.cfg.max_pvalue {
@@ -171,6 +218,10 @@ impl FvMiner {
         }
         let dim = x.len();
         for i in b..dim {
+            // One step per branch expansion.
+            if !meter.tick() {
+                return;
+            }
             // S' = {y in S : y_i > x_i}.
             let sub: Vec<u32> = support
                 .iter()
@@ -195,7 +246,7 @@ impl FvMiner {
                     continue;
                 }
             }
-            self.recurse(db, model, &x2, &sub, i, out, stats);
+            self.recurse(db, model, &x2, &sub, i, meter, out, stats);
         }
     }
 }
@@ -340,6 +391,39 @@ mod tests {
         // With max_pvalue = 0 only vectors with P(x)=0 could qualify, and
         // those have support 0 — so nothing is reported.
         assert!(run(&table1(), 1, 0.0).is_empty());
+    }
+
+    #[test]
+    fn exhausted_meter_truncates_but_keeps_found_vectors() {
+        use graphsig_graph::control::{Budget, StopReason};
+        let db = table1();
+        let full = run(&db, 1, 1.0);
+        // Zero allowance: nothing mined, truncation recorded.
+        let budget = Budget::unlimited().with_max_steps(0);
+        let mut meter = budget.meter();
+        let got = FvMiner::new(FvMineConfig::new(1, 1.0)).mine_metered(&db, &mut meter);
+        assert!(got.is_empty());
+        assert_eq!(meter.stop_reason(), Some(StopReason::StepBudget));
+        // Partial allowances yield prefixes of the full enumeration and are
+        // deterministic; a generous allowance completes.
+        for steps in [1u64, 3, 7, 1000] {
+            let budget = Budget::unlimited().with_max_steps(steps);
+            let mut meter = budget.meter();
+            let got = FvMiner::new(FvMineConfig::new(1, 1.0)).mine_metered(&db, &mut meter);
+            assert!(got.len() <= full.len());
+            for (a, b) in got.iter().zip(&full) {
+                assert_eq!(a.vector, b.vector, "steps={steps}");
+            }
+            let budget2 = Budget::unlimited().with_max_steps(steps);
+            let mut meter2 = budget2.meter();
+            let again = FvMiner::new(FvMineConfig::new(1, 1.0)).mine_metered(&db, &mut meter2);
+            assert_eq!(got, again, "steps={steps}");
+        }
+        let budget = Budget::unlimited().with_max_steps(1_000_000);
+        let mut meter = budget.meter();
+        let got = FvMiner::new(FvMineConfig::new(1, 1.0)).mine_metered(&db, &mut meter);
+        assert_eq!(got, full);
+        assert_eq!(meter.stop_reason(), None);
     }
 
     #[test]

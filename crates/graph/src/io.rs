@@ -53,6 +53,10 @@ fn err(line: usize, message: impl Into<String>) -> ParseError {
 pub fn parse_transactions(input: &str) -> Result<GraphDb, ParseError> {
     let mut db = GraphDb::new();
     let mut current: Option<GraphBuilder> = None;
+    // Undirected (min, max) endpoint pairs of the current transaction, to
+    // reject duplicate edges (which silently corrupt support counts).
+    let mut seen_edges: std::collections::HashSet<(NodeId, NodeId)> =
+        std::collections::HashSet::new();
 
     let flush = |builder: Option<GraphBuilder>, db: &mut GraphDb| {
         if let Some(b) = builder {
@@ -71,6 +75,7 @@ pub fn parse_transactions(input: &str) -> Result<GraphDb, ParseError> {
             Some("t") => {
                 flush(current.take(), &mut db);
                 current = Some(GraphBuilder::new());
+                seen_edges.clear();
             }
             Some("v") => {
                 let b = current
@@ -118,6 +123,12 @@ pub fn parse_transactions(input: &str) -> Result<GraphDb, ParseError> {
                 }
                 if u == v {
                     return Err(err(lineno, "self-loops are not supported"));
+                }
+                if !seen_edges.insert((u.min(v), u.max(v))) {
+                    return Err(err(
+                        lineno,
+                        format!("duplicate edge between nodes {} and {}", u.min(v), u.max(v)),
+                    ));
                 }
                 let l = db.labels_mut().intern_edge(label);
                 b.add_edge(u, v, l);
@@ -229,6 +240,23 @@ e 0 2 double
     fn self_loop_is_error() {
         let e = parse_transactions("t # 0\nv 0 C\ne 0 0 x\n").unwrap_err();
         assert!(e.message.contains("self-loop"));
+    }
+
+    #[test]
+    fn duplicate_edge_is_error() {
+        // Same pair twice, second time with reversed endpoints and a
+        // different label: still the same undirected edge.
+        let e = parse_transactions("t # 0\nv 0 C\nv 1 O\ne 0 1 x\ne 1 0 y\n").unwrap_err();
+        assert!(e.message.contains("duplicate edge"), "{}", e.message);
+        assert_eq!(e.line, 5);
+    }
+
+    #[test]
+    fn duplicate_edge_tracking_resets_per_transaction() {
+        // The same edge in two different transactions is fine.
+        let db = parse_transactions("t # 0\nv 0 C\nv 1 O\ne 0 1 x\nt # 1\nv 0 C\nv 1 O\ne 0 1 x\n")
+            .unwrap();
+        assert_eq!(db.len(), 2);
     }
 
     #[test]

@@ -15,6 +15,60 @@
 
 use crate::graph::{Graph, NodeId};
 
+/// Result of a *bounded* isomorphism search ([`SubgraphMatcher::exists_within`],
+/// [`MultiMatcher::exists_in_counted`]).
+///
+/// Dense pathological pairs — e.g. label-uniform cliques — can make the
+/// backtracking search take exponentially long. Bounded searches charge one
+/// step per candidate trial and give up with [`MatchOutcome::Indeterminate`]
+/// once the step cap is hit: the pattern may or may not occur, the search
+/// could not afford to decide. Callers under a budget typically treat
+/// `Indeterminate` conservatively (e.g. "not supported") and mark the
+/// result truncated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MatchOutcome {
+    /// An embedding was found within the step cap.
+    Matched,
+    /// The full search space was exhausted without finding an embedding.
+    Unmatched,
+    /// The step cap was hit before the search could decide.
+    Indeterminate,
+}
+
+impl MatchOutcome {
+    /// `true` iff an embedding was definitely found.
+    pub fn is_match(&self) -> bool {
+        matches!(self, MatchOutcome::Matched)
+    }
+}
+
+/// Per-search step counter for bounded searches: one unit per candidate
+/// trial. `u64::MAX` means effectively unbounded (the unbudgeted paths use
+/// it, making governance-off searches behave exactly as before).
+struct StepGauge {
+    remaining: u64,
+    exhausted: bool,
+}
+
+impl StepGauge {
+    fn new(limit: u64) -> Self {
+        Self {
+            remaining: limit,
+            exhausted: false,
+        }
+    }
+
+    #[inline]
+    fn consume(&mut self) -> bool {
+        if self.remaining == 0 {
+            self.exhausted = true;
+            return false;
+        }
+        self.remaining -= 1;
+        true
+    }
+}
+
 /// A reusable pattern-against-target matcher.
 ///
 /// # Example
@@ -113,14 +167,38 @@ impl<'a> SubgraphMatcher<'a> {
             .collect()
     }
 
+    /// Bounded existence test: at most `max_steps` candidate trials, then
+    /// [`MatchOutcome::Indeterminate`]. Guards against dense pathological
+    /// pairs (label-uniform cliques) where the backtracking search is
+    /// exponential.
+    pub fn exists_within(&self, max_steps: u64) -> MatchOutcome {
+        let mut found = false;
+        let exhausted = self.search_bounded(max_steps, &mut |_| {
+            found = true;
+            false // stop
+        });
+        if found {
+            MatchOutcome::Matched
+        } else if exhausted {
+            MatchOutcome::Indeterminate
+        } else {
+            MatchOutcome::Unmatched
+        }
+    }
+
     fn search(&self, visit: &mut dyn FnMut(&[NodeId]) -> bool) {
+        self.search_bounded(u64::MAX, visit);
+    }
+
+    /// Run the search with a step cap; returns whether the cap was hit.
+    fn search_bounded(&self, max_steps: u64, visit: &mut dyn FnMut(&[NodeId]) -> bool) -> bool {
         let pn = self.pattern.node_count();
         if pn == 0 {
             visit(&[]);
-            return;
+            return false;
         }
         if pn > self.target.node_count() || self.pattern.edge_count() > self.target.edge_count() {
-            return;
+            return false;
         }
         let mut map = vec![u32::MAX; pn];
         let mut used = vec![false; self.target.node_count()];
@@ -130,7 +208,9 @@ impl<'a> SubgraphMatcher<'a> {
             order: &self.order,
             anchor: &self.anchor,
         };
-        ctx.extend(0, &mut map, &mut used, visit);
+        let mut steps = StepGauge::new(max_steps);
+        ctx.extend(0, &mut map, &mut used, &mut steps, visit);
+        steps.exhausted
     }
 }
 
@@ -186,12 +266,21 @@ impl<'p> MultiMatcher<'p> {
 
     /// Whether the pattern occurs in `target` (subgraph monomorphism).
     pub fn exists_in(&mut self, target: &Graph) -> bool {
+        self.exists_in_counted(target, u64::MAX).0.is_match()
+    }
+
+    /// Bounded existence test against `target`: at most `max_steps`
+    /// candidate trials, then [`MatchOutcome::Indeterminate`]. Also
+    /// returns how many trials were used, so budgeted support-counting
+    /// loops can charge the cost of each match against their
+    /// [`crate::control::Meter`].
+    pub fn exists_in_counted(&mut self, target: &Graph, max_steps: u64) -> (MatchOutcome, u64) {
         let pn = self.pattern.node_count();
         if pn == 0 {
-            return true;
+            return (MatchOutcome::Matched, 0);
         }
         if pn > target.node_count() || self.pattern.edge_count() > target.edge_count() {
-            return false;
+            return (MatchOutcome::Unmatched, 0);
         }
         if self.used.len() < target.node_count() {
             self.used.resize(target.node_count(), false);
@@ -203,11 +292,20 @@ impl<'p> MultiMatcher<'p> {
             anchor: &self.anchor,
         };
         let mut found = false;
-        ctx.extend(0, &mut self.map, &mut self.used, &mut |_| {
+        let mut steps = StepGauge::new(max_steps);
+        ctx.extend(0, &mut self.map, &mut self.used, &mut steps, &mut |_| {
             found = true;
             false // stop at the first embedding
         });
-        found
+        let used = max_steps - steps.remaining;
+        let outcome = if found {
+            MatchOutcome::Matched
+        } else if steps.exhausted {
+            MatchOutcome::Indeterminate
+        } else {
+            MatchOutcome::Unmatched
+        };
+        (outcome, used)
     }
 }
 
@@ -221,13 +319,15 @@ struct SearchCtx<'a> {
 }
 
 impl SearchCtx<'_> {
-    /// Depth-first extension; returns `false` when enumeration should stop.
+    /// Depth-first extension; returns `false` when enumeration should stop
+    /// (the visitor declined to continue, or the step gauge ran dry).
     /// `map` and `used` are restored to their entry state before returning.
     fn extend(
         &self,
         depth: usize,
         map: &mut [NodeId],
         used: &mut [bool],
+        steps: &mut StepGauge,
         visit: &mut dyn FnMut(&[NodeId]) -> bool,
     ) -> bool {
         if depth == self.order.len() {
@@ -238,13 +338,17 @@ impl SearchCtx<'_> {
         let p_deg = self.pattern.degree(p);
 
         // Candidates: neighbors of the anchor's image, or all target nodes
-        // for a component root.
+        // for a component root. Each candidate trial costs one step.
         let try_candidate = |cand: NodeId,
                              map: &mut [NodeId],
                              used: &mut [bool],
+                             steps: &mut StepGauge,
                              visit: &mut dyn FnMut(&[NodeId]) -> bool,
                              this: &Self|
          -> bool {
+            if !steps.consume() {
+                return false; // step cap hit: abandon the whole search
+            }
             if used[cand as usize]
                 || this.target.node_label(cand) != p_label
                 || this.target.degree(cand) < p_deg
@@ -265,7 +369,7 @@ impl SearchCtx<'_> {
             }
             map[p as usize] = cand;
             used[cand as usize] = true;
-            let keep_going = this.extend(depth + 1, map, used, visit);
+            let keep_going = this.extend(depth + 1, map, used, steps, visit);
             used[cand as usize] = false;
             map[p as usize] = u32::MAX;
             keep_going
@@ -276,14 +380,14 @@ impl SearchCtx<'_> {
                 let anchor_img = map[self.order[anchor_idx] as usize];
                 debug_assert_ne!(anchor_img, u32::MAX);
                 for a in self.target.neighbors(anchor_img) {
-                    if !try_candidate(a.to, map, used, visit, self) {
+                    if !try_candidate(a.to, map, used, steps, visit, self) {
                         return false;
                     }
                 }
             }
             None => {
                 for cand in 0..self.target.node_count() as NodeId {
-                    if !try_candidate(cand, map, used, visit, self) {
+                    if !try_candidate(cand, map, used, steps, visit, self) {
                         return false;
                     }
                 }
@@ -559,6 +663,80 @@ mod tests {
                 assert_eq!(m.exists_in(t), contains(t, p));
             }
         }
+    }
+
+    fn clique(n: usize) -> Graph {
+        // Label-uniform clique: the VF2 worst case (every node is a
+        // candidate for every pattern node).
+        let mut b = GraphBuilder::new();
+        let nodes: Vec<_> = (0..n).map(|_| b.add_node(0)).collect();
+        for i in 0..n {
+            for j in (i + 1)..n {
+                b.add_edge(nodes[i], nodes[j], 0);
+            }
+        }
+        b.build()
+    }
+
+    fn complete_tripartite(part: usize) -> Graph {
+        // K(part,part,part): dense and label-uniform but K4-free, so a K4
+        // pattern forces the search to exhaust a large space and fail.
+        let mut b = GraphBuilder::new();
+        let n: Vec<_> = (0..3 * part).map(|_| b.add_node(0)).collect();
+        for i in 0..3 * part {
+            for j in (i + 1)..3 * part {
+                if i / part != j / part {
+                    b.add_edge(n[i], n[j], 0);
+                }
+            }
+        }
+        b.build()
+    }
+
+    #[test]
+    fn bounded_search_on_pathological_clique_pair() {
+        let k4 = clique(4);
+        let k9 = clique(9);
+        let k333 = complete_tripartite(3);
+
+        // Positive pair: found well within a generous cap.
+        let m = SubgraphMatcher::new(&k4, &k9);
+        assert_eq!(m.exists_within(u64::MAX), MatchOutcome::Matched);
+        // Negative pair: the unbounded search proves absence...
+        let m = SubgraphMatcher::new(&k4, &k333);
+        assert_eq!(m.exists_within(u64::MAX), MatchOutcome::Unmatched);
+        // ...but a tight step cap gives up instead of grinding.
+        assert_eq!(m.exists_within(10), MatchOutcome::Indeterminate);
+        assert_eq!(m.exists_within(0), MatchOutcome::Indeterminate);
+
+        // MultiMatcher agrees and reports steps used.
+        let mut mm = MultiMatcher::new(&k4);
+        let (out, used) = mm.exists_in_counted(&k9, u64::MAX);
+        assert_eq!(out, MatchOutcome::Matched);
+        assert!(used > 0);
+        let (out, used) = mm.exists_in_counted(&k333, 10);
+        assert_eq!(out, MatchOutcome::Indeterminate);
+        assert_eq!(used, 10);
+        let (out, full) = mm.exists_in_counted(&k333, u64::MAX);
+        assert_eq!(out, MatchOutcome::Unmatched);
+        assert!(full > 10);
+        // Bounded runs are deterministic: same cap, same outcome, and the
+        // scratch buffers are restored after an aborted search.
+        let (out2, used2) = mm.exists_in_counted(&k333, 10);
+        assert_eq!((out2, used2), (MatchOutcome::Indeterminate, 10));
+        assert!(mm.exists_in(&k9));
+    }
+
+    #[test]
+    fn bounded_search_trivial_cases_cost_zero() {
+        let empty = GraphBuilder::new().build();
+        let e = edge_graph(0, 1, 0);
+        let mut mm = MultiMatcher::new(&empty);
+        assert_eq!(mm.exists_in_counted(&e, 0), (MatchOutcome::Matched, 0));
+        // Pattern larger than target: rejected before any search step.
+        let k4 = clique(4);
+        let mut mm = MultiMatcher::new(&k4);
+        assert_eq!(mm.exists_in_counted(&e, 0), (MatchOutcome::Unmatched, 0));
     }
 
     #[test]

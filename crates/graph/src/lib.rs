@@ -26,7 +26,13 @@
 //! * [`algorithms`] — components, eccentricity/diameter, cycle rank.
 //! * [`edit`] — edge/node removal and induced subgraphs (new graphs).
 //! * [`par`] — the deterministic dynamically-scheduled parallel executor
-//!   shared by the GraphSig pipeline and the baseline miners.
+//!   shared by the GraphSig pipeline and the baseline miners, with
+//!   per-task panic isolation ([`try_par_map`] / [`TaskPanicked`]).
+//! * [`control`] — request-level resource governance: [`Budget`] /
+//!   [`CancelToken`] / per-work-unit [`Meter`], and the
+//!   [`Outcome`]/[`Completion`] types miners report truncation through.
+//!   Step-budget truncation is deterministic across thread counts;
+//!   deadline/cancellation are best-effort (see the module docs).
 //!
 //! # Example
 //!
@@ -46,6 +52,7 @@
 //! ```
 
 pub mod algorithms;
+pub mod control;
 pub mod database;
 pub mod display;
 pub mod edit;
@@ -58,13 +65,16 @@ pub mod neighborhood;
 pub mod par;
 
 pub use algorithms::{connected_components, cycle_rank, diameter, eccentricity};
+pub use control::{Budget, CancelToken, Completion, Meter, Outcome, StopReason};
 pub use database::{DbStats, GraphDb};
 pub use display::{display_with, DisplayWith};
 pub use edit::{induced_subgraph, remove_edge, remove_node};
 pub use graph::{Edge, Graph, GraphBuilder, NodeId};
 pub use index::{EdgeOccurrence, LabelPairEntry, LabelPairIndex, LabelTriple};
 pub use io::{parse_transactions, write_transactions, ParseError};
-pub use iso::{are_isomorphic, MultiMatcher, SubgraphMatcher};
+pub use iso::{are_isomorphic, MatchOutcome, MultiMatcher, SubgraphMatcher};
 pub use labels::{EdgeLabel, LabelTable, NodeLabel};
 pub use neighborhood::cut_graph;
-pub use par::{par_map, par_map_range, resolve_threads};
+pub use par::{
+    par_map, par_map_range, resolve_threads, try_par_map, try_par_map_range, TaskPanicked,
+};

@@ -21,10 +21,47 @@
 //!   thread count — byte-for-byte, not just set-equal. Downstream
 //!   dedup/sort passes therefore see the exact sequential order.
 //!
+//! The executor also provides **panic isolation**: every task runs under
+//! `catch_unwind`, so one poisoned item surfaces as a structured
+//! [`TaskPanicked`] error (carrying the *lowest* panicking index,
+//! deterministically — see [`try_par_map_range`]) instead of tearing down
+//! the process. The infallible [`par_map`]/[`par_map_range`] re-raise that
+//! structured error as a panic on the caller's thread.
+//!
 //! No external dependencies (see DESIGN.md §6); scoped threads have been
 //! stable since Rust 1.63.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+/// A parallel task panicked. `index` is the lowest item index that
+/// panicked — deterministic across thread counts — and `message` is its
+/// panic payload (when it was a string).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TaskPanicked {
+    /// Lowest panicking item index.
+    pub index: usize,
+    /// The panic payload, if it was a `&str` or `String`.
+    pub message: String,
+}
+
+impl std::fmt::Display for TaskPanicked {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "parallel task {} panicked: {}", self.index, self.message)
+    }
+}
+
+impl std::error::Error for TaskPanicked {}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
 
 /// Resolve a `threads` configuration value: `0` means "auto", i.e.
 /// [`std::thread::available_parallelism`] (falling back to 1 if the
@@ -52,42 +89,102 @@ where
     U: Send,
     F: Fn(usize) -> U + Sync,
 {
+    match try_par_map_range(threads, n, f) {
+        Ok(v) => v,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// Fallible variant of [`par_map_range`]: each task runs under
+/// `catch_unwind`, and a panicking task yields `Err(TaskPanicked)` instead
+/// of unwinding through the executor.
+///
+/// The reported index is **deterministic**: it is always the lowest item
+/// index that panics. Indices are claimed from the shared atomic counter in
+/// strictly increasing order and workers stop claiming new items once a
+/// panic is observed, so every item below the first panicker has already
+/// been claimed and runs to completion — any panic among them is recorded,
+/// and skipped items all lie above the first panicker. On `Err`, results of
+/// successfully completed items are discarded.
+pub fn try_par_map_range<U, F>(threads: usize, n: usize, f: F) -> Result<Vec<U>, TaskPanicked>
+where
+    U: Send,
+    F: Fn(usize) -> U + Sync,
+{
     let threads = resolve_threads(threads).min(n.max(1));
     if threads <= 1 || n < 2 {
-        return (0..n).map(f).collect();
+        let mut out = Vec::with_capacity(n);
+        for i in 0..n {
+            match catch_unwind(AssertUnwindSafe(|| f(i))) {
+                Ok(v) => out.push(v),
+                Err(p) => {
+                    return Err(TaskPanicked {
+                        index: i,
+                        message: panic_message(p),
+                    })
+                }
+            }
+        }
+        return Ok(out);
     }
     let next = AtomicUsize::new(0);
+    let poisoned = AtomicBool::new(false);
     let mut slots: Vec<Option<U>> = Vec::with_capacity(n);
     slots.resize_with(n, || None);
+    let mut first_panic: Option<TaskPanicked> = None;
     std::thread::scope(|s| {
         let handles: Vec<_> = (0..threads)
             .map(|_| {
                 let next = &next;
+                let poisoned = &poisoned;
                 let f = &f;
                 s.spawn(move || {
                     let mut local: Vec<(usize, U)> = Vec::new();
+                    let mut panicked: Option<TaskPanicked> = None;
                     loop {
+                        if poisoned.load(Ordering::Relaxed) {
+                            break;
+                        }
                         let i = next.fetch_add(1, Ordering::Relaxed);
                         if i >= n {
                             break;
                         }
-                        local.push((i, f(i)));
+                        match catch_unwind(AssertUnwindSafe(|| f(i))) {
+                            Ok(v) => local.push((i, v)),
+                            Err(p) => {
+                                panicked = Some(TaskPanicked {
+                                    index: i,
+                                    message: panic_message(p),
+                                });
+                                poisoned.store(true, Ordering::Relaxed);
+                                break;
+                            }
+                        }
                     }
-                    local
+                    (local, panicked)
                 })
             })
             .collect();
         for h in handles {
-            for (i, v) in h.join().expect("parallel worker panicked") {
+            let (local, panicked) = h.join().expect("parallel worker panicked");
+            if let Some(p) = panicked {
+                if first_panic.as_ref().is_none_or(|q| p.index < q.index) {
+                    first_panic = Some(p);
+                }
+            }
+            for (i, v) in local {
                 debug_assert!(slots[i].is_none(), "index {i} produced twice");
                 slots[i] = Some(v);
             }
         }
     });
-    slots
+    if let Some(p) = first_panic {
+        return Err(p);
+    }
+    Ok(slots
         .into_iter()
         .map(|o| o.expect("all indices claimed exactly once"))
-        .collect()
+        .collect())
 }
 
 /// Map `f` over a slice with `threads` workers (`0` = auto), returning
@@ -100,6 +197,17 @@ where
     F: Fn(&T) -> U + Sync,
 {
     par_map_range(threads, items.len(), |i| f(&items[i]))
+}
+
+/// Fallible variant of [`par_map`]; see [`try_par_map_range`] for the
+/// panic-isolation and determinism guarantees.
+pub fn try_par_map<T, U, F>(threads: usize, items: &[T], f: F) -> Result<Vec<U>, TaskPanicked>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&T) -> U + Sync,
+{
+    try_par_map_range(threads, items.len(), |i| f(&items[i]))
 }
 
 #[cfg(test)]
@@ -158,5 +266,54 @@ mod tests {
     fn more_threads_than_items_is_safe() {
         let got = par_map_range(16, 3, |i| i * 2);
         assert_eq!(got, vec![0, 2, 4]);
+    }
+
+    #[test]
+    fn try_variants_match_infallible_on_success() {
+        let items: Vec<usize> = (0..57).collect();
+        for threads in [1, 2, 4, 8] {
+            let got = try_par_map(threads, &items, |&x| x + 1).unwrap();
+            assert_eq!(got, (1..58).collect::<Vec<_>>(), "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn panicking_task_yields_lowest_index_at_every_thread_count() {
+        for threads in [1, 2, 4, 8] {
+            let err = try_par_map_range(threads, 64, |i| {
+                if i == 13 || i == 40 {
+                    panic!("boom at {i}");
+                }
+                i
+            })
+            .unwrap_err();
+            assert_eq!(err.index, 13, "threads={threads}");
+            assert_eq!(err.message, "boom at 13", "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn infallible_map_reraises_structured_panic() {
+        let caught = std::panic::catch_unwind(|| {
+            par_map_range(4, 8, |i| {
+                if i == 3 {
+                    panic!("poisoned item");
+                }
+                i
+            })
+        })
+        .unwrap_err();
+        let msg = caught.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert_eq!(msg, "parallel task 3 panicked: poisoned item");
+    }
+
+    #[test]
+    fn task_panicked_display_and_error() {
+        let e = TaskPanicked {
+            index: 5,
+            message: "oops".into(),
+        };
+        assert_eq!(e.to_string(), "parallel task 5 panicked: oops");
+        let _: &dyn std::error::Error = &e;
     }
 }

@@ -23,6 +23,7 @@ use crate::dfs_code::{extension_order, DfsCode, DfsEdge};
 use crate::extend::enumerate_extensions;
 use crate::min_code::is_min;
 use crate::pattern::Pattern;
+use graphsig_graph::control::{self, Budget, Completion, Meter, Outcome, StopReason};
 use graphsig_graph::{GraphDb, LabelPairEntry, LabelPairIndex, NodeId};
 
 /// Configuration for [`GSpan`].
@@ -41,6 +42,11 @@ pub struct MinerConfig {
     /// (the default), `0` = auto (one per core). The mined pattern list is
     /// byte-identical for every thread count.
     pub threads: usize,
+    /// Resource governance. Each seed subtree is one budget work unit
+    /// (fresh step allowance), so step-budget truncation is deterministic
+    /// across thread counts; deadline/cancellation are best-effort. See
+    /// [`graphsig_graph::control`].
+    pub budget: Option<Budget>,
 }
 
 impl MinerConfig {
@@ -51,6 +57,7 @@ impl MinerConfig {
             max_edges: None,
             max_patterns: None,
             threads: 1,
+            budget: None,
         }
     }
 
@@ -69,6 +76,13 @@ impl MinerConfig {
     /// Set the worker thread count (`0` = auto, `1` = sequential).
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.threads = threads;
+        self
+    }
+
+    /// Attach a resource [`Budget`] (deadline, per-seed step allowance,
+    /// cancellation).
+    pub fn with_budget(mut self, budget: Budget) -> Self {
+        self.budget = Some(budget);
         self
     }
 
@@ -142,21 +156,41 @@ impl GSpan {
 
     /// Mine all frequent connected subgraphs with at least one edge.
     pub fn mine(&self, db: &GraphDb) -> Vec<Pattern> {
-        self.mine_indexed(db, &LabelPairIndex::build(db))
+        self.mine_outcome(db).result
+    }
+
+    /// [`mine`](Self::mine), reporting whether the search ran to
+    /// completion or was truncated by the configured budget or pattern
+    /// cap. Step-budget/pattern-cap truncation is byte-identical across
+    /// thread counts; deadline/cancellation truncation is best-effort.
+    pub fn mine_outcome(&self, db: &GraphDb) -> Outcome<Vec<Pattern>> {
+        self.mine_indexed_outcome(db, &LabelPairIndex::build(db))
     }
 
     /// [`mine`](Self::mine) with a prebuilt [`LabelPairIndex`] of `db`.
     /// Sharing one index across repeated mining runs (threshold sweeps on
     /// the same database) skips the per-run database scan.
     pub fn mine_indexed(&self, db: &GraphDb, index: &LabelPairIndex) -> Vec<Pattern> {
+        self.mine_indexed_outcome(db, index).result
+    }
+
+    /// [`mine_indexed`](Self::mine_indexed) with completion reporting; see
+    /// [`mine_outcome`](Self::mine_outcome).
+    pub fn mine_indexed_outcome(
+        &self,
+        db: &GraphDb,
+        index: &LabelPairIndex,
+    ) -> Outcome<Vec<Pattern>> {
         // Seeds: all frequent single-edge codes, ascending by (la, le, lb)
         // key — the order the sequential search visits them.
         let seeds: Vec<&LabelPairEntry> = index.frequent(self.cfg.min_support).collect();
         let threads = graphsig_graph::resolve_threads(self.cfg.threads);
 
-        if threads <= 1 || seeds.len() < 2 {
+        let (out, truncation) = if threads <= 1 || seeds.len() < 2 {
             // Sequential: one context shared across seeds, so the
-            // `max_patterns` cap stops the whole search.
+            // `max_patterns` cap stops the whole search. The budget meter
+            // is still reset per seed (see `mine_seed`), matching the
+            // parallel path's per-seed allowance exactly.
             let mut ctx = Ctx::new(db, &self.cfg);
             for entry in &seeds {
                 if ctx.stopped {
@@ -164,29 +198,47 @@ impl GSpan {
                 }
                 ctx.mine_seed(entry);
             }
-            return ctx.out;
-        }
+            (ctx.out, ctx.truncation)
+        } else {
+            // Parallel: each seed's DFS subtree is one task. A task caps
+            // its own output at `max_patterns` — only the first
+            // `max_patterns` results can survive the global truncation
+            // below, so any task output beyond that is unreachable.
+            // Merging in seed order and truncating reproduces the
+            // sequential emission order exactly: the sequential search
+            // emits seed subtrees back to back in the same seed order,
+            // stopping at the same global cap.
+            let per_seed: Vec<(Vec<Pattern>, Option<StopReason>)> =
+                graphsig_graph::par_map(threads, &seeds, |entry| {
+                    let mut ctx = Ctx::new(db, &self.cfg);
+                    ctx.mine_seed(entry);
+                    (ctx.out, ctx.truncation)
+                });
+            let mut out: Vec<Pattern> =
+                Vec::with_capacity(per_seed.iter().map(|(p, _)| p.len()).sum());
+            // First truncation reason in seed order, mirroring the order
+            // the sequential search would encounter them.
+            let mut truncation = None;
+            for (mut patterns, reason) in per_seed {
+                out.append(&mut patterns);
+                if truncation.is_none() {
+                    truncation = reason;
+                }
+            }
+            if let Some(m) = self.cfg.max_patterns {
+                out.truncate(m);
+            }
+            (out, truncation)
+        };
 
-        // Parallel: each seed's DFS subtree is one task. A task caps its
-        // own output at `max_patterns` — only the first `max_patterns`
-        // results can survive the global truncation below, so any task
-        // output beyond that is unreachable. Merging in seed order and
-        // truncating reproduces the sequential emission order exactly:
-        // the sequential search emits seed subtrees back to back in the
-        // same seed order, stopping at the same global cap.
-        let per_seed: Vec<Vec<Pattern>> = graphsig_graph::par_map(threads, &seeds, |entry| {
-            let mut ctx = Ctx::new(db, &self.cfg);
-            ctx.mine_seed(entry);
-            ctx.out
-        });
-        let mut out: Vec<Pattern> = Vec::with_capacity(per_seed.iter().map(Vec::len).sum());
-        for mut patterns in per_seed {
-            out.append(&mut patterns);
+        let mut completion = match truncation {
+            Some(reason) => Completion::Truncated(reason),
+            None => Completion::Complete,
+        };
+        if self.cfg.max_patterns.is_some_and(|m| out.len() >= m) {
+            completion = completion.merge(Completion::Truncated(StopReason::PatternCap));
         }
-        if let Some(m) = self.cfg.max_patterns {
-            out.truncate(m);
-        }
-        out
+        Outcome::new(out, completion)
     }
 
     /// Mine, then keep only closed patterns (no super-pattern with equal
@@ -268,6 +320,13 @@ struct Ctx<'a> {
     cfg: &'a MinerConfig,
     out: Vec<Pattern>,
     stopped: bool,
+    /// Per-seed budget meter; reset at every `mine_seed` so each seed
+    /// subtree gets a fresh step allowance in both the sequential and the
+    /// parallel path (this is what makes step-budget truncation
+    /// deterministic across thread counts).
+    meter: Meter<'a>,
+    /// First budget truncation observed (in seed order), if any.
+    truncation: Option<StopReason>,
     scratch: Scratch,
 }
 
@@ -278,12 +337,30 @@ impl<'a> Ctx<'a> {
             cfg,
             out: Vec::new(),
             stopped: false,
+            meter: Meter::new(cfg.budget.as_ref()),
+            truncation: None,
             scratch: Scratch::default(),
+        }
+    }
+
+    /// Record the meter's stop reason, keeping the first one seen.
+    fn note_truncation(&mut self) {
+        if self.truncation.is_none() {
+            self.truncation = self.meter.stop_reason();
         }
     }
 
     /// Mine the full DFS subtree rooted at one seed edge type.
     fn mine_seed(&mut self, entry: &LabelPairEntry) {
+        // Once the deadline has passed (or the request was cancelled),
+        // skip remaining seeds entirely instead of starting them.
+        if let Some(reason) = control::check_start(self.cfg.budget.as_ref()) {
+            if self.truncation.is_none() {
+                self.truncation = Some(reason);
+            }
+            return;
+        }
+        self.meter = Meter::new(self.cfg.budget.as_ref());
         let (la, le, lb) = entry.key;
         let embs = seed_embeddings(entry);
         let mut code = DfsCode::from_initial(la, le, lb);
@@ -293,7 +370,16 @@ impl<'a> Ctx<'a> {
     /// Emit `code` (whose supporting graphs are `gids`, already computed by
     /// the caller) and grow it along the rightmost path.
     fn recurse(&mut self, code: &mut DfsCode, embs: &[Emb], gids: Vec<u32>) {
-        if self.stopped || !is_min(code) {
+        if self.stopped {
+            return;
+        }
+        // One step per DFS node. Sticky: once this seed's allowance is
+        // gone, the whole subtree unwinds (already-emitted patterns stay).
+        if !self.meter.tick() {
+            self.note_truncation();
+            return;
+        }
+        if !is_min(code) {
             return;
         }
         debug_assert!(gids.len() >= self.cfg.min_support);
@@ -319,6 +405,12 @@ impl<'a> Ctx<'a> {
         // loop (no recursion happens inside it).
         let mut scratch = std::mem::take(&mut self.scratch);
         for emb in embs {
+            // One step per embedding extended. Abandon the enumeration on
+            // exhaustion — the partial `children` map is discarded below,
+            // never recursed into (its support counts would be wrong).
+            if !self.meter.tick() {
+                break;
+            }
             let g = self.db.graph(emb.gid as usize);
             // Reconstruct the embedding state from the step chain.
             scratch.steps.clear();
@@ -373,6 +465,10 @@ impl<'a> Ctx<'a> {
             }
         }
         self.scratch = scratch;
+        if self.meter.truncated() {
+            self.note_truncation();
+            return;
+        }
 
         for (ext, child_embs) in children {
             if self.stopped {
@@ -552,5 +648,86 @@ mod tests {
     #[should_panic(expected = "at least 1")]
     fn zero_support_rejected() {
         GSpan::new(MinerConfig::new(0));
+    }
+
+    #[test]
+    fn unbudgeted_outcome_is_complete_and_matches_mine() {
+        let db = tiny_db();
+        let miner = GSpan::new(MinerConfig::new(1));
+        let out = miner.mine_outcome(&db);
+        assert_eq!(out.completion, Completion::Complete);
+        let plain = miner.mine(&db);
+        assert_eq!(out.result.len(), plain.len());
+        for (a, b) in out.result.iter().zip(&plain) {
+            assert_eq!(a.code, b.code);
+        }
+    }
+
+    #[test]
+    fn pattern_cap_reports_truncation() {
+        let db = tiny_db();
+        let out = GSpan::new(MinerConfig::new(1).with_max_patterns(2)).mine_outcome(&db);
+        assert_eq!(out.result.len(), 2);
+        assert_eq!(
+            out.completion,
+            Completion::Truncated(StopReason::PatternCap)
+        );
+    }
+
+    #[test]
+    fn step_budget_truncation_is_identical_across_thread_counts() {
+        let db = tiny_db();
+        for max_steps in [0u64, 1, 2, 5, 100] {
+            let run = |threads: usize| {
+                GSpan::new(
+                    MinerConfig::new(1)
+                        .with_threads(threads)
+                        .with_budget(Budget::unlimited().with_max_steps(max_steps)),
+                )
+                .mine_outcome(&db)
+            };
+            let seq = run(1);
+            for threads in [2, 4, 8] {
+                let par = run(threads);
+                assert_eq!(
+                    seq.completion, par.completion,
+                    "max_steps={max_steps} threads={threads}"
+                );
+                assert_eq!(seq.result.len(), par.result.len());
+                for (a, b) in seq.result.iter().zip(&par.result) {
+                    assert_eq!(a.code, b.code, "max_steps={max_steps} threads={threads}");
+                    assert_eq!(a.gids, b.gids);
+                }
+            }
+        }
+        // A zero allowance mines nothing, but reports it honestly.
+        let zero =
+            GSpan::new(MinerConfig::new(1).with_budget(Budget::unlimited().with_max_steps(0)))
+                .mine_outcome(&db);
+        assert!(zero.result.is_empty());
+        assert_eq!(
+            zero.completion,
+            Completion::Truncated(StopReason::StepBudget)
+        );
+    }
+
+    #[test]
+    fn expired_deadline_yields_truncated_outcome() {
+        let db = tiny_db();
+        let budget = Budget::unlimited().with_deadline(std::time::Duration::ZERO);
+        let out = GSpan::new(MinerConfig::new(1).with_budget(budget)).mine_outcome(&db);
+        assert!(out.result.is_empty());
+        assert_eq!(out.completion, Completion::Truncated(StopReason::Deadline));
+    }
+
+    #[test]
+    fn cancelled_token_yields_truncated_outcome() {
+        let db = tiny_db();
+        let token = graphsig_graph::CancelToken::new();
+        token.cancel();
+        let budget = Budget::unlimited().with_cancel(token);
+        let out = GSpan::new(MinerConfig::new(1).with_budget(budget)).mine_outcome(&db);
+        assert!(out.result.is_empty());
+        assert_eq!(out.completion, Completion::Truncated(StopReason::Cancelled));
     }
 }

@@ -12,9 +12,9 @@
 
 use graphsig_core::{GraphSig, GraphSigConfig};
 use graphsig_features::{greedy_select, FeatureSet, GreedyParams};
-use graphsig_graph::parse_transactions;
+use graphsig_graph::{parse_transactions, ParseError};
 
-fn main() {
+fn main() -> Result<(), ParseError> {
     // 1. Your data: any line-oriented transaction text. Here, 12 graphs:
     //    four carry the rare X-Y-X bridge, the rest are A/B chains.
     let mut text = String::new();
@@ -30,7 +30,9 @@ fn main() {
             text.push_str("e 0 1 s\ne 1 2 s\ne 2 3 s\n");
         }
     }
-    let db = parse_transactions(&text).expect("valid transactions");
+    // `?` instead of a panic: a malformed line surfaces as the miner's
+    // structured, line-numbered `ParseError`.
+    let db = parse_transactions(&text)?;
     println!("parsed {} graphs, {}", db.len(), db.labels());
 
     // 2. Feature selection, the general way: enumerate candidate edge
@@ -105,4 +107,5 @@ fn main() {
     }
     assert!(found_bridge, "the planted bridge should be significant");
     println!("\nplanted X-Y-X bridge recovered ✓");
+    Ok(())
 }

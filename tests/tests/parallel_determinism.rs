@@ -6,7 +6,7 @@
 //! merge invariant of `graphsig_core::par` end to end, for both FSM
 //! backends and for the `Prepared`-reuse path.
 
-use graphsig_core::{FsmBackend, GraphSig, GraphSigConfig, GraphSigResult};
+use graphsig_core::{Budget, FsmBackend, GraphSig, GraphSigConfig, GraphSigResult};
 use graphsig_datagen::aids_like;
 use graphsig_fsg::{Fsg, FsgConfig};
 use graphsig_gspan::{GSpan, MinerConfig, Pattern};
@@ -131,6 +131,122 @@ proptest! {
                 &format!("FSG n={n} seed={seed} threads={threads}"),
             );
         }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Property: a *step-budget-truncated* run is still byte-identical at
+    /// every thread count, for both baseline miners. The budget allowance
+    /// is per independent work unit, so exhaustion is a property of the
+    /// unit, not of the schedule.
+    #[test]
+    fn budget_truncated_baselines_identical_for_any_thread_count(
+        n in 10usize..30,
+        seed in proptest::any::<u64>(),
+        max_steps in 0u64..60,
+    ) {
+        let db = aids_like(n, seed).db;
+        let support = (n / 5).max(2);
+
+        let gspan_cfg = MinerConfig::new(support)
+            .with_max_edges(6)
+            .with_max_patterns(500)
+            .with_budget(Budget::unlimited().with_max_steps(max_steps));
+        let gspan_seq = GSpan::new(gspan_cfg.clone()).mine_outcome(&db);
+        let fsg_cfg = FsgConfig::new(support)
+            .with_max_edges(5)
+            .with_max_patterns(500)
+            .with_budget(Budget::unlimited().with_max_steps(max_steps));
+        let fsg_seq = Fsg::new(fsg_cfg.clone()).mine_outcome(&db);
+
+        for threads in [2usize, 4, 8] {
+            let g = GSpan::new(gspan_cfg.clone().with_threads(threads)).mine_outcome(&db);
+            assert_eq!(
+                gspan_seq.completion, g.completion,
+                "gSpan n={n} seed={seed} steps={max_steps} threads={threads}: completion"
+            );
+            assert_patterns_identical(
+                &gspan_seq.result,
+                &g.result,
+                &format!("gSpan n={n} seed={seed} steps={max_steps} threads={threads}"),
+            );
+            let f = Fsg::new(fsg_cfg.clone().with_threads(threads)).mine_outcome(&db);
+            assert_eq!(
+                fsg_seq.completion, f.completion,
+                "FSG n={n} seed={seed} steps={max_steps} threads={threads}: completion"
+            );
+            assert_patterns_identical(
+                &fsg_seq.result,
+                &f.result,
+                &format!("FSG n={n} seed={seed} steps={max_steps} threads={threads}"),
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Property: the *whole pipeline*, truncated by a step budget, is
+    /// byte-identical at every thread count — completion reason included.
+    #[test]
+    fn budget_truncated_pipeline_identical_for_any_thread_count(
+        n in 10usize..25,
+        seed in proptest::any::<u64>(),
+        max_steps in 0u64..40,
+    ) {
+        let db = aids_like(n, seed).db;
+        let governed = |threads: usize| {
+            let c = GraphSigConfig {
+                threads,
+                ..cfg(threads, FsmBackend::Fsg)
+            }
+            .with_budget(Budget::unlimited().with_max_steps(max_steps));
+            GraphSig::new(c).mine_outcome(&db)
+        };
+        let baseline = governed(1);
+        for threads in [2usize, 4, 8] {
+            let r = governed(threads);
+            assert_eq!(
+                baseline.completion, r.completion,
+                "pipeline n={n} seed={seed} steps={max_steps} threads={threads}: completion"
+            );
+            assert_identical(
+                &baseline.result,
+                &r.result,
+                &format!("pipeline n={n} seed={seed} steps={max_steps} threads={threads}"),
+            );
+        }
+    }
+}
+
+#[test]
+fn injected_panic_yields_structured_error_at_every_thread_count() {
+    // A panicking task must surface as a structured `TaskPanicked` (with
+    // the deterministic lowest failing index), not abort the process —
+    // and the executor must stay usable afterwards.
+    for threads in [1usize, 2, 4, 8] {
+        let err = graphsig_core::try_par_map_range(threads, 64, |i| {
+            if i == 17 || i == 40 {
+                panic!("injected fault at {i}");
+            }
+            i * 2
+        })
+        .unwrap_err();
+        assert_eq!(err.index, 17, "threads={threads}: first panicking index");
+        assert!(
+            err.message.contains("injected fault at 17"),
+            "threads={threads}: payload lost: {}",
+            err.message
+        );
+        let ok = graphsig_core::try_par_map_range(threads, 8, |i| i).unwrap();
+        assert_eq!(
+            ok,
+            (0..8).collect::<Vec<_>>(),
+            "threads={threads}: executor unusable after panic"
+        );
     }
 }
 
