@@ -1,0 +1,201 @@
+//! Resident-server benchmark: what does keeping the database and its
+//! window pass in memory buy over one-shot invocations?
+//!
+//! Drives an in-process [`graphsig_server::Server`] and reports
+//!
+//! * cold mine latency (first request: parse nothing, but prepare the
+//!   window pass),
+//! * warm mine latency (identical request served from the shared
+//!   [`PreparedCache`](graphsig_core::PreparedCache)),
+//! * sustained throughput under concurrent clients with distinct
+//!   thresholds (cache hits on the shared window pass, distinct FSM),
+//!
+//! then writes `BENCH_server.json`. `--smoke` runs a tiny dataset,
+//! checks the invariants (warm == cold bytes, every request answered),
+//! and writes nothing.
+//!
+//! Usage: `bench_server [--scale f] [--seed u] [--threads n] [--smoke]`
+
+use std::fmt::Write as _;
+use std::process::ExitCode;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use graphsig_bench::{secs, Cli};
+use graphsig_core::resolve_threads;
+use graphsig_server::protocol::parse_response_stream;
+use graphsig_server::{shared_writer, ResponseHeader, Server, ServerConfig, SharedWriter, Status};
+
+/// Response sink shared with the server's workers.
+#[derive(Clone, Default)]
+struct Sink(Arc<Mutex<Vec<u8>>>);
+
+impl std::io::Write for Sink {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.0.lock().expect("sink").extend_from_slice(buf);
+        Ok(buf.len())
+    }
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+fn wait_response(sink: &Sink, id: &str) -> (ResponseHeader, Vec<u8>) {
+    let deadline = Instant::now() + Duration::from_secs(600);
+    loop {
+        let buf = sink.0.lock().expect("sink").clone();
+        if let Ok(responses) = parse_response_stream(&buf) {
+            if let Some(found) = responses.into_iter().find(|(h, _)| h.id == id) {
+                return found;
+            }
+        }
+        assert!(Instant::now() < deadline, "no response for {id}");
+        std::thread::sleep(Duration::from_millis(1));
+    }
+}
+
+/// Submit one request and block until its response arrives.
+fn roundtrip(
+    server: &Server,
+    sink: &Sink,
+    out: &SharedWriter,
+    line: &str,
+    id: &str,
+) -> (ResponseHeader, Vec<u8>, Duration) {
+    let start = Instant::now();
+    server.dispatch_line(line, out);
+    let (h, body) = wait_response(sink, id);
+    (h, body, start.elapsed())
+}
+
+fn main() -> ExitCode {
+    let cli = Cli::parse(0.01);
+    let cores = resolve_threads(0);
+    let n = if cli.smoke {
+        60
+    } else {
+        (43_905.0 * cli.scale).round() as usize
+    };
+    let clients = resolve_threads(cli.threads).clamp(2, 8);
+    let per_client = if cli.smoke { 3 } else { 8 };
+
+    println!("# bench_server — {n} molecules, {clients} concurrent clients ({cores} core(s))");
+
+    let server = Server::new(ServerConfig {
+        queue_capacity: clients * per_client + 4,
+        ..ServerConfig::default()
+    });
+    let sink = Sink::default();
+    let out = shared_writer(sink.clone());
+
+    let (h, _, load_t) = roundtrip(
+        &server,
+        &sink,
+        &out,
+        &format!(
+            "load id=load dataset=d gen=aids count={n} seed={}",
+            cli.seed
+        ),
+        "load",
+    );
+    assert_eq!(h.status, Status::Ok, "load failed: {h:?}");
+    println!("load: {}s", secs(load_t));
+
+    let mine = "mine dataset=d min_freq=0.05 max_pvalue=0.1 radius=4";
+    let (h, cold_body, cold_t) =
+        roundtrip(&server, &sink, &out, &format!("{mine} id=cold"), "cold");
+    assert_eq!(h.status, Status::Ok, "cold mine failed: {h:?}");
+    assert_eq!(h.field("cached"), Some("miss"));
+    println!(
+        "cold mine: {}s (cache miss, window pass prepared)",
+        secs(cold_t)
+    );
+
+    let (h, warm_body, warm_t) =
+        roundtrip(&server, &sink, &out, &format!("{mine} id=warm"), "warm");
+    assert_eq!(h.field("cached"), Some("hit"));
+    assert_eq!(warm_body, cold_body, "warm response changed the bytes");
+    println!("warm mine: {}s (shared window pass)", secs(warm_t));
+
+    // Concurrent clients, each sweeping its own p-value threshold: every
+    // request after the first shares the cached window pass.
+    let start = Instant::now();
+    std::thread::scope(|s| {
+        for c in 0..clients {
+            let (server, out) = (&server, Arc::clone(&out));
+            s.spawn(move || {
+                for r in 0..per_client {
+                    let max_pvalue = 0.02 + 0.01 * (r as f64);
+                    server.dispatch_line(
+                        &format!(
+                            "mine id=c{c}r{r} dataset=d min_freq=0.05 \
+                             max_pvalue={max_pvalue} radius=4"
+                        ),
+                        &out,
+                    );
+                }
+            });
+        }
+    });
+    let total = clients * per_client;
+    for c in 0..clients {
+        for r in 0..per_client {
+            let (h, _) = wait_response(&sink, &format!("c{c}r{r}"));
+            assert_eq!(h.status, Status::Ok, "request c{c}r{r} failed: {h:?}");
+        }
+    }
+    let sweep_t = start.elapsed();
+    let throughput = total as f64 / secs(sweep_t).max(1e-9);
+    println!(
+        "sweep: {total} requests from {clients} clients in {}s ({throughput:.1} req/s)",
+        secs(sweep_t)
+    );
+
+    let (h, _, _) = roundtrip(&server, &sink, &out, "stats id=stats dataset=d", "stats");
+    let hits: u64 = h
+        .field("prepared_hits")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0);
+    println!(
+        "cache: {} miss(es), {hits} hit(s) across {} mine requests",
+        h.field("prepared_misses").unwrap_or("?"),
+        total + 2
+    );
+    assert!(
+        hits >= 1,
+        "threshold sweep never hit the shared window pass"
+    );
+
+    server.dispatch_line("shutdown id=bye", &out);
+    wait_response(&sink, "bye");
+    server.join();
+
+    if cli.smoke {
+        println!("smoke: OK (warm bytes identical, all requests answered, nothing written)");
+        return ExitCode::SUCCESS;
+    }
+
+    let mut json = String::new();
+    let _ = writeln!(json, "{{");
+    let _ = writeln!(json, "  \"bench\": \"server\",");
+    let _ = writeln!(json, "  \"molecules\": {n},");
+    let _ = writeln!(json, "  \"seed\": {},", cli.seed);
+    let _ = writeln!(json, "  \"cores\": {cores},");
+    let _ = writeln!(json, "  \"clients\": {clients},");
+    let _ = writeln!(json, "  \"load_s\": {},", secs(load_t));
+    let _ = writeln!(json, "  \"cold_mine_s\": {},", secs(cold_t));
+    let _ = writeln!(json, "  \"warm_mine_s\": {},", secs(warm_t));
+    let _ = writeln!(
+        json,
+        "  \"warm_speedup\": {:.3},",
+        secs(cold_t) / secs(warm_t).max(1e-9)
+    );
+    let _ = writeln!(json, "  \"sweep_requests\": {total},");
+    let _ = writeln!(json, "  \"sweep_s\": {},", secs(sweep_t));
+    let _ = writeln!(json, "  \"sweep_req_per_s\": {throughput:.3},");
+    let _ = writeln!(json, "  \"warm_bytes_identical\": true");
+    let _ = writeln!(json, "}}");
+    std::fs::write("BENCH_server.json", &json).expect("write BENCH_server.json");
+    println!("wrote BENCH_server.json");
+    ExitCode::SUCCESS
+}

@@ -14,11 +14,13 @@
 //! with its statistics, so the output is itself parseable.
 
 use std::process::ExitCode;
+use std::sync::Arc;
 use std::time::Duration;
 
 use graphsig_classify::{GraphSigClassifier, KnnConfig};
 use graphsig_core::{Budget, GraphSig, GraphSigConfig};
 use graphsig_graph::{parse_transactions, write_transactions, GraphDb};
+use graphsig_server::{Server, ServerConfig};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -27,6 +29,7 @@ fn main() -> ExitCode {
         Some("stats") => cmd_stats(&args[1..]),
         Some("generate") => cmd_generate(&args[1..]),
         Some("classify") => cmd_classify(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
         Some("--help") | Some("-h") | None => {
             print_usage();
             Ok(())
@@ -59,6 +62,11 @@ fn print_usage() {
          \x20 graphsig generate aids <n> [--seed S]\n\
          \x20 graphsig generate screen <NAME> <scale> (names: MCF-7 MOLT-4 NCI-H23 OVCAR-8\n\
          \x20                      P388 PC-3 SF-295 SN12C SW-620 UACC-257 Yeast)\n\
+         \x20 graphsig serve [--tcp ADDR] [--workers N] [--queue N] [--default-timeout-ms MS]\n\
+         \x20                      [--max-timeout-ms MS] [--max-steps-ceiling N]\n\
+         \x20                      [--drain-ms MS] [--allow-inject] [--smoke]\n\
+         \x20                      (keeps datasets resident; line protocol on stdio, or TCP\n\
+         \x20                       with --tcp; --smoke runs the fault-injection self-test)\n\
          \n\
          Files use the gSpan transaction format: t / v / e lines."
     );
@@ -152,7 +160,8 @@ fn cmd_mine(args: &[String]) -> Result<(), String> {
     let [path] = positional.as_slice() else {
         return Err("mine needs exactly one input file".into());
     };
-    let db = load_db(path)?;
+    // Validate every flag before touching the filesystem, so a bad flag
+    // is reported as such even when the input file is also bad.
     let defaults = GraphSigConfig::default();
     let cfg = GraphSigConfig {
         max_pvalue: parse_or(&max_pvalue, defaults.max_pvalue, "--max-pvalue")?,
@@ -170,6 +179,7 @@ fn cmd_mine(args: &[String]) -> Result<(), String> {
         ..defaults
     };
     let top: usize = parse_or(&top, usize::MAX, "--top")?;
+    let db = load_db(path)?;
 
     let outcome = GraphSig::new(cfg).mine_outcome(&db);
     // Truncation is graceful, not an error: the partial answer below is
@@ -191,16 +201,123 @@ fn cmd_mine(args: &[String]) -> Result<(), String> {
     let (r, f, m) = result.profile.percentages();
     eprintln!("# profile: RWR {r:.0}% | feature analysis {f:.0}% | FSM {m:.0}%");
 
-    for (i, sg) in result.subgraphs.iter().take(top).enumerate() {
-        println!(
-            "# subgraph {i}: p-value {:.6e}, support {} graphs ({:.3}%), {} edges",
-            sg.vector_pvalue,
-            sg.gids.len(),
-            100.0 * sg.frequency(db.len()),
-            sg.graph.edge_count()
-        );
-        let one = GraphDb::from_parts(vec![sg.graph.clone()], db.labels().clone());
-        print!("{}", write_transactions(&one));
+    // Shared with `graphsig serve`: server mine payloads are rendered by
+    // the same function, so they stay byte-identical to this output.
+    print!("{}", graphsig_core::render_subgraphs(&db, &result, top));
+    Ok(())
+}
+
+fn cmd_serve(args: &[String]) -> Result<(), String> {
+    // Boolean flags first; take_flags only understands `--flag value`.
+    let (mut smoke, mut allow_inject) = (false, false);
+    let rest: Vec<String> = args
+        .iter()
+        .filter(|a| match a.as_str() {
+            "--smoke" => {
+                smoke = true;
+                false
+            }
+            "--allow-inject" => {
+                allow_inject = true;
+                false
+            }
+            _ => true,
+        })
+        .cloned()
+        .collect();
+    let (mut tcp, mut workers, mut queue) = (None, None, None);
+    let (mut default_timeout_ms, mut max_timeout_ms, mut max_steps_ceiling) = (None, None, None);
+    let mut drain_ms = None;
+    let positional = take_flags(
+        &rest,
+        &mut [
+            ("--tcp", &mut tcp),
+            ("--workers", &mut workers),
+            ("--queue", &mut queue),
+            ("--default-timeout-ms", &mut default_timeout_ms),
+            ("--max-timeout-ms", &mut max_timeout_ms),
+            ("--max-steps-ceiling", &mut max_steps_ceiling),
+            ("--drain-ms", &mut drain_ms),
+        ],
+    )?;
+    if !positional.is_empty() {
+        return Err(format!(
+            "serve takes no positional arguments: {positional:?}"
+        ));
+    }
+    if smoke {
+        graphsig_server::smoke::run()?;
+        eprintln!("serve --smoke: all checks passed");
+        return Ok(());
+    }
+    let defaults = ServerConfig::default();
+    let cfg = ServerConfig {
+        workers: parse_or(&workers, defaults.workers, "--workers")?,
+        queue_capacity: parse_or(&queue, defaults.queue_capacity, "--queue")?,
+        default_timeout_ms: parse_opt(&default_timeout_ms, "--default-timeout-ms")?,
+        max_timeout_ms: parse_opt(&max_timeout_ms, "--max-timeout-ms")?,
+        max_steps_ceiling: parse_opt(&max_steps_ceiling, "--max-steps-ceiling")?,
+        drain_ms: parse_or(&drain_ms, defaults.drain_ms, "--drain-ms")?,
+        allow_inject,
+    };
+    match tcp {
+        Some(addr) => serve_tcp(&addr, cfg),
+        None => {
+            // stdio transport: requests on stdin, responses on stdout,
+            // diagnostics on stderr. EOF without a `shutdown` request
+            // still drains in-flight work before exiting.
+            let server = Server::new(cfg);
+            let out = graphsig_server::shared_writer(std::io::stdout());
+            server.serve_connection(std::io::stdin().lock(), Arc::clone(&out));
+            if !server.is_terminated() {
+                server.shutdown_now();
+            }
+            server.join();
+            Ok(())
+        }
+    }
+}
+
+/// TCP transport: one reader thread per connection against the shared
+/// server. The accept loop polls so a `shutdown` request (from any
+/// connection) stops it.
+fn serve_tcp(addr: &str, cfg: ServerConfig) -> Result<(), String> {
+    let listener =
+        std::net::TcpListener::bind(addr).map_err(|e| format!("cannot bind {addr}: {e}"))?;
+    listener
+        .set_nonblocking(true)
+        .map_err(|e| format!("cannot poll {addr}: {e}"))?;
+    let local = listener
+        .local_addr()
+        .map(|a| a.to_string())
+        .unwrap_or_else(|_| addr.to_string());
+    eprintln!("graphsig serve: listening on {local}");
+    let server = Arc::new(Server::new(cfg));
+    while !server.is_terminated() {
+        match listener.accept() {
+            Ok((stream, peer)) => {
+                eprintln!("graphsig serve: connection from {peer}");
+                let reader = stream
+                    .try_clone()
+                    .map_err(|e| format!("cannot clone connection: {e}"))?;
+                let server = Arc::clone(&server);
+                // Detached: an idle connection held open past shutdown
+                // must not keep the process alive. Once the server is
+                // terminated every request it sends is rejected anyway.
+                std::thread::spawn(move || {
+                    let out = graphsig_server::shared_writer(stream);
+                    server.serve_connection(std::io::BufReader::new(reader), out);
+                });
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(25));
+            }
+            Err(e) => return Err(format!("accept on {local} failed: {e}")),
+        }
+    }
+    drop(listener);
+    if let Ok(server) = Arc::try_unwrap(server) {
+        server.join();
     }
     Ok(())
 }
@@ -321,20 +438,24 @@ fn cmd_classify(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+// The tests below deliberately avoid `unwrap`/`expect`: the CLI's whole
+// contract is that bad input becomes a structured `Err`, so the tests use
+// the same error paths they verify (`?` on `Result<(), String>`).
 #[cfg(test)]
 mod tests {
     use super::*;
 
     #[test]
-    fn take_flags_extracts_pairs_and_positionals() {
+    fn take_flags_extracts_pairs_and_positionals() -> Result<(), String> {
         let args: Vec<String> = ["a.txt", "--k", "5", "b.txt"]
             .iter()
             .map(|s| s.to_string())
             .collect();
         let mut k = None;
-        let pos = take_flags(&args, &mut [("--k", &mut k)]).unwrap();
+        let pos = take_flags(&args, &mut [("--k", &mut k)])?;
         assert_eq!(pos, vec!["a.txt".to_string(), "b.txt".to_string()]);
         assert_eq!(k.as_deref(), Some("5"));
+        Ok(())
     }
 
     #[test]
@@ -347,43 +468,66 @@ mod tests {
     }
 
     #[test]
-    fn parse_or_defaults_and_errors() {
-        assert_eq!(parse_or::<usize>(&None, 7, "x").unwrap(), 7);
-        assert_eq!(parse_or::<usize>(&Some("3".into()), 7, "x").unwrap(), 3);
+    fn parse_or_defaults_and_errors() -> Result<(), String> {
+        assert_eq!(parse_or::<usize>(&None, 7, "x")?, 7);
+        assert_eq!(parse_or::<usize>(&Some("3".into()), 7, "x")?, 3);
         assert!(parse_or::<usize>(&Some("zzz".into()), 7, "x").is_err());
+        Ok(())
     }
 
     #[test]
-    fn parse_budget_builds_from_flags() {
-        assert!(parse_budget(&None, &None).unwrap().is_none());
-        let b = parse_budget(&Some("250".into()), &None).unwrap().unwrap();
+    fn parse_budget_builds_from_flags() -> Result<(), String> {
+        assert!(parse_budget(&None, &None)?.is_none());
+        let b = parse_budget(&Some("250".into()), &None)?
+            .ok_or("a timeout flag must build a budget")?;
         assert!(b.deadline().is_some());
         assert_eq!(b.max_steps(), None);
-        let b = parse_budget(&None, &Some("42".into())).unwrap().unwrap();
+        let b =
+            parse_budget(&None, &Some("42".into()))?.ok_or("a step flag must build a budget")?;
         assert_eq!(b.max_steps(), Some(42));
         assert!(b.deadline().is_none());
         assert!(parse_budget(&Some("soon".into()), &None).is_err());
         assert!(parse_budget(&None, &Some("-1".into())).is_err());
+        Ok(())
     }
 
     #[test]
-    fn load_db_reports_line_numbered_parse_errors() {
+    fn load_db_reports_line_numbered_parse_errors() -> Result<(), String> {
         // A malformed `e` line on line 4 must surface as a structured
         // error naming the file and the 1-based line — never a panic.
         let path = std::env::temp_dir().join("graphsig_cli_bad_input.txt");
-        std::fs::write(&path, "t # 0\nv 0 C\nv 1 C\ne 0 5 s\n").unwrap();
-        let err = load_db(path.to_str().unwrap()).unwrap_err();
+        std::fs::write(&path, "t # 0\nv 0 C\nv 1 C\ne 0 5 s\n")
+            .map_err(|e| format!("cannot stage temp file: {e}"))?;
+        let shown = path.to_str().ok_or("temp path is not UTF-8")?;
+        let err = match load_db(shown) {
+            Ok(_) => Err("malformed input must not parse".to_string()),
+            Err(e) => Ok(e),
+        };
         std::fs::remove_file(&path).ok();
+        let err = err?;
         assert!(err.contains("line 4"), "missing line number: {err}");
         assert!(
             err.contains("graphsig_cli_bad_input.txt"),
             "missing path: {err}"
         );
+        Ok(())
     }
 
     #[test]
-    fn load_db_reports_missing_file() {
-        let err = load_db("/nonexistent/graphsig/input.txt").unwrap_err();
+    fn load_db_reports_missing_file() -> Result<(), String> {
+        let err = match load_db("/nonexistent/graphsig/input.txt") {
+            Ok(_) => return Err("missing file must not load".to_string()),
+            Err(e) => e,
+        };
         assert!(err.contains("cannot read"), "{err}");
+        Ok(())
+    }
+
+    #[test]
+    fn serve_rejects_bad_flags() {
+        let args: Vec<String> = vec!["--workers".into(), "lots".into()];
+        assert!(cmd_serve(&args).is_err());
+        let args: Vec<String> = vec!["leftover".into()];
+        assert!(cmd_serve(&args).is_err());
     }
 }

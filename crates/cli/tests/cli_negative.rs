@@ -1,0 +1,109 @@
+//! Negative-path tests of the `graphsig` binary: every class of bad
+//! input must exit nonzero with a diagnostic that names the flag or the
+//! offending line — never a panic, never a silent success.
+
+use std::process::Command;
+
+fn run(args: &[&str]) -> (String, String, bool) {
+    let out = Command::new(env!("CARGO_BIN_EXE_graphsig"))
+        .args(args)
+        .output()
+        .expect("binary runs");
+    (
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+        out.status.success(),
+    )
+}
+
+fn temp_file(name: &str, contents: &str) -> std::path::PathBuf {
+    let path = std::env::temp_dir().join(format!("graphsig-neg-{}-{name}", std::process::id()));
+    std::fs::write(&path, contents).expect("write temp input");
+    path
+}
+
+#[test]
+fn mine_missing_input_file() {
+    let (_, err, ok) = run(&["mine", "/nonexistent/graphsig/db.txt"]);
+    assert!(!ok);
+    assert!(err.contains("cannot read"), "{err}");
+    assert!(err.contains("/nonexistent/graphsig/db.txt"), "{err}");
+}
+
+#[test]
+fn mine_malformed_flag_values_name_the_flag() {
+    for (flag, bad) in [
+        ("--radius", "banana"),
+        ("--min-freq", "not-a-number"),
+        ("--max-pvalue", ""),
+        ("--threads", "-2"),
+        ("--timeout-ms", "soon"),
+        ("--max-steps", "1.5"),
+    ] {
+        let (_, err, ok) = run(&["mine", "whatever.txt", flag, bad]);
+        assert!(!ok, "{flag}={bad} must fail");
+        assert!(err.contains(flag), "diagnostic must name {flag}: {err}");
+    }
+}
+
+#[test]
+fn mine_dangling_flag_and_unknown_flag() {
+    let (_, err, ok) = run(&["mine", "whatever.txt", "--radius"]);
+    assert!(!ok);
+    assert!(err.contains("--radius needs a value"), "{err}");
+    let (_, err, ok) = run(&["mine", "whatever.txt", "--frobnicate", "3"]);
+    assert!(!ok);
+    assert!(err.contains("unknown flag --frobnicate"), "{err}");
+}
+
+#[test]
+fn truncated_database_reports_line_number() {
+    // An `e` line referencing a vertex the truncated file never declared.
+    let path = temp_file(
+        "trunc.txt",
+        "t # 0\nv 0 C\nv 1 C\ne 0 1 s\nt # 1\nv 0 C\ne 0 3 s\n",
+    );
+    let (_, err, ok) = run(&["mine", path.to_str().expect("utf-8 path")]);
+    std::fs::remove_file(&path).ok();
+    assert!(!ok);
+    assert!(err.contains("line 7"), "must name the bad line: {err}");
+}
+
+#[test]
+fn garbage_database_reports_line_number() {
+    let path = temp_file("garbage.txt", "t # 0\nv 0 C\nnot a record\n");
+    let (_, err, ok) = run(&["stats", path.to_str().expect("utf-8 path")]);
+    std::fs::remove_file(&path).ok();
+    assert!(!ok);
+    assert!(err.contains("line 3"), "must name the bad line: {err}");
+}
+
+#[test]
+fn mine_rejects_multiple_inputs_and_bad_backend() {
+    let (_, err, ok) = run(&["mine", "a.txt", "b.txt"]);
+    assert!(!ok);
+    assert!(err.contains("exactly one input file"), "{err}");
+    let (_, err, ok) = run(&["mine", "a.txt", "--backend", "quantum"]);
+    assert!(!ok);
+    assert!(err.contains("unknown backend"), "{err}");
+}
+
+#[test]
+fn serve_flag_errors_are_clean() {
+    let (_, err, ok) = run(&["serve", "--workers", "lots"]);
+    assert!(!ok);
+    assert!(err.contains("--workers"), "{err}");
+    let (_, err, ok) = run(&["serve", "stray-positional"]);
+    assert!(!ok);
+    assert!(err.contains("positional"), "{err}");
+    let (_, err, ok) = run(&["serve", "--tcp", "999.999.999.999:1"]);
+    assert!(!ok);
+    assert!(err.contains("cannot bind"), "{err}");
+}
+
+#[test]
+fn classify_requires_three_files() {
+    let (_, err, ok) = run(&["classify", "only.txt"]);
+    assert!(!ok);
+    assert!(err.contains("classify needs"), "{err}");
+}

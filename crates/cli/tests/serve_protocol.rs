@@ -1,0 +1,142 @@
+//! Protocol-level tests of `graphsig serve` as a real child process on
+//! stdio: mine responses must be byte-identical to the one-shot CLI,
+//! warm requests must hit the shared cache, and EOF must drain cleanly.
+
+use std::io::{Read, Write};
+use std::process::{Command, Stdio};
+
+use graphsig_server::protocol::parse_response_stream;
+use graphsig_server::{ResponseHeader, Status};
+
+fn graphsig() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_graphsig"))
+}
+
+/// Write `script` to a `graphsig serve` child's stdin, close it, and
+/// parse the full response stream from its stdout.
+fn serve_script(extra_args: &[&str], script: &str) -> Vec<(ResponseHeader, Vec<u8>)> {
+    let mut child = graphsig()
+        .arg("serve")
+        .args(extra_args)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn graphsig serve");
+    child
+        .stdin
+        .take()
+        .expect("piped stdin")
+        .write_all(script.as_bytes())
+        .expect("write request script");
+    // stdin drops closed here: EOF after the last request.
+    let mut stdout = Vec::new();
+    child
+        .stdout
+        .take()
+        .expect("piped stdout")
+        .read_to_end(&mut stdout)
+        .expect("read responses");
+    let status = child.wait().expect("child exits");
+    assert!(status.success(), "serve must exit 0 on clean EOF");
+    parse_response_stream(&stdout).expect("well-framed response stream")
+}
+
+fn response<'a>(
+    responses: &'a [(ResponseHeader, Vec<u8>)],
+    id: &str,
+) -> &'a (ResponseHeader, Vec<u8>) {
+    responses
+        .iter()
+        .find(|(h, _)| h.id == id)
+        .unwrap_or_else(|| panic!("no response for {id}"))
+}
+
+#[test]
+fn server_mine_is_byte_identical_to_one_shot_cli() {
+    // One-shot CLI run: generate a dataset file, mine it, keep stdout.
+    let dir = std::env::temp_dir().join(format!("graphsig-serve-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let file = dir.join("db.txt");
+    let gen = graphsig()
+        .args(["generate", "aids", "80", "--seed", "11"])
+        .output()
+        .expect("generate");
+    assert!(gen.status.success());
+    std::fs::write(&file, &gen.stdout).expect("write dataset");
+    let mine = graphsig()
+        .args([
+            "mine",
+            file.to_str().expect("utf-8 path"),
+            "--min-freq",
+            "0.05",
+            "--max-pvalue",
+            "0.05",
+            "--radius",
+            "3",
+        ])
+        .output()
+        .expect("one-shot mine");
+    assert!(mine.status.success());
+    let one_shot = mine.stdout;
+
+    // Same mine through the server: load the same file, ask twice (cold
+    // then warm), plus a step-budgeted request for the bypass path.
+    let script = format!(
+        "load id=L dataset=d path={}\n\
+         mine id=cold dataset=d min_freq=0.05 max_pvalue=0.05 radius=3\n\
+         mine id=warm dataset=d min_freq=0.05 max_pvalue=0.05 radius=3\n\
+         mine id=steps dataset=d min_freq=0.05 max_pvalue=0.05 radius=3 max_steps=50\n\
+         stats id=S dataset=d\n",
+        file.to_str().expect("utf-8 path")
+    );
+    let responses = serve_script(&[], &script);
+    std::fs::remove_dir_all(&dir).ok();
+
+    let (l, _) = response(&responses, "L");
+    assert_eq!(l.status, Status::Ok, "load: {l:?}");
+    let (cold, cold_body) = response(&responses, "cold");
+    assert_eq!(cold.status, Status::Ok);
+    assert_eq!(
+        cold_body, &one_shot,
+        "server mine payload differs from one-shot CLI stdout"
+    );
+    let (warm, warm_body) = response(&responses, "warm");
+    assert_eq!(warm.field("cached"), Some("hit"), "{warm:?}");
+    assert_eq!(warm_body, &one_shot, "cache hit changed the bytes");
+    let (steps, _) = response(&responses, "steps");
+    assert_eq!(steps.field("cached"), Some("bypass"));
+    let (stats, _) = response(&responses, "S");
+    assert_eq!(stats.field("prepared_hits"), Some("1"), "{stats:?}");
+    assert_eq!(stats.field("prepared_bypasses"), Some("1"));
+}
+
+#[test]
+fn serve_answers_control_requests_and_reports_errors() {
+    let responses = serve_script(
+        &["--workers", "2", "--queue", "4"],
+        "ping id=p\n\
+         mine id=nope dataset=missing\n\
+         this is not a request\n\
+         stats id=S\n\
+         shutdown id=bye\n",
+    );
+    let (p, _) = response(&responses, "p");
+    assert_eq!(p.status, Status::Ok);
+    let (nope, _) = response(&responses, "nope");
+    assert_eq!(nope.status, Status::Error);
+    assert!(nope
+        .field("error")
+        .expect("error field")
+        .contains("unknown dataset"));
+    assert!(
+        responses
+            .iter()
+            .any(|(h, _)| h.status == Status::Error && h.id == "-"),
+        "malformed line must produce a placeholder-id error response"
+    );
+    let (s, _) = response(&responses, "S");
+    assert_eq!(s.field("datasets"), Some("0"));
+    let (bye, _) = response(&responses, "bye");
+    assert_eq!(bye.status, Status::Ok);
+}

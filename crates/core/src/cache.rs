@@ -1,0 +1,310 @@
+//! Shared-state cache around the expensive half of the pipeline.
+//!
+//! A long-lived service answering many mine requests over the same
+//! database should not repeat the window pass (RWR + grouping — the
+//! dominant fixed cost, independent of every threshold) per request.
+//! [`PreparedCache`] memoizes [`Prepared`] window passes keyed by the
+//! parameters they actually depend on (window mechanism, restart
+//! probability, feature-set size), and [`PreparedCache::mine_outcome`]
+//! is a drop-in governed replacement for
+//! [`GraphSig::mine_outcome`](crate::GraphSig::mine_outcome) that serves
+//! repeated requests from the cache.
+//!
+//! # Correctness policy
+//!
+//! * The cached window pass is always computed **unbudgeted** (its cost is
+//!   amortized across requests), while phases 2–3 run under the request's
+//!   own budget. For unbudgeted and deadline-budgeted requests this is
+//!   byte-identical to a fresh one-shot run: a deadline that does not fire
+//!   changes nothing, and one that does is documented best-effort anyway.
+//! * Requests carrying a **step budget** are deterministic by contract —
+//!   the one-shot run meters its window pass too — so they *bypass* the
+//!   cache entirely and run `mine_outcome` from scratch. The
+//!   [`CacheDisposition::Bypass`] counter makes this visible.
+//! * Entries are only usable for the exact database they were prepared
+//!   from; versioned invalidation is the caller's job (a server drops the
+//!   whole cache when a dataset is reloaded — see `graphsig-server`).
+//!
+//! Concurrent misses on the same key block on a [`OnceLock`] so the window
+//! pass runs exactly once, no matter how many identical requests race.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+use graphsig_graph::{GraphDb, Outcome};
+
+use crate::config::{GraphSigConfig, WindowKind};
+use crate::pipeline::{GraphSig, GraphSigResult, Prepared};
+
+/// Everything a [`Prepared`] window pass depends on besides the database
+/// itself. Thread count is deliberately absent: the pass is byte-identical
+/// at every thread count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct PreparedKey {
+    window: WindowKind,
+    /// `rwr.alpha` bit pattern (total order not needed, exact equality is).
+    alpha_bits: u64,
+    top_k_atoms: usize,
+}
+
+impl PreparedKey {
+    fn of(cfg: &GraphSigConfig) -> Self {
+        Self {
+            window: cfg.window,
+            alpha_bits: cfg.rwr.alpha.to_bits(),
+            top_k_atoms: cfg.top_k_atoms,
+        }
+    }
+}
+
+/// How a request interacted with the cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheDisposition {
+    /// Served from an already-prepared window pass.
+    Hit,
+    /// Prepared the window pass (and cached it) on this request.
+    Miss,
+    /// Step-budgeted request: ran uncached for byte-identical determinism
+    /// with the one-shot path.
+    Bypass,
+}
+
+impl std::fmt::Display for CacheDisposition {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            CacheDisposition::Hit => "hit",
+            CacheDisposition::Miss => "miss",
+            CacheDisposition::Bypass => "bypass",
+        })
+    }
+}
+
+/// Counters snapshot for observability (a server's `stats` response).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Requests served from a cached window pass.
+    pub hits: u64,
+    /// Requests that prepared (and cached) the window pass.
+    pub misses: u64,
+    /// Step-budgeted requests that ran uncached.
+    pub bypasses: u64,
+    /// Distinct window passes currently cached.
+    pub entries: usize,
+}
+
+/// A thread-safe memo of [`Prepared`] window passes for **one** database.
+///
+/// See the module docs for the caching policy. All methods take `&self`;
+/// the cache is meant to be shared behind an `Arc` by however many worker
+/// threads serve requests.
+#[derive(Debug, Default)]
+pub struct PreparedCache {
+    entries: Mutex<HashMap<PreparedKey, Arc<OnceLock<Arc<Prepared>>>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    bypasses: AtomicU64,
+}
+
+impl PreparedCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Governed mining with window-pass reuse: semantically equivalent to
+    /// `GraphSig::new(cfg).mine_outcome(db)` (see the module docs for the
+    /// exact guarantee), plus how the cache was involved.
+    ///
+    /// `db` must be the same database on every call for the lifetime of
+    /// this cache — reloading a dataset means replacing the cache.
+    pub fn mine_outcome(
+        &self,
+        cfg: &GraphSigConfig,
+        db: &GraphDb,
+    ) -> (Outcome<GraphSigResult>, CacheDisposition) {
+        let step_budgeted = cfg.budget.as_ref().is_some_and(|b| b.max_steps().is_some());
+        if step_budgeted {
+            self.bypasses.fetch_add(1, Ordering::Relaxed);
+            return (
+                GraphSig::new(cfg.clone()).mine_outcome(db),
+                CacheDisposition::Bypass,
+            );
+        }
+        let (prepared, disposition) = self.prepared_for(cfg, db);
+        let outcome = GraphSig::new(cfg.clone()).mine_prepared_outcome(db, &prepared);
+        (outcome, disposition)
+    }
+
+    /// The cached window pass for `cfg`'s window parameters, preparing it
+    /// (unbudgeted) on first use. Concurrent first uses prepare once; the
+    /// losers of the race block and then count as hits.
+    pub fn prepared_for(
+        &self,
+        cfg: &GraphSigConfig,
+        db: &GraphDb,
+    ) -> (Arc<Prepared>, CacheDisposition) {
+        let cell = {
+            let mut map = self.entries.lock().unwrap_or_else(|e| e.into_inner());
+            map.entry(PreparedKey::of(cfg))
+                .or_insert_with(|| Arc::new(OnceLock::new()))
+                .clone()
+        };
+        let mut prepared_here = false;
+        let prepared = cell
+            .get_or_init(|| {
+                prepared_here = true;
+                let unbudgeted = GraphSigConfig {
+                    budget: None,
+                    ..cfg.clone()
+                };
+                Arc::new(GraphSig::new(unbudgeted).prepare(db))
+            })
+            .clone();
+        let disposition = if prepared_here {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            CacheDisposition::Miss
+        } else {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            CacheDisposition::Hit
+        };
+        (prepared, disposition)
+    }
+
+    /// Counters + current entry count.
+    pub fn stats(&self) -> CacheStats {
+        let entries = self.entries.lock().unwrap_or_else(|e| e.into_inner()).len();
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            bypasses: self.bypasses.load(Ordering::Relaxed),
+            entries,
+        }
+    }
+
+    /// Drop every cached window pass (counters are kept — they describe
+    /// traffic, not contents).
+    pub fn clear(&self) {
+        self.entries
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphsig_datagen::aids_like;
+    use graphsig_graph::Budget;
+
+    fn cfg() -> GraphSigConfig {
+        GraphSigConfig {
+            min_freq: 0.05,
+            max_pvalue: 0.05,
+            radius: 3,
+            max_pattern_edges: 8,
+            ..Default::default()
+        }
+    }
+
+    fn fingerprint(r: &GraphSigResult) -> Vec<String> {
+        r.subgraphs
+            .iter()
+            .map(|s| format!("{} {:?}", s.code, s.gids))
+            .collect()
+    }
+
+    #[test]
+    fn hit_matches_one_shot_byte_for_byte() {
+        let data = aids_like(60, 21);
+        let db = data.active_subset();
+        let cache = PreparedCache::new();
+        let one_shot = GraphSig::new(cfg()).mine_outcome(&db);
+        let (first, d1) = cache.mine_outcome(&cfg(), &db);
+        let (second, d2) = cache.mine_outcome(&cfg(), &db);
+        assert_eq!(d1, CacheDisposition::Miss);
+        assert_eq!(d2, CacheDisposition::Hit);
+        assert_eq!(fingerprint(&one_shot.result), fingerprint(&first.result));
+        assert_eq!(fingerprint(&one_shot.result), fingerprint(&second.result));
+        assert_eq!(one_shot.completion, second.completion);
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.bypasses, s.entries), (1, 1, 0, 1));
+    }
+
+    #[test]
+    fn distinct_window_parameters_get_distinct_entries() {
+        let data = aids_like(40, 22);
+        let cache = PreparedCache::new();
+        cache.mine_outcome(&cfg(), &data.db);
+        let counting = GraphSigConfig {
+            window: WindowKind::Count { radius: 3 },
+            ..cfg()
+        };
+        let (_, d) = cache.mine_outcome(&counting, &data.db);
+        assert_eq!(d, CacheDisposition::Miss);
+        assert_eq!(cache.stats().entries, 2);
+        // Thresholds do NOT key the cache: sweeping them hits.
+        let swept = GraphSigConfig {
+            max_pvalue: 0.2,
+            min_freq: 0.1,
+            ..cfg()
+        };
+        let (_, d) = cache.mine_outcome(&swept, &data.db);
+        assert_eq!(d, CacheDisposition::Hit);
+    }
+
+    #[test]
+    fn step_budgets_bypass_and_match_one_shot() {
+        let data = aids_like(40, 23);
+        let cache = PreparedCache::new();
+        let budgeted = cfg().with_budget(Budget::unlimited().with_max_steps(500));
+        let one_shot = GraphSig::new(budgeted.clone()).mine_outcome(&data.db);
+        let (via_cache, d) = cache.mine_outcome(&budgeted, &data.db);
+        assert_eq!(d, CacheDisposition::Bypass);
+        assert_eq!(
+            fingerprint(&one_shot.result),
+            fingerprint(&via_cache.result)
+        );
+        assert_eq!(one_shot.completion, via_cache.completion);
+        assert_eq!(cache.stats().entries, 0, "bypass must not populate");
+    }
+
+    #[test]
+    fn concurrent_identical_requests_prepare_once() {
+        let data = aids_like(50, 24);
+        let db = Arc::new(data.active_subset());
+        let cache = Arc::new(PreparedCache::new());
+        let mut fps = Vec::new();
+        std::thread::scope(|s| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| {
+                    let (cache, db) = (Arc::clone(&cache), Arc::clone(&db));
+                    s.spawn(move || fingerprint(&cache.mine_outcome(&cfg(), &db).0.result))
+                })
+                .collect();
+            for h in handles {
+                if let Ok(fp) = h.join() {
+                    fps.push(fp);
+                }
+            }
+        });
+        assert_eq!(fps.len(), 4);
+        assert!(fps.windows(2).all(|w| w[0] == w[1]));
+        let s = cache.stats();
+        assert_eq!(s.misses, 1, "window pass must be prepared exactly once");
+        assert_eq!(s.hits, 3);
+        assert_eq!(s.entries, 1);
+    }
+
+    #[test]
+    fn clear_forces_a_fresh_prepare() {
+        let data = aids_like(30, 25);
+        let cache = PreparedCache::new();
+        cache.mine_outcome(&cfg(), &data.db);
+        cache.clear();
+        assert_eq!(cache.stats().entries, 0);
+        let (_, d) = cache.mine_outcome(&cfg(), &data.db);
+        assert_eq!(d, CacheDisposition::Miss);
+    }
+}

@@ -4,7 +4,7 @@ use graphsig_features::RwrConfig;
 use graphsig_graph::Budget;
 
 /// How the sliding window captures a node's neighborhood.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum WindowKind {
     /// Random walk with restart (the paper's method, Sec. II-C):
     /// proximity-weighted feature distribution.

@@ -46,6 +46,7 @@
 //! }
 //! ```
 
+pub mod cache;
 pub mod config;
 pub mod par;
 pub mod pipeline;
@@ -59,10 +60,11 @@ pub mod vectors;
 pub use graphsig_graph::control;
 pub use graphsig_graph::{Budget, CancelToken, Completion, Outcome, StopReason};
 
+pub use cache::{CacheDisposition, CacheStats, PreparedCache};
 pub use config::{FsmBackend, GraphSigConfig, WindowKind};
 pub use par::{par_map, par_map_range, resolve_threads, try_par_map, try_par_map_range};
 pub use pipeline::{GraphSig, GraphSigResult, Prepared, Profile, RunStats, SignificantSubgraph};
-pub use report::{describe, describe_run};
+pub use report::{describe, describe_run, render_subgraphs};
 pub use vectors::{
     compute_all_vectors, compute_all_window_vectors, compute_all_window_vectors_governed,
     group_by_label, GraphVectors, LabelGroup,

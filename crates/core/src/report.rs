@@ -5,8 +5,10 @@
 //! them with label and feature *names* so a chemist (or a test log reader)
 //! can see what was found and why it was surprising.
 
+use std::fmt::Write as _;
+
 use graphsig_features::FeatureSet;
-use graphsig_graph::{Completion, LabelTable};
+use graphsig_graph::{Completion, GraphDb, LabelTable};
 
 use crate::pipeline::SignificantSubgraph;
 use crate::pipeline::{GraphSigResult, RunStats};
@@ -78,6 +80,28 @@ pub fn describe_run(result: &GraphSigResult, completion: Completion) -> String {
         pruned_sets,
         truncated_sets,
     )
+}
+
+/// The canonical machine-parseable rendering of a mined answer set: for
+/// each of the first `top` subgraphs, a `# subgraph i: ...` statistics
+/// comment followed by the subgraph as a gSpan transaction block. This is
+/// the CLI's `mine` stdout *and* the `graphsig serve` mine payload — one
+/// implementation, so the two are byte-identical by construction.
+pub fn render_subgraphs(db: &GraphDb, result: &GraphSigResult, top: usize) -> String {
+    let mut out = String::new();
+    for (i, sg) in result.subgraphs.iter().take(top).enumerate() {
+        let _ = writeln!(
+            out,
+            "# subgraph {i}: p-value {:.6e}, support {} graphs ({:.3}%), {} edges",
+            sg.vector_pvalue,
+            sg.gids.len(),
+            100.0 * sg.frequency(db.len()),
+            sg.graph.edge_count()
+        );
+        let one = GraphDb::from_parts(vec![sg.graph.clone()], db.labels().clone());
+        out.push_str(&graphsig_graph::write_transactions(&one));
+    }
+    out
 }
 
 #[cfg(test)]

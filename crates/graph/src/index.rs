@@ -130,6 +130,14 @@ impl LabelPairIndex {
     pub fn is_empty(&self) -> bool {
         self.entries.is_empty()
     }
+
+    /// Total edge occurrences across all entries — exactly the number of
+    /// edges in the indexed database. Long-lived servers sharing one index
+    /// across requests report this (with [`LabelPairIndex::len`]) so cache
+    /// reuse is observable without rescanning the database.
+    pub fn total_occurrences(&self) -> usize {
+        self.entries.iter().map(|e| e.occurrences.len()).sum()
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,36 @@
+//! `graphsig-server` — the long-lived GraphSig mining service.
+//!
+//! The CLI re-parses and re-prepares the database on every invocation;
+//! this crate keeps datasets *resident* and answers `mine` / `freq` /
+//! `stats` requests over a hand-rolled line protocol (stdio for tests and
+//! pipelines, `std::net::TcpListener` for network mode — see the
+//! `graphsig serve` subcommand).
+//!
+//! The two halves:
+//!
+//! * [`protocol`] — the wire format: whitespace-separated `key=value`
+//!   request lines, `bytes=`-framed responses, percent escaping. Total
+//!   parsers, no serde.
+//! * [`server`] — the engine: a bounded work queue with `busy`
+//!   load-shedding, per-request [`Budget`](graphsig_core::Budget)s and
+//!   [`CancelToken`](graphsig_core::CancelToken)s under server-enforced
+//!   ceilings, panic isolation per request, a shared
+//!   [`PreparedCache`](graphsig_core::PreparedCache) +
+//!   [`LabelPairIndex`](graphsig_graph::LabelPairIndex) per dataset with
+//!   versioned invalidation on `load`, and graceful drain on shutdown.
+//!
+//! [`smoke::run`] is the fault-injection self-test CI gates on: mixed
+//! budgets under concurrency, an injected panic, a mid-flight
+//! cancellation, queue-full rejection, and a drained shutdown — every
+//! request must resolve to a structured response with the server alive
+//! until the drain completes.
+
+pub mod protocol;
+pub mod server;
+pub mod smoke;
+
+pub use protocol::{
+    escape, parse_request, parse_response_header, unescape, ProtocolError, Request, Response,
+    ResponseHeader, Status,
+};
+pub use server::{shared_writer, Server, ServerConfig, ServerSnapshot, SharedWriter};

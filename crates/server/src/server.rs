@@ -1,0 +1,758 @@
+//! The resident mining service: bounded queue, worker pool, shared
+//! dataset cache, and graceful degradation.
+//!
+//! # Robustness policy
+//!
+//! * **Backpressure, not unbounded queueing.** Work requests (`load`,
+//!   `mine`, `freq`, `stats`) go through a bounded queue; when it is full
+//!   the request is rejected *immediately* with `status=busy` and the
+//!   current depth, so a client can back off. Control messages (`ping`,
+//!   `cancel`, `shutdown`) never queue — they are handled on the reader
+//!   thread, so a saturated server can still be probed, cancelled into
+//!   headroom, or shut down.
+//! * **Per-request governance.** Every queued request carries its own
+//!   [`CancelToken`] and a [`Budget`] assembled from the request's
+//!   `timeout_ms`/`max_steps`, clamped by the server's ceilings. Deadlines
+//!   run from *submission*, so time spent queued counts — a request that
+//!   waited out its deadline returns `truncated (deadline exceeded)`
+//!   instead of silently mining stale work.
+//! * **Panic isolation.** The request handler runs under
+//!   [`try_par_map`](graphsig_core::try_par_map): a poisoned request
+//!   (malformed data tripping a bug, injected faults in tests) produces a
+//!   `status=error` response carrying the panic message; the worker and
+//!   the server keep serving.
+//! * **Graceful shutdown.** `shutdown` stops intake, waits for queued and
+//!   in-flight work under a drain deadline, cancels whatever outlives the
+//!   deadline (those requests respond `truncated (cancelled)` — still a
+//!   structured response, never a silent drop), and only then confirms.
+//! * **Shared state with versioned invalidation.** Each resident dataset
+//!   owns a [`PreparedCache`] (window passes) and a lazily built
+//!   [`LabelPairIndex`] shared by `freq` requests. `load` replaces the
+//!   whole entry under a bumped version: in-flight requests keep mining
+//!   their pinned `Arc` snapshot, new requests see the new version, and
+//!   the old caches die with their last reference.
+
+use std::collections::{HashMap, VecDeque};
+use std::io::Write;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock};
+use std::time::{Duration, Instant};
+
+use graphsig_core::{
+    render_subgraphs, Budget, CancelToken, FsmBackend, GraphSigConfig, PreparedCache,
+};
+use graphsig_fsg::{Fsg, FsgConfig};
+use graphsig_graph::{parse_transactions, GraphDb, LabelPairIndex};
+use graphsig_gspan::{GSpan, MinerConfig, Pattern};
+
+use crate::protocol::{
+    parse_request, BackendKind, BudgetParams, FreqRequest, LoadRequest, LoadSource, MineRequest,
+    ProtocolError, Request, Response, Status,
+};
+
+/// Tunables for one [`Server`].
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Worker threads processing queued requests (0 = one per core).
+    pub workers: usize,
+    /// Bounded queue capacity; submissions beyond it are rejected `busy`.
+    pub queue_capacity: usize,
+    /// Deadline applied to requests that do not ask for one (ms).
+    pub default_timeout_ms: Option<u64>,
+    /// Ceiling clamping every request deadline (ms). With
+    /// `default_timeout_ms` unset this also applies to requests that did
+    /// not ask for a deadline.
+    pub max_timeout_ms: Option<u64>,
+    /// Ceiling clamping *explicit* `max_steps` requests. Never imposed on
+    /// requests without one: a blanket step budget would forfeit both
+    /// byte-identity with the one-shot CLI and window-pass cache reuse
+    /// (step-budgeted runs bypass the cache — see
+    /// [`graphsig_core::cache`]).
+    pub max_steps_ceiling: Option<u64>,
+    /// Default drain deadline for shutdown (ms).
+    pub drain_ms: u64,
+    /// Honor the fault-injection request keys (`sleep_ms`, `inject=panic`).
+    /// Off by default; smoke tests and CI turn it on.
+    pub allow_inject: bool,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            workers: 0,
+            queue_capacity: 16,
+            default_timeout_ms: None,
+            max_timeout_ms: None,
+            max_steps_ceiling: None,
+            drain_ms: 5_000,
+            allow_inject: false,
+        }
+    }
+}
+
+/// Where responses go. Whole responses are written under the lock, so
+/// concurrent workers interleave *responses*, never bytes.
+pub type SharedWriter = Arc<Mutex<Box<dyn Write + Send>>>;
+
+/// Wrap a sink as a [`SharedWriter`].
+pub fn shared_writer(w: impl Write + Send + 'static) -> SharedWriter {
+    Arc::new(Mutex::new(Box::new(w)))
+}
+
+/// One resident dataset version: the graphs plus every cache keyed to
+/// exactly this data. Replaced wholesale on `load`.
+struct Dataset {
+    name: String,
+    version: u64,
+    db: Arc<GraphDb>,
+    prepared: PreparedCache,
+    index: OnceLock<Arc<LabelPairIndex>>,
+}
+
+impl Dataset {
+    /// The shared label-pair index, built on first use.
+    fn index(&self) -> Arc<LabelPairIndex> {
+        self.index
+            .get_or_init(|| Arc::new(LabelPairIndex::build(&self.db)))
+            .clone()
+    }
+}
+
+/// A queued unit of work.
+struct Job {
+    request: Request,
+    out: SharedWriter,
+    token: CancelToken,
+    submitted: Instant,
+}
+
+#[derive(Default)]
+struct QueueState {
+    jobs: VecDeque<Job>,
+    active: usize,
+}
+
+#[derive(Default)]
+struct Counters {
+    received: AtomicU64,
+    served: AtomicU64,
+    busy_rejected: AtomicU64,
+    errors: AtomicU64,
+    panics: AtomicU64,
+    cancel_requests: AtomicU64,
+}
+
+/// A point-in-time view of the server counters (smoke assertions, stats).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServerSnapshot {
+    /// Request lines received (including rejected and malformed ones).
+    pub received: u64,
+    /// Responses written for queued work (ok or error).
+    pub served: u64,
+    /// Submissions rejected with `status=busy`.
+    pub busy_rejected: u64,
+    /// Error responses (including panics and parse errors).
+    pub errors: u64,
+    /// Request handlers that panicked (isolated; server kept serving).
+    pub panics: u64,
+    /// Jobs currently queued.
+    pub queued: usize,
+    /// Jobs currently executing.
+    pub active: usize,
+}
+
+struct ServerInner {
+    cfg: ServerConfig,
+    datasets: Mutex<HashMap<String, Arc<Dataset>>>,
+    queue: Mutex<QueueState>,
+    /// Wakes workers when a job is queued (or termination is flagged).
+    work_cv: Condvar,
+    /// Wakes the drain loop when the queue goes empty-and-idle.
+    idle_cv: Condvar,
+    /// Cancel tokens of every queued or executing request, by id.
+    inflight: Mutex<HashMap<String, CancelToken>>,
+    /// Intake closed (shutdown requested).
+    shutting_down: AtomicBool,
+    /// Workers may exit once the queue is empty.
+    terminated: AtomicBool,
+    counters: Counters,
+}
+
+/// A running mining service. Workers start on construction; requests are
+/// fed in as protocol lines via [`Server::dispatch_line`] or one of the
+/// transport loops ([`Server::serve_connection`], `serve_tcp` in the CLI).
+pub struct Server {
+    inner: Arc<ServerInner>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+fn lock<'a, T>(m: &'a Mutex<T>) -> MutexGuard<'a, T> {
+    // A worker panicking while holding a lock is already isolated by
+    // try_par_map; a poisoned mutex here would only ever hold consistent
+    // data, so recover rather than propagate.
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+impl Server {
+    /// Start a server: spawns the worker pool immediately.
+    pub fn new(cfg: ServerConfig) -> Self {
+        let worker_count = graphsig_core::resolve_threads(cfg.workers);
+        let inner = Arc::new(ServerInner {
+            cfg,
+            datasets: Mutex::new(HashMap::new()),
+            queue: Mutex::new(QueueState::default()),
+            work_cv: Condvar::new(),
+            idle_cv: Condvar::new(),
+            inflight: Mutex::new(HashMap::new()),
+            shutting_down: AtomicBool::new(false),
+            terminated: AtomicBool::new(false),
+            counters: Counters::default(),
+        });
+        let workers = (0..worker_count)
+            .map(|_| {
+                let inner = Arc::clone(&inner);
+                std::thread::spawn(move || inner.worker_loop())
+            })
+            .collect();
+        Server { inner, workers }
+    }
+
+    /// Feed one request line; any response is written to `out`. Returns
+    /// `true` when the line was a completed `shutdown` — the caller should
+    /// stop reading.
+    pub fn dispatch_line(&self, line: &str, out: &SharedWriter) -> bool {
+        self.inner.dispatch_line(line, out)
+    }
+
+    /// Serve one connection: read request lines until EOF or shutdown.
+    /// On EOF without a `shutdown` request the connection just closes;
+    /// the server (and other connections) keep running.
+    pub fn serve_connection(&self, reader: impl std::io::BufRead, out: SharedWriter) {
+        for line in reader.lines() {
+            let Ok(line) = line else { break };
+            if self.inner.dispatch_line(&line, &out) {
+                break;
+            }
+            if self.inner.terminated.load(Ordering::Relaxed) {
+                break;
+            }
+        }
+    }
+
+    /// Whether a completed `shutdown` has terminated the worker pool.
+    pub fn is_terminated(&self) -> bool {
+        self.inner.terminated.load(Ordering::Relaxed)
+    }
+
+    /// Drain and stop without a client `shutdown` request (EOF on stdio,
+    /// Ctrl-C handling, tests). Uses the configured drain deadline.
+    pub fn shutdown_now(&self) {
+        let drain = self.inner.cfg.drain_ms;
+        self.inner.shutdown(drain);
+    }
+
+    /// Current counters.
+    pub fn snapshot(&self) -> ServerSnapshot {
+        self.inner.snapshot()
+    }
+
+    /// Wait for all workers to exit. Call after shutdown (a completed
+    /// `shutdown` request or [`Server::shutdown_now`]).
+    pub fn join(mut self) {
+        // If nobody shut us down, do it now so join cannot hang.
+        if !self.inner.terminated.load(Ordering::Relaxed) {
+            self.shutdown_now();
+        }
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        if !self.inner.terminated.load(Ordering::Relaxed) {
+            self.inner.shutdown(self.inner.cfg.drain_ms);
+        }
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+impl ServerInner {
+    fn snapshot(&self) -> ServerSnapshot {
+        let q = lock(&self.queue);
+        ServerSnapshot {
+            received: self.counters.received.load(Ordering::Relaxed),
+            served: self.counters.served.load(Ordering::Relaxed),
+            busy_rejected: self.counters.busy_rejected.load(Ordering::Relaxed),
+            errors: self.counters.errors.load(Ordering::Relaxed),
+            panics: self.counters.panics.load(Ordering::Relaxed),
+            queued: q.jobs.len(),
+            active: q.active,
+        }
+    }
+
+    fn write_response(&self, out: &SharedWriter, resp: &Response) {
+        if resp.status == Status::Error {
+            self.counters.errors.fetch_add(1, Ordering::Relaxed);
+        }
+        let mut w = lock(out);
+        let _ = w.write_all(resp.render().as_bytes());
+        let _ = w.flush();
+    }
+
+    fn dispatch_line(&self, line: &str, out: &SharedWriter) -> bool {
+        let request = match parse_request(line) {
+            Ok(None) => return false, // blank / comment
+            Ok(Some(req)) => req,
+            Err(ProtocolError { message, id }) => {
+                self.counters.received.fetch_add(1, Ordering::Relaxed);
+                let id = id.as_deref().unwrap_or("-");
+                self.write_response(out, &Response::error(id, "?", message));
+                return false;
+            }
+        };
+        self.counters.received.fetch_add(1, Ordering::Relaxed);
+        match &request {
+            Request::Ping { id } => {
+                self.write_response(out, &Response::new(id, "ping", Status::Ok));
+                false
+            }
+            Request::Cancel { id, target } => {
+                self.counters
+                    .cancel_requests
+                    .fetch_add(1, Ordering::Relaxed);
+                let found = match lock(&self.inflight).get(target) {
+                    Some(token) => {
+                        token.cancel();
+                        true
+                    }
+                    None => false,
+                };
+                self.write_response(
+                    out,
+                    &Response::new(id, "cancel", Status::Ok)
+                        .with_field("target", target)
+                        .with_field("found", found),
+                );
+                false
+            }
+            Request::Shutdown { id, drain_ms } => {
+                let drain = drain_ms.unwrap_or(self.cfg.drain_ms);
+                let forced = self.shutdown(drain);
+                self.write_response(
+                    out,
+                    &Response::new(id, "shutdown", Status::Ok)
+                        .with_field("served", self.counters.served.load(Ordering::Relaxed))
+                        .with_field("forced", forced),
+                );
+                true
+            }
+            Request::Load(_) | Request::Mine(_) | Request::Freq(_) | Request::Stats { .. } => {
+                self.submit(request, out);
+                false
+            }
+        }
+    }
+
+    /// Queue a work request, or reject it (`busy` / shutdown / duplicate).
+    fn submit(&self, request: Request, out: &SharedWriter) {
+        let (id, op) = (request.id().to_string(), request.op());
+        if self.shutting_down.load(Ordering::Relaxed) {
+            self.write_response(out, &Response::error(&id, op, "server is shutting down"));
+            return;
+        }
+        let token = CancelToken::new();
+        {
+            let mut inflight = lock(&self.inflight);
+            if inflight.contains_key(&id) {
+                drop(inflight);
+                self.write_response(
+                    out,
+                    &Response::error(&id, op, format!("request id '{id}' already in flight")),
+                );
+                return;
+            }
+            // Reserve the id before queueing so a racing duplicate loses.
+            inflight.insert(id.clone(), token.clone());
+        }
+        {
+            let mut q = lock(&self.queue);
+            if q.jobs.len() >= self.cfg.queue_capacity {
+                let depth = q.jobs.len();
+                drop(q);
+                lock(&self.inflight).remove(&id);
+                self.counters.busy_rejected.fetch_add(1, Ordering::Relaxed);
+                self.write_response(
+                    out,
+                    &Response::new(&id, op, Status::Busy)
+                        .with_field("queue", depth)
+                        .with_field("capacity", self.cfg.queue_capacity),
+                );
+                return;
+            }
+            q.jobs.push_back(Job {
+                request,
+                out: Arc::clone(out),
+                token,
+                submitted: Instant::now(),
+            });
+        }
+        self.work_cv.notify_one();
+    }
+
+    fn worker_loop(&self) {
+        loop {
+            let job = {
+                let mut q = lock(&self.queue);
+                loop {
+                    if let Some(job) = q.jobs.pop_front() {
+                        q.active += 1;
+                        break job;
+                    }
+                    if self.terminated.load(Ordering::Relaxed) {
+                        return;
+                    }
+                    q = self.work_cv.wait(q).unwrap_or_else(|e| e.into_inner());
+                }
+            };
+            self.process(job);
+            let mut q = lock(&self.queue);
+            q.active -= 1;
+            if q.active == 0 && q.jobs.is_empty() {
+                self.idle_cv.notify_all();
+            }
+        }
+    }
+
+    /// Execute one job with panic isolation and always respond.
+    fn process(&self, job: Job) {
+        let Job {
+            request,
+            out,
+            token,
+            submitted,
+        } = job;
+        let (id, op) = (request.id().to_string(), request.op());
+        // try_par_map with a single item runs inline under catch_unwind:
+        // a panicking handler yields a structured error, not a dead worker.
+        let response = match graphsig_core::try_par_map(1, std::slice::from_ref(&request), |req| {
+            self.execute(req, &token, submitted)
+        }) {
+            Ok(mut v) => v.pop().unwrap_or_else(|| {
+                Response::error(&id, op, "internal: handler produced no response")
+            }),
+            Err(panicked) => {
+                self.counters.panics.fetch_add(1, Ordering::Relaxed);
+                Response::error(
+                    &id,
+                    op,
+                    format!("request handler panicked: {}", panicked.message),
+                )
+            }
+        };
+        lock(&self.inflight).remove(&id);
+        self.counters.served.fetch_add(1, Ordering::Relaxed);
+        self.write_response(&out, &response);
+    }
+
+    /// Stop intake and drain. Returns whether the drain deadline forced
+    /// cancellation of remaining work.
+    fn shutdown(&self, drain_ms: u64) -> bool {
+        self.shutting_down.store(true, Ordering::Relaxed);
+        let deadline = Instant::now() + Duration::from_millis(drain_ms);
+        let mut forced = false;
+        let mut q = lock(&self.queue);
+        while q.active > 0 || !q.jobs.is_empty() {
+            if !forced && Instant::now() >= deadline {
+                // Drain deadline passed: cancel everything still in
+                // flight. Each cancelled request still gets a structured
+                // `truncated (cancelled)` response — then we keep waiting
+                // (cooperative cancellation is fast but not instant).
+                for token in lock(&self.inflight).values() {
+                    token.cancel();
+                }
+                forced = true;
+            }
+            let wait = if forced {
+                Duration::from_millis(50)
+            } else {
+                deadline
+                    .saturating_duration_since(Instant::now())
+                    .min(Duration::from_millis(50))
+                    .max(Duration::from_millis(1))
+            };
+            let (guard, _) = self
+                .idle_cv
+                .wait_timeout(q, wait)
+                .unwrap_or_else(|e| e.into_inner());
+            q = guard;
+        }
+        drop(q);
+        self.terminated.store(true, Ordering::Relaxed);
+        self.work_cv.notify_all();
+        forced
+    }
+
+    /// Build the effective budget for a request: request limits clamped by
+    /// server ceilings, deadline measured from submission, and always the
+    /// request's cancel token.
+    fn budget_for(&self, params: &BudgetParams, token: &CancelToken, submitted: Instant) -> Budget {
+        let mut budget = Budget::unlimited().with_cancel(token.clone());
+        let timeout_ms = params.timeout_ms.or(self.cfg.default_timeout_ms);
+        let timeout_ms = match (timeout_ms, self.cfg.max_timeout_ms) {
+            (Some(t), Some(ceiling)) => Some(t.min(ceiling)),
+            (None, ceiling) => ceiling,
+            (t, None) => t,
+        };
+        if let Some(ms) = timeout_ms {
+            budget = budget.with_deadline_at(submitted + Duration::from_millis(ms));
+        }
+        let max_steps = match (params.max_steps, self.cfg.max_steps_ceiling) {
+            (Some(s), Some(ceiling)) => Some(s.min(ceiling)),
+            (s, _) => s,
+        };
+        if let Some(steps) = max_steps {
+            budget = budget.with_max_steps(steps);
+        }
+        budget
+    }
+
+    fn dataset(&self, name: &str) -> Result<Arc<Dataset>, String> {
+        lock(&self.datasets)
+            .get(name)
+            .cloned()
+            .ok_or_else(|| format!("unknown dataset '{name}' (load it first)"))
+    }
+
+    fn execute(&self, request: &Request, token: &CancelToken, submitted: Instant) -> Response {
+        match request {
+            Request::Load(r) => self.exec_load(r),
+            Request::Mine(r) => self.exec_mine(r, token, submitted),
+            Request::Freq(r) => self.exec_freq(r, token, submitted),
+            Request::Stats { id, dataset } => self.exec_stats(id, dataset.as_deref()),
+            // Control ops never reach the queue.
+            other => Response::error(other.id(), other.op(), "internal: control op queued"),
+        }
+    }
+
+    fn exec_load(&self, r: &LoadRequest) -> Response {
+        let db = match &r.source {
+            LoadSource::Path(path) => {
+                let text = match std::fs::read_to_string(path) {
+                    Ok(t) => t,
+                    Err(e) => {
+                        return Response::error(&r.id, "load", format!("cannot read {path}: {e}"))
+                    }
+                };
+                match parse_transactions(&text) {
+                    Ok(db) => db,
+                    Err(e) => return Response::error(&r.id, "load", format!("{path}: {e}")),
+                }
+            }
+            LoadSource::AidsLike { count, seed } => graphsig_datagen::aids_like(*count, *seed).db,
+        };
+        let graphs = db.len();
+        let version = {
+            let mut datasets = lock(&self.datasets);
+            let version = datasets.get(&r.dataset).map_or(1, |d| d.version + 1);
+            // Versioned invalidation: the new Arc replaces the old entry;
+            // requests already holding the old version finish against it,
+            // and its caches are freed with the last reference.
+            datasets.insert(
+                r.dataset.clone(),
+                Arc::new(Dataset {
+                    name: r.dataset.clone(),
+                    version,
+                    db: Arc::new(db),
+                    prepared: PreparedCache::new(),
+                    index: OnceLock::new(),
+                }),
+            );
+            version
+        };
+        Response::new(&r.id, "load", Status::Ok)
+            .with_field("dataset", &r.dataset)
+            .with_field("version", version)
+            .with_field("graphs", graphs)
+    }
+
+    fn exec_mine(&self, r: &MineRequest, token: &CancelToken, submitted: Instant) -> Response {
+        if r.inject_panic || r.sleep_ms.is_some() {
+            if !self.cfg.allow_inject {
+                return Response::error(&r.id, "mine", "fault-injection keys are disabled");
+            }
+            if let Some(ms) = r.sleep_ms {
+                if !sleep_cancellable(ms, token) {
+                    return Response::new(&r.id, "mine", Status::Ok)
+                        .with_field("completion", "truncated (cancelled)")
+                        .with_field("cached", "none")
+                        .with_field("subgraphs", 0);
+                }
+            }
+            if r.inject_panic {
+                panic!("injected fault (inject=panic)");
+            }
+        }
+        let dataset = match self.dataset(&r.dataset) {
+            Ok(d) => d,
+            Err(e) => return Response::error(&r.id, "mine", e),
+        };
+        let defaults = GraphSigConfig::default();
+        let cfg = GraphSigConfig {
+            max_pvalue: r.max_pvalue.unwrap_or(defaults.max_pvalue),
+            min_freq: r.min_freq.unwrap_or(defaults.min_freq),
+            radius: r.radius.unwrap_or(defaults.radius),
+            fsm_freq: r.fsm_freq.unwrap_or(defaults.fsm_freq),
+            threads: r.threads.unwrap_or(defaults.threads),
+            fsm_backend: match r.backend {
+                None | Some(BackendKind::Fsg) => FsmBackend::Fsg,
+                Some(BackendKind::GSpan) => FsmBackend::GSpan,
+            },
+            budget: Some(self.budget_for(&r.budget, token, submitted)),
+            ..defaults
+        };
+        let in_range = (0.0..=1.0).contains(&cfg.max_pvalue)
+            && cfg.min_freq > 0.0
+            && cfg.min_freq <= 1.0
+            && cfg.fsm_freq > 0.0
+            && cfg.fsm_freq <= 1.0;
+        if !in_range {
+            // GraphSig::new asserts on these; reject structured instead.
+            return Response::error(
+                &r.id,
+                "mine",
+                "thresholds out of range: need max_pvalue in [0,1], min_freq and fsm_freq in (0,1]",
+            );
+        }
+        let (outcome, disposition) = dataset.prepared.mine_outcome(&cfg, &dataset.db);
+        let top = r.top.unwrap_or(usize::MAX);
+        let payload = render_subgraphs(&dataset.db, &outcome.result, top);
+        Response::new(&r.id, "mine", Status::Ok)
+            .with_field("dataset", &dataset.name)
+            .with_field("version", dataset.version)
+            .with_field("completion", outcome.completion)
+            .with_field("cached", disposition)
+            .with_field("subgraphs", outcome.result.subgraphs.len())
+            .with_payload(payload)
+    }
+
+    fn exec_freq(&self, r: &FreqRequest, token: &CancelToken, submitted: Instant) -> Response {
+        let dataset = match self.dataset(&r.dataset) {
+            Ok(d) => d,
+            Err(e) => return Response::error(&r.id, "freq", e),
+        };
+        if r.min_support == 0 {
+            return Response::error(&r.id, "freq", "min_support must be >= 1");
+        }
+        let budget = self.budget_for(&r.budget, token, submitted);
+        let index = dataset.index();
+        let threads = r.threads.unwrap_or(0);
+        let max_edges = r.max_edges.unwrap_or(8);
+        let max_patterns = r.max_patterns.unwrap_or(10_000);
+        let outcome = match r.backend {
+            None | Some(BackendKind::Fsg) => Fsg::new(
+                FsgConfig::new(r.min_support)
+                    .with_max_edges(max_edges)
+                    .with_max_patterns(max_patterns)
+                    .with_threads(threads)
+                    .with_budget(budget),
+            )
+            .mine_indexed_outcome(&dataset.db, &index),
+            Some(BackendKind::GSpan) => GSpan::new(
+                MinerConfig::new(r.min_support)
+                    .with_max_edges(max_edges)
+                    .with_max_patterns(max_patterns)
+                    .with_threads(threads)
+                    .with_budget(budget),
+            )
+            .mine_indexed_outcome(&dataset.db, &index),
+        };
+        let payload = render_patterns(&dataset.db, &outcome.result);
+        Response::new(&r.id, "freq", Status::Ok)
+            .with_field("dataset", &dataset.name)
+            .with_field("version", dataset.version)
+            .with_field("completion", outcome.completion)
+            .with_field("patterns", outcome.result.len())
+            .with_field("index_types", index.len())
+            .with_payload(payload)
+    }
+
+    fn exec_stats(&self, id: &str, dataset: Option<&str>) -> Response {
+        match dataset {
+            None => {
+                let snap = self.snapshot();
+                Response::new(id, "stats", Status::Ok)
+                    .with_field("datasets", lock(&self.datasets).len())
+                    .with_field("received", snap.received)
+                    .with_field("served", snap.served)
+                    .with_field("busy_rejected", snap.busy_rejected)
+                    .with_field("errors", snap.errors)
+                    .with_field("panics", snap.panics)
+                    .with_field("queued", snap.queued)
+                    .with_field("active", snap.active)
+                    .with_field("queue_capacity", self.cfg.queue_capacity)
+                    .with_field("workers", graphsig_core::resolve_threads(self.cfg.workers))
+            }
+            Some(name) => match self.dataset(name) {
+                Err(e) => Response::error(id, "stats", e),
+                Ok(d) => {
+                    let s = d.db.stats();
+                    let cache = d.prepared.stats();
+                    let mut resp = Response::new(id, "stats", Status::Ok)
+                        .with_field("dataset", &d.name)
+                        .with_field("version", d.version)
+                        .with_field("graphs", s.graph_count)
+                        .with_field("nodes", s.total_nodes)
+                        .with_field("edges", s.total_edges)
+                        .with_field("prepared_hits", cache.hits)
+                        .with_field("prepared_misses", cache.misses)
+                        .with_field("prepared_bypasses", cache.bypasses)
+                        .with_field("prepared_entries", cache.entries);
+                    // The shared index is only reported once built — its
+                    // presence is itself the observability signal that
+                    // `freq` requests are reusing one build.
+                    if let Some(index) = d.index.get() {
+                        resp = resp
+                            .with_field("index_types", index.len())
+                            .with_field("index_occurrences", index.total_occurrences());
+                    }
+                    resp
+                }
+            },
+        }
+    }
+}
+
+/// Render `freq` results: a stats comment plus a transaction block per
+/// pattern (same shape as the `mine` payload).
+fn render_patterns(db: &GraphDb, patterns: &[Pattern]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    for (i, p) in patterns.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "# pattern {i}: support {} graphs ({:.3}%), {} edges",
+            p.support,
+            100.0 * p.frequency(db.len()),
+            p.graph.edge_count()
+        );
+        let one = GraphDb::from_parts(vec![p.graph.clone()], db.labels().clone());
+        out.push_str(&graphsig_graph::write_transactions(&one));
+    }
+    out
+}
+
+/// Sleep in small cancellable slices. Returns `false` when cancelled.
+fn sleep_cancellable(ms: u64, token: &CancelToken) -> bool {
+    let deadline = Instant::now() + Duration::from_millis(ms);
+    while Instant::now() < deadline {
+        if token.is_cancelled() {
+            return false;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    !token.is_cancelled()
+}

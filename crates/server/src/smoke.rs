@@ -1,0 +1,330 @@
+//! Fault-injection smoke test (`graphsig serve --smoke`, CI-gated).
+//!
+//! Drives one in-process [`Server`] through every degradation path at
+//! once and checks that *every* submitted request resolves to exactly one
+//! structured response — no silent drops, no dead workers:
+//!
+//! 1. concurrent mine requests with mixed budgets (unlimited, expired
+//!    deadline, step budget),
+//! 2. one deliberately panicking request (isolated to an error response),
+//! 3. one request cancelled mid-flight,
+//! 4. queue-full `busy` rejections while both workers are pinned,
+//! 5. repeated identical requests served from the shared window-pass
+//!    cache, byte-identical to the in-process one-shot pipeline,
+//! 6. a `freq` request sharing the label-pair index,
+//! 7. graceful shutdown whose drain deadline force-cancels a hung
+//!    request — which still gets its response.
+
+use std::io::Write;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use graphsig_core::{render_subgraphs, GraphSig, GraphSigConfig};
+
+use crate::protocol::{parse_response_stream, ResponseHeader, Status};
+use crate::server::{Server, ServerConfig, SharedWriter};
+
+/// An in-memory response sink shared with the server's workers.
+#[derive(Clone, Default)]
+struct Sink(Arc<Mutex<Vec<u8>>>);
+
+impl Write for Sink {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.0
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .extend_from_slice(buf);
+        Ok(buf.len())
+    }
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+struct Harness {
+    server: Server,
+    sink: Sink,
+    out: SharedWriter,
+    submitted: Vec<String>,
+}
+
+impl Harness {
+    fn new(cfg: ServerConfig) -> Self {
+        let sink = Sink::default();
+        let out: SharedWriter = Arc::new(Mutex::new(Box::new(sink.clone())));
+        Harness {
+            server: Server::new(cfg),
+            sink,
+            out,
+            submitted: Vec::new(),
+        }
+    }
+
+    fn send(&mut self, line: &str) {
+        if let Ok(Some(req)) = crate::protocol::parse_request(line) {
+            self.submitted.push(req.id().to_string());
+        }
+        self.server.dispatch_line(line, &self.out);
+    }
+
+    fn responses(&self) -> Result<Vec<(ResponseHeader, Vec<u8>)>, String> {
+        let buf = self
+            .sink
+            .0
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .clone();
+        parse_response_stream(&buf).map_err(|e| format!("bad response stream: {e}"))
+    }
+
+    /// Block until the response for `id` is present (responses arrive on
+    /// worker threads).
+    fn wait_response(
+        &self,
+        id: &str,
+        timeout: Duration,
+    ) -> Result<(ResponseHeader, String), String> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            for (h, body) in self.responses()? {
+                if h.id == id {
+                    let body = String::from_utf8(body)
+                        .map_err(|_| format!("non-UTF-8 payload for {id}"))?;
+                    return Ok((h, body));
+                }
+            }
+            if Instant::now() >= deadline {
+                return Err(format!("no response for request '{id}' within {timeout:?}"));
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+    }
+
+    /// Block until `pred` holds on the server snapshot.
+    fn wait_state(
+        &self,
+        what: &str,
+        timeout: Duration,
+        pred: impl Fn(crate::server::ServerSnapshot) -> bool,
+    ) -> Result<(), String> {
+        let deadline = Instant::now() + timeout;
+        while !pred(self.server.snapshot()) {
+            if Instant::now() >= deadline {
+                return Err(format!(
+                    "timed out waiting for {what}; snapshot: {:?}",
+                    self.server.snapshot()
+                ));
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        Ok(())
+    }
+}
+
+fn check(cond: bool, what: &str) -> Result<(), String> {
+    if cond {
+        Ok(())
+    } else {
+        Err(format!("smoke check failed: {what}"))
+    }
+}
+
+const WAIT: Duration = Duration::from_secs(60);
+
+/// Run the smoke scenario; `Err` describes the first failed check.
+pub fn run() -> Result<(), String> {
+    let cfg = ServerConfig {
+        workers: 2,
+        queue_capacity: 2,
+        drain_ms: 10_000,
+        allow_inject: true,
+        ..ServerConfig::default()
+    };
+    let mut h = Harness::new(cfg);
+    let mine = "dataset=d min_freq=0.05 max_pvalue=0.05 radius=3";
+
+    // -- Resident dataset ------------------------------------------------
+    h.send("load id=load1 dataset=d gen=aids count=120 seed=7");
+    let (resp, _) = h.wait_response("load1", WAIT)?;
+    check(resp.status == Status::Ok, "load must succeed")?;
+    check(
+        resp.field("version") == Some("1"),
+        "first load is version 1",
+    )?;
+
+    // -- Pin both workers, then exercise backpressure --------------------
+    h.send(&format!("mine id=sleepA sleep_ms=60000 {mine}"));
+    h.send(&format!("mine id=sleepB sleep_ms=60000 {mine}"));
+    h.wait_state("both workers pinned", WAIT, |s| s.active == 2)?;
+    h.send(&format!("mine id=q1 {mine}"));
+    h.send(&format!("mine id=q2 {mine}"));
+    h.wait_state("queue full", WAIT, |s| s.queued == 2)?;
+    for i in 0..3 {
+        h.send(&format!("mine id=shed{i} {mine}"));
+        let (resp, _) = h.wait_response(&format!("shed{i}"), WAIT)?;
+        check(
+            resp.status == Status::Busy,
+            "queue-full submission must be rejected busy",
+        )?;
+        check(resp.field("queue") == Some("2"), "busy reports queue depth")?;
+    }
+    check(
+        h.server.snapshot().busy_rejected == 3,
+        "busy rejections counted",
+    )?;
+
+    // Control plane still answers while saturated.
+    h.send("ping id=ping1");
+    let (resp, _) = h.wait_response("ping1", WAIT)?;
+    check(resp.status == Status::Ok, "ping while saturated")?;
+
+    // -- Cancellation mid-flight -----------------------------------------
+    h.send("cancel id=c1 target=sleepA");
+    let (resp, _) = h.wait_response("c1", WAIT)?;
+    check(resp.field("found") == Some("true"), "cancel finds sleepA")?;
+    let (resp, _) = h.wait_response("sleepA", WAIT)?;
+    check(
+        resp.status == Status::Ok && resp.field("completion") == Some("truncated (cancelled)"),
+        "cancelled request resolves structured",
+    )?;
+    // Cancelling an unknown id is a structured no-op.
+    h.send("cancel id=c2 target=nonexistent");
+    let (resp, _) = h.wait_response("c2", WAIT)?;
+    check(resp.field("found") == Some("false"), "cancel miss reported")?;
+
+    // Queued work drains through the freed worker.
+    let (q1, q1_body) = h.wait_response("q1", WAIT)?;
+    let (_q2, q2_body) = h.wait_response("q2", WAIT)?;
+    check(q1.status == Status::Ok, "queued mine served after drain")?;
+    check(
+        q1_body == q2_body && !q1_body.is_empty(),
+        "identical queued requests produce identical payloads",
+    )?;
+
+    // -- Shared-state cache: byte-identical to the one-shot pipeline -----
+    let db = graphsig_datagen::aids_like(120, 7).db;
+    let one_shot = GraphSig::new(GraphSigConfig {
+        min_freq: 0.05,
+        max_pvalue: 0.05,
+        radius: 3,
+        ..GraphSigConfig::default()
+    })
+    .mine_outcome(&db);
+    let expected = render_subgraphs(&db, &one_shot.result, usize::MAX);
+    check(
+        q1_body == expected,
+        "server mine payload must be byte-identical to the one-shot pipeline",
+    )?;
+    h.send(&format!("mine id=warm {mine}"));
+    let (resp, body) = h.wait_response("warm", WAIT)?;
+    check(
+        resp.field("cached") == Some("hit"),
+        "repeated identical request is a cache hit",
+    )?;
+    check(body == expected, "cache hit payload byte-identical")?;
+
+    // -- Mixed budgets under load ----------------------------------------
+    h.send(&format!("mine id=deadline timeout_ms=1 {mine}"));
+    h.send(&format!("mine id=steps max_steps=200 {mine}"));
+    let (resp, _) = h.wait_response("deadline", WAIT)?;
+    check(
+        resp.status == Status::Ok && resp.field("completion") != Some("complete"),
+        "expired deadline yields a truncated ok response",
+    )?;
+    let (resp, _) = h.wait_response("steps", WAIT)?;
+    check(
+        resp.field("cached") == Some("bypass"),
+        "step-budgeted request bypasses the cache",
+    )?;
+    check(
+        resp.field("completion") == Some("truncated (step budget exhausted)"),
+        "tiny step budget truncates deterministically",
+    )?;
+
+    // -- Panic isolation --------------------------------------------------
+    h.send(&format!("mine id=poison inject=panic {mine}"));
+    let (resp, _) = h.wait_response("poison", WAIT)?;
+    check(
+        resp.status == Status::Error && resp.field("error").is_some_and(|e| e.contains("panicked")),
+        "poisoned request resolves to a structured error",
+    )?;
+    check(h.server.snapshot().panics == 1, "panic counted")?;
+    h.send(&format!("mine id=after_poison {mine}"));
+    let (resp, body) = h.wait_response("after_poison", WAIT)?;
+    check(
+        resp.status == Status::Ok && body == expected,
+        "server keeps serving correctly after a panic",
+    )?;
+
+    // -- Shared index (`freq`) + cache observability via stats ------------
+    h.send("freq id=f1 dataset=d min_support=40 max_edges=3");
+    let (resp, _) = h.wait_response("f1", WAIT)?;
+    check(resp.status == Status::Ok, "freq request served")?;
+    check(
+        resp.field("index_types").is_some_and(|v| v != "0"),
+        "freq uses the shared label-pair index",
+    )?;
+    h.send("stats id=s1 dataset=d");
+    let (resp, _) = h.wait_response("s1", WAIT)?;
+    check(
+        resp.field("prepared_hits")
+            .and_then(|v| v.parse::<u64>().ok())
+            .is_some_and(|hits| hits >= 2),
+        "stats shows window-pass cache hits",
+    )?;
+    check(
+        resp.field("index_types").is_some(),
+        "stats shows the built shared index",
+    )?;
+
+    // -- Versioned invalidation -------------------------------------------
+    h.send("load id=load2 dataset=d gen=aids count=120 seed=7");
+    let (resp, _) = h.wait_response("load2", WAIT)?;
+    check(
+        resp.field("version") == Some("2"),
+        "reload bumps the version",
+    )?;
+    h.send("stats id=s2 dataset=d");
+    let (resp, _) = h.wait_response("s2", WAIT)?;
+    check(
+        resp.field("prepared_hits") == Some("0") && resp.field("prepared_entries") == Some("0"),
+        "reload invalidates the prepared cache",
+    )?;
+
+    // -- Graceful shutdown force-cancels the hung request ------------------
+    // sleepB is still hanging. A short drain deadline must cancel it, it
+    // must still respond, and only then does shutdown confirm.
+    h.send("shutdown id=bye drain_ms=300");
+    let (resp, _) = h.wait_response("bye", WAIT)?;
+    check(resp.status == Status::Ok, "shutdown confirms")?;
+    check(
+        resp.field("forced") == Some("true"),
+        "drain deadline forced cancellation of the hung request",
+    )?;
+    let (resp, _) = h.wait_response("sleepB", WAIT)?;
+    check(
+        resp.field("completion") == Some("truncated (cancelled)"),
+        "hung request resolved during forced drain",
+    )?;
+    check(h.server.is_terminated(), "server terminated after shutdown")?;
+    // Post-shutdown submissions are rejected, not dropped.
+    h.send(&format!("mine id=late {mine}"));
+    let (resp, _) = h.wait_response("late", WAIT)?;
+    check(
+        resp.status == Status::Error
+            && resp
+                .field("error")
+                .is_some_and(|e| e.contains("shutting down")),
+        "post-shutdown submission rejected with a structured error",
+    )?;
+
+    // -- Global invariant: one response per submitted request --------------
+    let responses = h.responses()?;
+    for id in &h.submitted {
+        let n = responses.iter().filter(|(r, _)| &r.id == id).count();
+        check(n == 1, &format!("request '{id}' got {n} responses, want 1"))?;
+    }
+    let Harness { server, .. } = h;
+    server.join();
+    Ok(())
+}

@@ -1,0 +1,223 @@
+//! Integration tests for the resident mining service.
+
+use std::io::Write;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use graphsig_core::{render_subgraphs, GraphSig, GraphSigConfig};
+use graphsig_server::protocol::parse_response_stream;
+use graphsig_server::{Server, ServerConfig, SharedWriter, Status};
+
+#[derive(Clone, Default)]
+struct Sink(Arc<Mutex<Vec<u8>>>);
+
+impl Write for Sink {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.0.lock().unwrap().extend_from_slice(buf);
+        Ok(buf.len())
+    }
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+fn writer(sink: &Sink) -> SharedWriter {
+    Arc::new(Mutex::new(Box::new(sink.clone())))
+}
+
+/// Wait until the sink holds a response for every id in `ids`.
+fn wait_all(sink: &Sink, ids: &[String]) -> Vec<(graphsig_server::ResponseHeader, Vec<u8>)> {
+    let deadline = Instant::now() + Duration::from_secs(120);
+    loop {
+        let buf = sink.0.lock().unwrap().clone();
+        if let Ok(responses) = parse_response_stream(&buf) {
+            if ids
+                .iter()
+                .all(|id| responses.iter().any(|(h, _)| &h.id == id))
+            {
+                return responses;
+            }
+        }
+        assert!(Instant::now() < deadline, "timed out waiting for responses");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+#[test]
+fn smoke_scenario_passes() {
+    // The full fault-injection gauntlet CI runs via `graphsig serve
+    // --smoke`: backpressure, cancellation, panic isolation, mixed
+    // budgets, cache observability, forced drain.
+    graphsig_server::smoke::run().expect("smoke scenario");
+}
+
+#[test]
+fn concurrent_mixed_budget_load_is_byte_identical_to_one_shot() {
+    let server = Server::new(ServerConfig {
+        workers: 4,
+        queue_capacity: 64,
+        ..ServerConfig::default()
+    });
+    let sink = Sink::default();
+    let out = writer(&sink);
+    server.dispatch_line("load id=L dataset=d gen=aids count=100 seed=3", &out);
+    wait_all(&sink, &["L".to_string()]);
+
+    // 12 concurrent submissions from 4 client threads: identical
+    // unbudgeted requests interleaved with step-budgeted and
+    // deadline-budgeted ones.
+    let mine = "mine dataset=d min_freq=0.05 max_pvalue=0.05 radius=3";
+    let mut ids = Vec::new();
+    std::thread::scope(|s| {
+        for t in 0..4 {
+            let out = Arc::clone(&out);
+            let server = &server;
+            ids.extend((0..3).map(|i| format!("t{t}r{i}")));
+            s.spawn(move || {
+                for (i, extra) in ["", " max_steps=100", " timeout_ms=1"].iter().enumerate() {
+                    server.dispatch_line(&format!("{mine} id=t{t}r{i}{extra}"), &out);
+                }
+            });
+        }
+    });
+    let responses = wait_all(&sink, &ids);
+
+    let db = graphsig_datagen::aids_like(100, 3).db;
+    let cfg = GraphSigConfig {
+        min_freq: 0.05,
+        max_pvalue: 0.05,
+        radius: 3,
+        ..GraphSigConfig::default()
+    };
+    let unbudgeted = render_subgraphs(&db, &GraphSig::new(cfg.clone()).mine(&db), usize::MAX);
+    let budgeted =
+        GraphSig::new(cfg.with_budget(graphsig_core::Budget::unlimited().with_max_steps(100)))
+            .mine_outcome(&db);
+    let budgeted_payload = render_subgraphs(&db, &budgeted.result, usize::MAX);
+
+    for t in 0..4 {
+        // Unbudgeted requests: byte-identical to the one-shot pipeline,
+        // even though they raced budgeted requests for workers + cache.
+        let (h, body) = responses
+            .iter()
+            .find(|(h, _)| h.id == format!("t{t}r0"))
+            .expect("unbudgeted response");
+        assert_eq!(h.status, Status::Ok);
+        assert_eq!(h.field("completion"), Some("complete"));
+        assert_eq!(
+            std::str::from_utf8(body).unwrap(),
+            unbudgeted,
+            "client {t}: unbudgeted payload differs from one-shot"
+        );
+        // Step-budgeted requests: deterministic truncation, identical to
+        // the one-shot budgeted run (cache bypassed by design).
+        let (h, body) = responses
+            .iter()
+            .find(|(h, _)| h.id == format!("t{t}r1"))
+            .expect("step-budgeted response");
+        assert_eq!(h.field("cached"), Some("bypass"));
+        assert_eq!(
+            h.field("completion"),
+            Some(budgeted.completion.to_string().as_str())
+        );
+        assert_eq!(std::str::from_utf8(body).unwrap(), budgeted_payload);
+        // Deadline requests: structured ok, complete or truncated.
+        let (h, _) = responses
+            .iter()
+            .find(|(h, _)| h.id == format!("t{t}r2"))
+            .expect("deadline response");
+        assert_eq!(h.status, Status::Ok);
+    }
+    // At most one window pass was prepared across all 8 cache-eligible
+    // requests (4 unbudgeted + 4 deadline).
+    server.dispatch_line("stats id=S dataset=d", &out);
+    let responses = wait_all(&sink, &["S".to_string()]);
+    let (h, _) = responses.iter().find(|(h, _)| h.id == "S").unwrap();
+    assert_eq!(h.field("prepared_misses"), Some("1"));
+    assert_eq!(h.field("prepared_bypasses"), Some("4"));
+    server.join();
+}
+
+#[test]
+fn duplicate_ids_and_unknown_datasets_are_structured_errors() {
+    let server = Server::new(ServerConfig {
+        workers: 1,
+        allow_inject: true,
+        ..ServerConfig::default()
+    });
+    let sink = Sink::default();
+    let out = writer(&sink);
+    server.dispatch_line("mine id=m1 dataset=nope", &out);
+    let responses = wait_all(&sink, &["m1".to_string()]);
+    let (h, _) = responses.iter().find(|(h, _)| h.id == "m1").unwrap();
+    assert_eq!(h.status, Status::Error);
+    assert!(h.field("error").unwrap().contains("unknown dataset"));
+
+    // A duplicate id while the first is still in flight is rejected.
+    server.dispatch_line("load id=L dataset=d gen=aids count=30 seed=1", &out);
+    wait_all(&sink, &["L".to_string()]);
+    server.dispatch_line("mine id=dup dataset=d sleep_ms=2000", &out);
+    // Wait until it is executing, then collide.
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while server.snapshot().active == 0 && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    server.dispatch_line("mine id=dup dataset=d", &out);
+    server.dispatch_line("cancel id=c target=dup", &out);
+    let responses = wait_all(&sink, &["c".to_string()]);
+    let dup_errors = responses
+        .iter()
+        .filter(|(h, _)| h.id == "dup" && h.status == Status::Error)
+        .count();
+    assert_eq!(dup_errors, 1, "second 'dup' submission must error");
+    server.join();
+}
+
+#[test]
+fn malformed_lines_get_error_responses_and_server_survives() {
+    let server = Server::new(ServerConfig::default());
+    let sink = Sink::default();
+    let out = writer(&sink);
+    server.dispatch_line("gibberish", &out);
+    server.dispatch_line("mine id=x radius=", &out);
+    server.dispatch_line("mine id=y dataset=d bogus=1", &out);
+    server.dispatch_line("", &out); // ignored
+    server.dispatch_line("# comment", &out); // ignored
+    server.dispatch_line("ping id=alive", &out);
+    let responses = wait_all(&sink, &["alive".to_string()]);
+    assert_eq!(responses.len(), 4, "three errors + one pong");
+    assert!(responses
+        .iter()
+        .filter(|(h, _)| h.id != "alive")
+        .all(|(h, _)| h.status == Status::Error));
+    // The scavenged id correlates the malformed mine line.
+    assert!(responses.iter().any(|(h, _)| h.id == "y"));
+    server.join();
+}
+
+#[test]
+fn eof_shutdown_via_connection_loop_drains() {
+    // serve_connection on an in-memory request script: every request is
+    // answered, shutdown confirms, and the loop returns.
+    let server = Server::new(ServerConfig {
+        workers: 2,
+        ..ServerConfig::default()
+    });
+    let sink = Sink::default();
+    let script = "load id=L dataset=d gen=aids count=40 seed=2\n\
+                  mine id=m dataset=d min_freq=0.05 max_pvalue=0.05 radius=3\n\
+                  shutdown id=bye\n\
+                  mine id=never dataset=d\n";
+    server.serve_connection(std::io::Cursor::new(script), writer(&sink));
+    let buf = sink.0.lock().unwrap().clone();
+    let responses = parse_response_stream(&buf).expect("clean stream");
+    let ids: Vec<&str> = responses.iter().map(|(h, _)| h.id.as_str()).collect();
+    assert!(ids.contains(&"L") && ids.contains(&"m") && ids.contains(&"bye"));
+    // The post-shutdown line is never read: the loop stopped at shutdown.
+    assert!(!ids.contains(&"never"));
+    let (bye, _) = responses.iter().find(|(h, _)| h.id == "bye").unwrap();
+    assert_eq!(bye.status, Status::Ok);
+    assert_eq!(bye.field("forced"), Some("false"), "drain was graceful");
+    assert!(server.is_terminated());
+    server.join();
+}

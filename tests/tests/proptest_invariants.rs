@@ -158,6 +158,84 @@ proptest! {
         prop_assert!((b.tail_upper(k) - brute).abs() < 1e-9);
     }
 
+    // ---- parser robustness: arbitrary input is Err, never a panic ----
+
+    #[test]
+    fn transaction_parser_never_panics_on_byte_soup(bytes in prop::collection::vec(any::<u8>(), 0..512)) {
+        // Total function: any byte soup yields Ok or a line-numbered Err.
+        let text = String::from_utf8_lossy(&bytes);
+        if let Err(e) = graphsig_graph::parse_transactions(&text) {
+            prop_assert!(e.line >= 1, "error line numbers are 1-based");
+        }
+    }
+
+    #[test]
+    fn transaction_parser_never_panics_on_token_soup(
+        tokens in prop::collection::vec(
+            prop::collection::vec(0usize..12, 1..6), 0..40),
+        seed in any::<u64>(),
+    ) {
+        // Structured-ish soup: lines assembled from the grammar's own
+        // vocabulary reach deeper parser states than raw bytes do.
+        let vocab = ["t", "v", "e", "#", "0", "1", "9999999999999999999", "-3", "C", "", " ", "\u{fffd}"];
+        let mut state = seed | 1;
+        let mut text = String::new();
+        for line in &tokens {
+            for &tok in line {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                text.push_str(vocab[(tok + (state >> 33) as usize) % vocab.len()]);
+                text.push(' ');
+            }
+            text.push('\n');
+        }
+        let _ = graphsig_graph::parse_transactions(&text);
+    }
+
+    #[test]
+    fn request_parser_never_panics_on_byte_soup(bytes in prop::collection::vec(any::<u8>(), 0..512)) {
+        let line = String::from_utf8_lossy(&bytes);
+        let _ = graphsig_server::parse_request(&line);
+    }
+
+    #[test]
+    fn request_parser_never_panics_on_token_soup(
+        tokens in prop::collection::vec(0usize..64, 0..24),
+        seed in any::<u64>(),
+    ) {
+        // Soup from the protocol's own vocabulary: real ops, real keys,
+        // stray `=`, over/underflowing numbers, escape fragments.
+        let vocab = [
+            "mine", "freq", "load", "stats", "cancel", "ping", "shutdown",
+            "id=", "id=x", "dataset=d", "radius=3", "radius=", "=", "==",
+            "max_steps=18446744073709551616", "timeout_ms=-1", "min_freq=0.05",
+            "path=%", "path=%2", "path=%zz", "gen=aids", "count=10", "seed=1",
+            "target=x", "drain_ms=0", "bogus=1", "%0a", "#",
+        ];
+        let mut state = seed | 1;
+        let mut line = String::new();
+        for &tok in &tokens {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            line.push_str(vocab[(tok + (state >> 33) as usize) % vocab.len()]);
+            line.push(' ');
+        }
+        let _ = graphsig_server::parse_request(&line);
+    }
+
+    #[test]
+    fn protocol_escape_roundtrips(bytes in prop::collection::vec(any::<u8>(), 0..128)) {
+        let value = String::from_utf8_lossy(&bytes).into_owned();
+        let escaped = graphsig_server::escape(&value);
+        // Escaped form is single-token (no whitespace) and decodes back.
+        prop_assert!(!escaped.chars().any(|c| c.is_whitespace()));
+        let decoded = graphsig_server::unescape(&escaped);
+        prop_assert_eq!(decoded.as_deref().ok(), Some(value.as_str()));
+    }
+
+    #[test]
+    fn response_stream_parser_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..512)) {
+        let _ = graphsig_server::protocol::parse_response_stream(&bytes);
+    }
+
     #[test]
     fn gspan_patterns_verified_by_vf2(seed in any::<u64>()) {
         use graphsig_gspan::{GSpan, MinerConfig};
