@@ -1,0 +1,158 @@
+//! Microbenchmark for the isomorphism engines behind `MultiMatcher`.
+//!
+//! Mines a pool of frequent patterns from an AIDS-like database, buckets
+//! them by edge count, and times `pattern ⊆ graph` containment over the
+//! whole database for each representative pattern under both engines:
+//! `vf2` (recursive reference matcher) and `fast` (compiled bitset
+//! targets with filtered path-at-a-time matching), the latter both
+//! against plain `Graph` targets (per-call compile) and against a
+//! pre-compiled `CompiledDb`. Per-call latency and cooperative step
+//! counts go to `BENCH_matcher.json`; every call asserts the engines
+//! decide containment identically.
+//!
+//! Usage: `bench_matcher [--scale f] [--seed u] [--smoke]` where
+//! `--smoke` runs a tiny dataset, asserts engine agreement, and writes
+//! nothing (the CI gate).
+
+use std::fmt::Write as _;
+
+use graphsig_bench::{secs, timed, Cli};
+use graphsig_datagen::aids_like;
+use graphsig_fsg::{Fsg, FsgConfig};
+use graphsig_graph::{CompiledDb, GraphDb, LabelPairIndex, MatcherKind, MultiMatcher};
+use graphsig_gspan::Pattern;
+
+const MAX_EDGES: usize = 8;
+
+/// Containment sweep: one engine, one pattern, every graph in `db`.
+/// Returns (decisions bitvec, total steps, seconds). `compiled` switches
+/// the fast engine onto pre-compiled targets.
+fn sweep(
+    pattern: &Pattern,
+    db: &GraphDb,
+    kind: MatcherKind,
+    compiled: Option<&CompiledDb>,
+) -> (Vec<bool>, u64, f64) {
+    let mut matcher = MultiMatcher::with_kind(&pattern.graph, kind);
+    let (out, t) = timed(|| {
+        let mut decisions = Vec::with_capacity(db.len());
+        let mut steps = 0u64;
+        for gid in 0..db.len() {
+            let (outcome, used) = match compiled {
+                Some(c) => matcher.exists_in_counted_compiled(c.graph(gid), u64::MAX),
+                None => matcher.exists_in_counted(&db.graphs()[gid], u64::MAX),
+            };
+            decisions.push(outcome.is_match());
+            steps += used;
+        }
+        (decisions, steps)
+    });
+    (out.0, out.1, t.as_secs_f64())
+}
+
+/// One representative pattern per edge count, deterministic: the first
+/// pattern (canonical DFS-code order) in each bucket.
+fn representatives(patterns: &[Pattern]) -> Vec<&Pattern> {
+    let mut reps: Vec<&Pattern> = Vec::new();
+    for p in patterns {
+        if reps
+            .iter()
+            .all(|r| r.graph.edge_count() != p.graph.edge_count())
+        {
+            reps.push(p);
+        }
+    }
+    reps.sort_by_key(|p| p.graph.edge_count());
+    reps
+}
+
+fn main() {
+    let cli = Cli::parse(1.0);
+    let n = if cli.smoke {
+        40
+    } else {
+        (400.0 * cli.scale).round() as usize
+    };
+    let data = aids_like(n, cli.seed);
+    let index = LabelPairIndex::build(&data.db);
+    let support = ((0.08 * data.len() as f64).ceil() as usize).max(2);
+    let patterns =
+        Fsg::new(FsgConfig::new(support).with_max_edges(MAX_EDGES)).mine_indexed(&data.db, &index);
+    let reps = representatives(&patterns);
+    assert!(!reps.is_empty(), "pattern pool is empty");
+
+    let (compiled, compile_t) = timed(|| index.compiled_db(&data.db));
+    println!(
+        "# bench_matcher — {} molecules, {} patterns mined, {} representatives, compile {}s",
+        data.len(),
+        patterns.len(),
+        reps.len(),
+        secs(compile_t)
+    );
+
+    let mut rows: Vec<String> = Vec::new();
+    for p in &reps {
+        let (d_vf2, steps_vf2, t_vf2) = sweep(p, &data.db, MatcherKind::Vf2, None);
+        let (d_fast, steps_fast, t_fast) = sweep(p, &data.db, MatcherKind::Fast, None);
+        let (d_fastc, steps_fastc, t_fastc) =
+            sweep(p, &data.db, MatcherKind::Fast, Some(&compiled));
+        assert_eq!(d_vf2, d_fast, "engines disagree on containment");
+        assert_eq!(d_fast, d_fastc, "compiled targets change fast decisions");
+        assert_eq!(
+            steps_fast, steps_fastc,
+            "compiled targets change fast steps"
+        );
+        let calls = data.len() as f64;
+        let per_us = |t: f64| (t / calls * 1e6 * 1000.0).round() / 1000.0;
+        let matches = d_vf2.iter().filter(|&&m| m).count();
+        println!(
+            "edges={} matches={matches}/{} | vf2 {:.3}us/call {} steps | fast {:.3}us/call {} steps | fast+compiled {:.3}us/call",
+            p.graph.edge_count(),
+            data.len(),
+            per_us(t_vf2),
+            steps_vf2,
+            per_us(t_fast),
+            steps_fast,
+            per_us(t_fastc)
+        );
+        let mut row = String::from("    { ");
+        let _ = write!(
+            row,
+            "\"edges\": {}, \"calls\": {}, \"matches\": {matches}, ",
+            p.graph.edge_count(),
+            data.len()
+        );
+        let _ = write!(
+            row,
+            "\"vf2_per_call_us\": {}, \"vf2_steps\": {steps_vf2}, ",
+            per_us(t_vf2)
+        );
+        let _ = write!(
+            row,
+            "\"fast_per_call_us\": {}, \"fast_steps\": {steps_fast}, ",
+            per_us(t_fast)
+        );
+        let _ = write!(
+            row,
+            "\"fast_compiled_per_call_us\": {}, \"step_ratio\": {:.3}, \"agree\": true }}",
+            per_us(t_fastc),
+            steps_vf2 as f64 / (steps_fast as f64).max(1.0)
+        );
+        rows.push(row);
+    }
+
+    if cli.smoke {
+        println!("smoke: engines agree on {} representatives", reps.len());
+        return;
+    }
+
+    let json = format!(
+        "{{\n  \"bench\": \"matcher\",\n  \"molecules\": {},\n  \"seed\": {},\n  \"min_support\": {support},\n  \"compile_s\": {},\n  \"rows\": [\n{}\n  ],\n  \"engines_agree\": true\n}}\n",
+        data.len(),
+        cli.seed,
+        secs(compile_t),
+        rows.join(",\n")
+    );
+    std::fs::write("BENCH_matcher.json", &json).expect("write BENCH_matcher.json");
+    println!("wrote BENCH_matcher.json");
+}

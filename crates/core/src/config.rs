@@ -1,7 +1,7 @@
 //! GraphSig configuration — the paper's Table IV.
 
 use graphsig_features::RwrConfig;
-use graphsig_graph::Budget;
+use graphsig_graph::{Budget, MatcherKind};
 
 /// How the sliding window captures a node's neighborhood.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -68,6 +68,14 @@ pub struct GraphSigConfig {
     /// `RunStats::truncated_sets`) and returns the maximal patterns of
     /// what was enumerated.
     pub max_patterns_per_set: usize,
+    /// Isomorphism engine for every subgraph-containment test in the run
+    /// (FSM support counting and the maximal-pattern post-filter). The
+    /// default `Fast` engine compiles targets to bitset adjacency once per
+    /// index and matches with filtered path-at-a-time search; `Vf2` is the
+    /// reference backtracking engine. Unbudgeted output is identical for
+    /// both; budgeted runs may truncate at different points because step
+    /// counts are engine-specific.
+    pub matcher: MatcherKind,
     /// Worker threads for the parallel pipeline phases (RWR pass, FVMine
     /// per label group, CutGraph + maximal FSM per region set). `0` = auto
     /// ([`std::thread::available_parallelism`]), `1` = sequential. The
@@ -96,6 +104,7 @@ impl Default for GraphSigConfig {
             fsm_backend: FsmBackend::Fsg,
             max_pattern_edges: 25,
             max_patterns_per_set: 20_000,
+            matcher: MatcherKind::default(),
             threads: 0, // auto: use every available core
             budget: None,
         }

@@ -130,6 +130,11 @@ pub struct RunStats {
     /// Region sets whose FSM enumeration hit `max_patterns_per_set` and
     /// was truncated (their maximal output is approximate).
     pub truncated_sets: usize,
+    /// Cooperative steps attributed to isomorphism-matcher work (support
+    /// counting inside the FSM phase). Only tracked on budgeted runs — an
+    /// unbudgeted run reports 0 — and useful for naming the dominant phase
+    /// when a step budget truncates the run.
+    pub match_steps: u64,
 }
 
 /// The result of [`GraphSig::mine`].
@@ -501,6 +506,7 @@ impl GraphSig {
             }
         }
         profile.fsm = t2.elapsed();
+        stats.match_steps = budget.map_or(0, |b| b.match_steps_spent());
 
         // Final sort with the canonical-code tiebreak key computed once per
         // subgraph (it allocates a Vec — computing it inside the comparator
@@ -559,6 +565,7 @@ impl GraphSig {
                 let mut cfg = FsgConfig::new(support)
                     .with_max_edges(self.cfg.max_pattern_edges)
                     .with_max_patterns(cap)
+                    .with_matcher(self.cfg.matcher)
                     .with_threads(threads);
                 if let Some(b) = self.cfg.budget.as_ref() {
                     cfg = cfg.with_budget(b.clone());
@@ -585,7 +592,11 @@ impl GraphSig {
             Completion::Truncated(reason) if reason != StopReason::PatternCap => Some(reason),
             _ => None,
         };
-        (graphsig_gspan::filter_maximal(all), truncated, stop)
+        (
+            graphsig_gspan::filter_maximal_with(all, self.cfg.matcher),
+            truncated,
+            stop,
+        )
     }
 }
 
@@ -740,6 +751,27 @@ mod tests {
     }
 
     #[test]
+    fn vf2_and_fast_matchers_mine_identical_subgraphs() {
+        let data = aids_like(200, 50);
+        let actives = data.active_subset();
+        let mine = |kind| {
+            let cfg = GraphSigConfig {
+                matcher: kind,
+                ..test_cfg()
+            };
+            GraphSig::new(cfg).mine(&actives)
+        };
+        let fast = mine(graphsig_graph::MatcherKind::Fast);
+        let vf2 = mine(graphsig_graph::MatcherKind::Vf2);
+        assert!(!fast.subgraphs.is_empty());
+        assert_eq!(fast.subgraphs.len(), vf2.subgraphs.len());
+        for (a, b) in fast.subgraphs.iter().zip(&vf2.subgraphs) {
+            assert_eq!(a.code, b.code);
+            assert_eq!(a.gids, b.gids);
+        }
+    }
+
+    #[test]
     fn empty_database_yields_empty_result() {
         let result = GraphSig::new(test_cfg()).mine(&GraphDb::new());
         assert!(result.subgraphs.is_empty());
@@ -824,6 +856,23 @@ mod budget_tests {
                 assert!(runs[0].0.is_empty(), "zero budget must yield no subgraphs");
             }
         }
+    }
+
+    #[test]
+    fn budgeted_runs_attribute_matcher_steps() {
+        let data = aids_like(60, 15);
+        let actives = data.active_subset();
+        // Generous budget: the run completes, but step accounting is live.
+        let c = cfg().with_budget(Budget::unlimited().with_max_steps(u64::MAX / 2));
+        let outcome = GraphSig::new(c).mine_outcome(&actives);
+        assert!(outcome.completion.is_complete());
+        assert!(
+            outcome.result.stats.match_steps > 0,
+            "no matcher steps attributed"
+        );
+        // Unbudgeted runs don't track the split.
+        let plain = GraphSig::new(cfg()).mine_outcome(&actives);
+        assert_eq!(plain.result.stats.match_steps, 0);
     }
 
     #[test]

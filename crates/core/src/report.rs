@@ -67,8 +67,9 @@ pub fn describe_run(result: &GraphSigResult, completion: Completion) -> String {
         region_sets,
         pruned_sets,
         truncated_sets,
+        match_steps,
     } = result.stats;
-    format!(
+    let mut line = format!(
         "{} subgraphs ({}); {} vectors in {} groups -> {} significant, \
          {} region sets ({} pruned, {} truncated)",
         result.subgraphs.len(),
@@ -79,7 +80,13 @@ pub fn describe_run(result: &GraphSigResult, completion: Completion) -> String {
         region_sets,
         pruned_sets,
         truncated_sets,
-    )
+    );
+    // On budgeted runs, name how much of the cooperative step spend was
+    // isomorphism matching — the usual suspect when a step budget bites.
+    if match_steps > 0 {
+        let _ = write!(line, "; {match_steps} matcher steps");
+    }
+    line
 }
 
 /// The canonical machine-parseable rendering of a mined answer set: for

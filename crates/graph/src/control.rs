@@ -201,6 +201,7 @@ pub struct Budget {
     max_steps: Option<u64>,
     cancel: CancelToken,
     spent: Arc<AtomicU64>,
+    match_spent: Arc<AtomicU64>,
 }
 
 impl Budget {
@@ -262,6 +263,14 @@ impl Budget {
         self.spent.load(Ordering::Relaxed)
     }
 
+    /// The portion of [`Budget::steps_spent`] that was isomorphism-matcher
+    /// work ([`Meter::consume_match`]). Diagnostic only: completion reports
+    /// use it to say whether a truncated run was dominated by match steps
+    /// or by other search work.
+    pub fn match_steps_spent(&self) -> u64 {
+        self.match_spent.load(Ordering::Relaxed)
+    }
+
     /// Check the best-effort external conditions (deadline, cancellation)
     /// before starting a work unit, so that once a deadline passes,
     /// remaining units are skipped instead of started.
@@ -282,6 +291,7 @@ impl Budget {
         Meter {
             budget: Some(self),
             local: 0,
+            local_match: 0,
             stop: None,
         }
     }
@@ -304,6 +314,7 @@ pub fn check_start(budget: Option<&Budget>) -> Option<StopReason> {
 pub struct Meter<'b> {
     budget: Option<&'b Budget>,
     local: u64,
+    local_match: u64,
     stop: Option<StopReason>,
 }
 
@@ -314,6 +325,7 @@ impl Meter<'static> {
         Meter {
             budget: None,
             local: 0,
+            local_match: 0,
             stop: None,
         }
     }
@@ -325,6 +337,7 @@ impl<'b> Meter<'b> {
         Meter {
             budget,
             local: 0,
+            local_match: 0,
             stop: None,
         }
     }
@@ -366,6 +379,19 @@ impl<'b> Meter<'b> {
         true
     }
 
+    /// Record `n` steps of *isomorphism-matcher* work — identical to
+    /// [`Meter::consume`] for budgeting, but the count is additionally
+    /// attributed to the budget's [`Budget::match_steps_spent`] diagnostic
+    /// so truncation reports can name the dominant phase. Support-counting
+    /// loops charge each `exists_in_counted` bill through this.
+    #[inline]
+    pub fn consume_match(&mut self, n: u64) -> bool {
+        if self.budget.is_some() {
+            self.local_match = self.local_match.saturating_add(n);
+        }
+        self.consume(n)
+    }
+
     /// Steps left in this unit's allowance (`u64::MAX` when unlimited).
     /// Used to hand a sub-search (one VF2 match) a hard cap.
     pub fn remaining_steps(&self) -> u64 {
@@ -400,6 +426,11 @@ impl Drop for Meter<'_> {
         if let Some(budget) = self.budget {
             if self.local > 0 {
                 budget.spent.fetch_add(self.local, Ordering::Relaxed);
+            }
+            if self.local_match > 0 {
+                budget
+                    .match_spent
+                    .fetch_add(self.local_match, Ordering::Relaxed);
             }
         }
     }
@@ -457,6 +488,25 @@ mod tests {
             m.completion(),
             Completion::Truncated(StopReason::StepBudget)
         );
+    }
+
+    #[test]
+    fn match_steps_are_attributed_separately() {
+        let b = Budget::unlimited();
+        let mut m = b.meter();
+        assert!(m.consume(5));
+        assert!(m.consume_match(7));
+        drop(m);
+        assert_eq!(b.steps_spent(), 12);
+        assert_eq!(b.match_steps_spent(), 7);
+        // consume_match obeys the same limit as consume.
+        let b = Budget::unlimited().with_max_steps(3);
+        let mut m = b.meter();
+        assert!(!m.consume_match(4));
+        assert_eq!(m.stop_reason(), Some(StopReason::StepBudget));
+        // Unbudgeted meters record nothing, as with plain consume.
+        let mut m = Meter::unbudgeted();
+        assert!(m.consume_match(100));
     }
 
     #[test]

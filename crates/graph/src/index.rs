@@ -15,9 +15,11 @@
 //! produce. The derived `tids` list (distinct graph ids, ascending) gives
 //! each edge type's support for free.
 
+use crate::compiled::CompiledDb;
 use crate::database::GraphDb;
 use crate::graph::NodeId;
 use crate::labels::{EdgeLabel, NodeLabel};
+use std::sync::{Arc, OnceLock};
 
 /// A canonical edge-type key `(la, le, lb)` with `la <= lb`.
 pub type LabelTriple = (NodeLabel, EdgeLabel, NodeLabel);
@@ -61,6 +63,11 @@ impl LabelPairEntry {
 #[derive(Debug, Clone, Default)]
 pub struct LabelPairIndex {
     entries: Vec<LabelPairEntry>,
+    /// Lazily compiled bitset form of the indexed database, shared by every
+    /// fast-matcher support-counting pass over this index (FSG levels,
+    /// threshold sweeps, warm server requests). Cloning the index shares
+    /// the cached compilation.
+    compiled: OnceLock<Arc<CompiledDb>>,
 }
 
 impl LabelPairIndex {
@@ -97,7 +104,18 @@ impl LabelPairIndex {
         }
         Self {
             entries: map.into_values().collect(),
+            compiled: OnceLock::new(),
         }
+    }
+
+    /// The compiled bitset form of `db` (which must be the database this
+    /// index was built from), compiling it on first use and returning the
+    /// shared copy afterwards.
+    pub fn compiled_db(&self, db: &GraphDb) -> Arc<CompiledDb> {
+        Arc::clone(
+            self.compiled
+                .get_or_init(|| Arc::new(CompiledDb::build(db))),
+        )
     }
 
     /// All entries, ascending by key.

@@ -13,7 +13,62 @@
 //! of already-matched images — the core VF2 idea — with degree and label
 //! look-ahead pruning.
 
+use crate::compiled::CompiledGraph;
 use crate::graph::{Graph, NodeId};
+use crate::labels::{EdgeLabel, NodeLabel};
+use std::fmt;
+
+/// Which matching engine a [`MultiMatcher`] uses.
+///
+/// Both engines implement the same subgraph-monomorphism semantics and the
+/// same [`MatchOutcome`] contract under step budgets; they differ in how the
+/// search is executed and therefore in how many steps a given search costs.
+/// `Fast` is the default; `Vf2` is kept as the reference fallback and for
+/// agreement testing (`--matcher vf2`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum MatcherKind {
+    /// The original VF2-style engine: vertex-at-a-time, candidates from the
+    /// anchor's adjacency list, per-candidate label/degree/back-edge checks.
+    Vf2,
+    /// The compiled engine: path-at-a-time matching order over
+    /// [`CompiledGraph`] bitset targets, candidate sets propagated by
+    /// bitset intersection.
+    #[default]
+    Fast,
+}
+
+impl MatcherKind {
+    /// Parse a CLI/protocol name (`"vf2"` or `"fast"`).
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "vf2" => Some(MatcherKind::Vf2),
+            "fast" => Some(MatcherKind::Fast),
+            _ => None,
+        }
+    }
+
+    /// The CLI/protocol name.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            MatcherKind::Vf2 => "vf2",
+            MatcherKind::Fast => "fast",
+        }
+    }
+}
+
+impl fmt::Display for MatcherKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl std::str::FromStr for MatcherKind {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        Self::parse(s).ok_or_else(|| format!("unknown matcher '{s}' (expected vf2 or fast)"))
+    }
+}
 
 /// Result of a *bounded* isomorphism search ([`SubgraphMatcher::exists_within`],
 /// [`MultiMatcher::exists_in_counted`]).
@@ -244,24 +299,52 @@ impl<'a> SubgraphMatcher<'a> {
 /// ```
 pub struct MultiMatcher<'p> {
     pattern: &'p Graph,
+    kind: MatcherKind,
+    // VF2 engine state (built only for `MatcherKind::Vf2`).
     order: Vec<NodeId>,
     anchor: Vec<Option<usize>>,
     map: Vec<NodeId>,
     used: Vec<bool>,
+    // Fast engine state (built only for `MatcherKind::Fast`).
+    plan: MatchPlan,
+    compiled: CompiledGraph,
+    fast: FastScratch,
 }
 
 impl<'p> MultiMatcher<'p> {
-    /// Prepare the matching order for `pattern`.
+    /// Prepare a matcher with the default engine ([`MatcherKind::Fast`]).
     pub fn new(pattern: &'p Graph) -> Self {
-        let (order, anchor) = matching_order(pattern);
-        let map = vec![u32::MAX; pattern.node_count()];
+        Self::with_kind(pattern, MatcherKind::default())
+    }
+
+    /// Prepare a matcher with an explicit engine. The pattern-side
+    /// compilation (matching order for VF2, match plan for the fast
+    /// engine) happens once here and is reused across all targets.
+    pub fn with_kind(pattern: &'p Graph, kind: MatcherKind) -> Self {
+        let (order, anchor, map, plan) = match kind {
+            MatcherKind::Vf2 => {
+                let (order, anchor) = matching_order(pattern);
+                let map = vec![u32::MAX; pattern.node_count()];
+                (order, anchor, map, MatchPlan::default())
+            }
+            MatcherKind::Fast => (Vec::new(), Vec::new(), Vec::new(), MatchPlan::new(pattern)),
+        };
         Self {
             pattern,
+            kind,
             order,
             anchor,
             map,
             used: Vec::new(),
+            plan,
+            compiled: CompiledGraph::default(),
+            fast: FastScratch::default(),
         }
+    }
+
+    /// The engine this matcher runs.
+    pub fn kind(&self) -> MatcherKind {
+        self.kind
     }
 
     /// Whether the pattern occurs in `target` (subgraph monomorphism).
@@ -274,13 +357,69 @@ impl<'p> MultiMatcher<'p> {
     /// returns how many trials were used, so budgeted support-counting
     /// loops can charge the cost of each match against their
     /// [`crate::control::Meter`].
+    ///
+    /// Step counts are engine-specific: VF2 charges one step per candidate
+    /// trial drawn from adjacency lists, the fast engine one step per
+    /// candidate popped from its *filtered* bitsets (fewer trials for the
+    /// same search is the point of the engine). Both are deterministic for
+    /// a given `(pattern, target, max_steps)`, and both preserve the
+    /// trivial-case contract: empty pattern `(Matched, 0)`, size
+    /// fast-reject `(Unmatched, 0)`.
     pub fn exists_in_counted(&mut self, target: &Graph, max_steps: u64) -> (MatchOutcome, u64) {
-        let pn = self.pattern.node_count();
-        if pn == 0 {
-            return (MatchOutcome::Matched, 0);
+        match self.kind {
+            MatcherKind::Vf2 => self.vf2_exists_in_counted(target, max_steps),
+            MatcherKind::Fast => {
+                if let Some(trivial) =
+                    trivial_outcome(self.pattern, target.node_count(), target.edge_count())
+                {
+                    return trivial;
+                }
+                self.compiled.compile_from(target);
+                fast_search(&self.plan, &self.compiled, &mut self.fast, max_steps)
+            }
         }
-        if pn > target.node_count() || self.pattern.edge_count() > target.edge_count() {
-            return (MatchOutcome::Unmatched, 0);
+    }
+
+    /// Whether the pattern occurs in the pre-compiled `target`.
+    ///
+    /// Only valid on fast matchers — see [`Self::exists_in_counted_compiled`].
+    pub fn exists_in_compiled(&mut self, target: &CompiledGraph) -> bool {
+        self.exists_in_counted_compiled(target, u64::MAX)
+            .0
+            .is_match()
+    }
+
+    /// [`Self::exists_in_counted`] against a pre-compiled target, skipping
+    /// the per-call compilation. This is the hot path for support counting
+    /// over a [`crate::compiled::CompiledDb`].
+    ///
+    /// # Panics
+    /// Panics if the matcher was built with [`MatcherKind::Vf2`]; compiled
+    /// targets carry no adjacency lists for the VF2 engine to walk, so
+    /// callers holding compiled targets must construct a fast matcher.
+    pub fn exists_in_counted_compiled(
+        &mut self,
+        target: &CompiledGraph,
+        max_steps: u64,
+    ) -> (MatchOutcome, u64) {
+        assert_eq!(
+            self.kind,
+            MatcherKind::Fast,
+            "compiled targets require MatcherKind::Fast"
+        );
+        if let Some(trivial) =
+            trivial_outcome(self.pattern, target.node_count(), target.edge_count())
+        {
+            return trivial;
+        }
+        fast_search(&self.plan, target, &mut self.fast, max_steps)
+    }
+
+    fn vf2_exists_in_counted(&mut self, target: &Graph, max_steps: u64) -> (MatchOutcome, u64) {
+        if let Some(trivial) =
+            trivial_outcome(self.pattern, target.node_count(), target.edge_count())
+        {
+            return trivial;
         }
         if self.used.len() < target.node_count() {
             self.used.resize(target.node_count(), false);
@@ -307,6 +446,237 @@ impl<'p> MultiMatcher<'p> {
         };
         (outcome, used)
     }
+}
+
+/// The zero-cost early decisions both engines share: an empty pattern
+/// matches anything, and a pattern larger than the target (nodes or edges)
+/// matches nothing. Returns `None` when a real search is needed.
+fn trivial_outcome(
+    pattern: &Graph,
+    target_nodes: usize,
+    target_edges: usize,
+) -> Option<(MatchOutcome, u64)> {
+    let pn = pattern.node_count();
+    if pn == 0 {
+        return Some((MatchOutcome::Matched, 0));
+    }
+    if pn > target_nodes || pattern.edge_count() > target_edges {
+        return Some((MatchOutcome::Unmatched, 0));
+    }
+    None
+}
+
+/// Pattern-side compilation for the fast engine: a connected
+/// path-at-a-time matching order plus, per position, everything the inner
+/// loop needs — the node label (candidate bucket), a degree lower bound,
+/// and *all* back edges to earlier positions (bitset intersection masks).
+///
+/// Order heuristic: each component is rooted at its highest-degree node;
+/// growth extends from the most recently placed node that still has an
+/// unplaced neighbor, preferring neighbors with more placed pattern
+/// neighbors (more intersection masks sooner), then higher degree. Ties
+/// break toward lower node ids so the plan — and therefore the engine's
+/// step counts — are deterministic.
+#[derive(Debug, Clone, Default)]
+struct MatchPlan {
+    /// Node label per position (selects the target's candidate bucket).
+    labels: Vec<NodeLabel>,
+    /// Pattern degree per position (candidate lower bound).
+    degrees: Vec<u32>,
+    /// Back edges per position: `(earlier position, edge label)`, ascending
+    /// by position. Component roots have none.
+    back: Vec<Vec<(usize, EdgeLabel)>>,
+}
+
+impl MatchPlan {
+    fn new(pattern: &Graph) -> Self {
+        let n = pattern.node_count();
+        let mut placed = vec![false; n];
+        let mut pos_of = vec![usize::MAX; n];
+        let mut order: Vec<NodeId> = Vec::with_capacity(n);
+        while order.len() < n {
+            let root = (0..n as NodeId)
+                .filter(|&v| !placed[v as usize])
+                .max_by_key(|&v| (pattern.degree(v), std::cmp::Reverse(v)))
+                .expect("unplaced node must exist");
+            placed[root as usize] = true;
+            pos_of[root as usize] = order.len();
+            order.push(root);
+            loop {
+                // Path-at-a-time: walk back from the most recently placed
+                // node and extend from the first that still has an
+                // unplaced neighbor, keeping the order chain-like.
+                let mut chosen: Option<NodeId> = None;
+                'from_recent: for &u in order.iter().rev() {
+                    let mut best_key = None;
+                    for a in pattern.neighbors(u) {
+                        if placed[a.to as usize] {
+                            continue;
+                        }
+                        let placed_nbrs = pattern
+                            .neighbors(a.to)
+                            .iter()
+                            .filter(|b| placed[b.to as usize])
+                            .count();
+                        let key = (placed_nbrs, pattern.degree(a.to), std::cmp::Reverse(a.to));
+                        if best_key.is_none_or(|b| key > b) {
+                            best_key = Some(key);
+                            chosen = Some(a.to);
+                        }
+                    }
+                    if chosen.is_some() {
+                        break 'from_recent;
+                    }
+                }
+                let Some(v) = chosen else { break };
+                placed[v as usize] = true;
+                pos_of[v as usize] = order.len();
+                order.push(v);
+            }
+        }
+        let labels = order.iter().map(|&v| pattern.node_label(v)).collect();
+        let degrees = order.iter().map(|&v| pattern.degree(v) as u32).collect();
+        let back = order
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| {
+                let mut b: Vec<(usize, EdgeLabel)> = pattern
+                    .neighbors(v)
+                    .iter()
+                    .filter(|a| pos_of[a.to as usize] < i)
+                    .map(|a| (pos_of[a.to as usize], a.label))
+                    .collect();
+                b.sort_unstable();
+                b
+            })
+            .collect();
+        Self {
+            labels,
+            degrees,
+            back,
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.labels.len()
+    }
+}
+
+/// Reusable buffers for the fast engine's backtracking loop: one candidate
+/// bitset frame per plan position, the used-node bitset, and the partial
+/// map (target node per position). All are resized per target and fully
+/// rewritten per search, so no cross-call reset is needed.
+#[derive(Debug, Clone, Default)]
+struct FastScratch {
+    frames: Vec<u64>,
+    used: Vec<u64>,
+    map: Vec<NodeId>,
+}
+
+/// Pop the lowest set bit of `frame`, returning its index.
+#[inline]
+fn pop_lowest(frame: &mut [u64]) -> Option<NodeId> {
+    for (wi, w) in frame.iter_mut().enumerate() {
+        if *w != 0 {
+            let b = w.trailing_zeros();
+            *w &= *w - 1;
+            return Some(wi as NodeId * 64 + b);
+        }
+    }
+    None
+}
+
+/// Build the candidate frame for plan position `pos`: the target's bucket
+/// for the position's node label, AND the adjacency row of every back
+/// edge's image, AND-NOT the used set. A label or edge label absent from
+/// the target zeroes the frame (no candidates, zero steps charged).
+fn build_frame(
+    plan: &MatchPlan,
+    target: &CompiledGraph,
+    frames: &mut [u64],
+    used: &[u64],
+    map: &[NodeId],
+    pos: usize,
+) {
+    let words = target.word_count();
+    let frame = &mut frames[pos * words..(pos + 1) * words];
+    match target.bucket(plan.labels[pos]) {
+        Some(bucket) => frame.copy_from_slice(bucket),
+        None => {
+            frame.fill(0);
+            return;
+        }
+    }
+    for &(bpos, el) in &plan.back[pos] {
+        match target.adj_row(map[bpos], el) {
+            Some(row) => {
+                for (f, r) in frame.iter_mut().zip(row) {
+                    *f &= r;
+                }
+            }
+            None => {
+                frame.fill(0);
+                return;
+            }
+        }
+    }
+    for (f, u) in frame.iter_mut().zip(used) {
+        *f &= !u;
+    }
+}
+
+/// The fast engine's search loop: pop candidates from filtered bitset
+/// frames, descending a position on success and backtracking when a frame
+/// runs dry. Charges one step per popped candidate — an empty frame costs
+/// nothing — and reports `(outcome, steps used)` under the same contract
+/// as the VF2 path.
+fn fast_search(
+    plan: &MatchPlan,
+    target: &CompiledGraph,
+    scratch: &mut FastScratch,
+    max_steps: u64,
+) -> (MatchOutcome, u64) {
+    let n = plan.len();
+    let words = target.word_count();
+    scratch.frames.clear();
+    scratch.frames.resize(n * words, 0);
+    scratch.used.clear();
+    scratch.used.resize(words, 0);
+    scratch.map.clear();
+    scratch.map.resize(n, u32::MAX);
+    let FastScratch { frames, used, map } = scratch;
+
+    let mut steps = StepGauge::new(max_steps);
+    let mut depth = 0usize;
+    build_frame(plan, target, frames, used, map, 0);
+    let outcome = loop {
+        match pop_lowest(&mut frames[depth * words..(depth + 1) * words]) {
+            Some(v) => {
+                if !steps.consume() {
+                    break MatchOutcome::Indeterminate;
+                }
+                if target.degree(v) < plan.degrees[depth] {
+                    continue;
+                }
+                map[depth] = v;
+                if depth + 1 == n {
+                    break MatchOutcome::Matched;
+                }
+                used[v as usize / 64] |= 1u64 << (v % 64);
+                build_frame(plan, target, frames, used, map, depth + 1);
+                depth += 1;
+            }
+            None => {
+                if depth == 0 {
+                    break MatchOutcome::Unmatched;
+                }
+                depth -= 1;
+                let v = map[depth];
+                used[v as usize / 64] &= !(1u64 << (v % 64));
+            }
+        }
+    };
+    (outcome, max_steps - steps.remaining)
 }
 
 /// The backtracking search shared by [`SubgraphMatcher`] and
@@ -650,19 +1020,71 @@ mod tests {
             cycle(&[0, 0, 0], 9),
             GraphBuilder::new().build(),
         ];
-        for p in &patterns {
-            // One matcher per pattern, reused across targets of varying
-            // size — must agree with the fresh per-pair matcher every time.
-            let mut m = MultiMatcher::new(p);
-            for t in &targets {
-                assert_eq!(m.exists_in(t), contains(t, p));
-            }
-            // Second sweep over the same targets: buffers must have been
-            // restored, answers unchanged.
-            for t in &targets {
-                assert_eq!(m.exists_in(t), contains(t, p));
+        for kind in [MatcherKind::Vf2, MatcherKind::Fast] {
+            for p in &patterns {
+                // One matcher per pattern, reused across targets of varying
+                // size — must agree with the fresh per-pair matcher every
+                // time, whichever engine backs it.
+                let mut m = MultiMatcher::with_kind(p, kind);
+                for t in &targets {
+                    assert_eq!(m.exists_in(t), contains(t, p), "kind={kind}");
+                }
+                // Second sweep over the same targets: buffers must have
+                // been restored, answers unchanged.
+                for t in &targets {
+                    assert_eq!(m.exists_in(t), contains(t, p), "kind={kind}");
+                }
             }
         }
+    }
+
+    #[test]
+    fn fast_matcher_is_the_default_and_kinds_parse() {
+        let e = edge_graph(0, 5, 1);
+        assert_eq!(MultiMatcher::new(&e).kind(), MatcherKind::Fast);
+        assert_eq!(MatcherKind::parse("vf2"), Some(MatcherKind::Vf2));
+        assert_eq!(MatcherKind::parse("fast"), Some(MatcherKind::Fast));
+        assert_eq!(MatcherKind::parse("FAST"), None);
+        assert_eq!("vf2".parse::<MatcherKind>(), Ok(MatcherKind::Vf2));
+        assert!("x".parse::<MatcherKind>().is_err());
+        assert_eq!(MatcherKind::Fast.to_string(), "fast");
+    }
+
+    #[test]
+    fn compiled_targets_agree_with_plain_targets() {
+        use crate::compiled::CompiledGraph;
+        let targets = [
+            labeled_path(&[0, 1, 2], &[5, 6]),
+            cycle(&[0, 1, 2], 5),
+            cycle(&[0, 0, 0, 0], 9),
+        ];
+        let patterns = [
+            edge_graph(0, 5, 1),
+            edge_graph(0, 6, 1),
+            labeled_path(&[0, 1, 2], &[5, 6]),
+            cycle(&[0, 0, 0], 9),
+        ];
+        for p in &patterns {
+            let mut m = MultiMatcher::new(p);
+            for t in &targets {
+                let compiled = CompiledGraph::compile(t);
+                assert_eq!(m.exists_in_compiled(&compiled), m.exists_in(t));
+                assert_eq!(
+                    m.exists_in_counted_compiled(&compiled, u64::MAX),
+                    m.exists_in_counted(t, u64::MAX),
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "MatcherKind::Fast")]
+    fn compiled_targets_reject_vf2_matchers() {
+        use crate::compiled::CompiledGraph;
+        let p = edge_graph(0, 5, 1);
+        let t = labeled_path(&[0, 1, 2], &[5, 6]);
+        let compiled = CompiledGraph::compile(&t);
+        MultiMatcher::with_kind(&p, MatcherKind::Vf2).exists_in_compiled(&compiled);
     }
 
     fn clique(n: usize) -> Graph {
@@ -709,34 +1131,61 @@ mod tests {
         assert_eq!(m.exists_within(10), MatchOutcome::Indeterminate);
         assert_eq!(m.exists_within(0), MatchOutcome::Indeterminate);
 
-        // MultiMatcher agrees and reports steps used.
-        let mut mm = MultiMatcher::new(&k4);
-        let (out, used) = mm.exists_in_counted(&k9, u64::MAX);
-        assert_eq!(out, MatchOutcome::Matched);
-        assert!(used > 0);
-        let (out, used) = mm.exists_in_counted(&k333, 10);
-        assert_eq!(out, MatchOutcome::Indeterminate);
-        assert_eq!(used, 10);
-        let (out, full) = mm.exists_in_counted(&k333, u64::MAX);
-        assert_eq!(out, MatchOutcome::Unmatched);
-        assert!(full > 10);
-        // Bounded runs are deterministic: same cap, same outcome, and the
-        // scratch buffers are restored after an aborted search.
-        let (out2, used2) = mm.exists_in_counted(&k333, 10);
-        assert_eq!((out2, used2), (MatchOutcome::Indeterminate, 10));
-        assert!(mm.exists_in(&k9));
+        // MultiMatcher agrees and reports steps used — whichever engine
+        // backs it. (Step *counts* are engine-specific; the outcome
+        // classification and determinism rules are not.)
+        for kind in [MatcherKind::Vf2, MatcherKind::Fast] {
+            let mut mm = MultiMatcher::with_kind(&k4, kind);
+            let (out, used) = mm.exists_in_counted(&k9, u64::MAX);
+            assert_eq!(out, MatchOutcome::Matched, "kind={kind}");
+            assert!(used > 0, "kind={kind}");
+            let (out, used) = mm.exists_in_counted(&k333, 10);
+            assert_eq!(out, MatchOutcome::Indeterminate, "kind={kind}");
+            assert_eq!(used, 10, "kind={kind}");
+            let (out, full) = mm.exists_in_counted(&k333, u64::MAX);
+            assert_eq!(out, MatchOutcome::Unmatched, "kind={kind}");
+            assert!(full > 10, "kind={kind}");
+            // Bounded runs are deterministic: same cap, same outcome, and
+            // the scratch buffers are restored after an aborted search.
+            let (out2, used2) = mm.exists_in_counted(&k333, 10);
+            assert_eq!(
+                (out2, used2),
+                (MatchOutcome::Indeterminate, 10),
+                "kind={kind}"
+            );
+            assert!(mm.exists_in(&k9), "kind={kind}");
+        }
+    }
+
+    #[test]
+    fn fast_engine_filters_harder_than_vf2() {
+        // The fast engine only pops candidates that already satisfy every
+        // back-edge constraint, so the K4-in-K(3,3,3) refutation costs
+        // strictly fewer steps than VF2's try-all-neighbors search.
+        let k4 = clique(4);
+        let k333 = complete_tripartite(3);
+        let (_, vf2_steps) =
+            MultiMatcher::with_kind(&k4, MatcherKind::Vf2).exists_in_counted(&k333, u64::MAX);
+        let (_, fast_steps) =
+            MultiMatcher::with_kind(&k4, MatcherKind::Fast).exists_in_counted(&k333, u64::MAX);
+        assert!(
+            fast_steps < vf2_steps,
+            "fast used {fast_steps} steps, vf2 {vf2_steps}"
+        );
     }
 
     #[test]
     fn bounded_search_trivial_cases_cost_zero() {
         let empty = GraphBuilder::new().build();
         let e = edge_graph(0, 1, 0);
-        let mut mm = MultiMatcher::new(&empty);
-        assert_eq!(mm.exists_in_counted(&e, 0), (MatchOutcome::Matched, 0));
-        // Pattern larger than target: rejected before any search step.
         let k4 = clique(4);
-        let mut mm = MultiMatcher::new(&k4);
-        assert_eq!(mm.exists_in_counted(&e, 0), (MatchOutcome::Unmatched, 0));
+        for kind in [MatcherKind::Vf2, MatcherKind::Fast] {
+            let mut mm = MultiMatcher::with_kind(&empty, kind);
+            assert_eq!(mm.exists_in_counted(&e, 0), (MatchOutcome::Matched, 0));
+            // Pattern larger than target: rejected before any search step.
+            let mut mm = MultiMatcher::with_kind(&k4, kind);
+            assert_eq!(mm.exists_in_counted(&e, 0), (MatchOutcome::Unmatched, 0));
+        }
     }
 
     #[test]

@@ -13,10 +13,15 @@
 //!   table, with summary statistics (the paper's Table V reports these).
 //! * [`neighborhood`] — BFS balls and `CutGraph(n, radius)` (Algorithm 2,
 //!   line 12): extracting the induced subgraph within a hop radius.
-//! * [`iso`] — VF2-style subgraph isomorphism: existence, embedding
-//!   enumeration, and whole-graph isomorphism tests. Used for support
-//!   counting in the FSG baseline, maximality filtering, and verifying that
+//! * [`iso`] — subgraph isomorphism: existence, embedding enumeration, and
+//!   whole-graph isomorphism tests, behind two engines (`MatcherKind`):
+//!   the VF2-style reference matcher and the default fast path-at-a-time
+//!   bitset matcher. Used for support counting in the FSG baseline,
+//!   maximality filtering, classification features, and verifying that
 //!   mined patterns really occur where claimed.
+//! * [`compiled`] — [`CompiledGraph`]/[`CompiledDb`]: label-bucketed bitset
+//!   target representation the fast matcher searches over, built once per
+//!   database and cached on the [`LabelPairIndex`].
 //! * [`index`] — [`LabelPairIndex`]: a database-wide index from
 //!   (node-label, edge-label, node-label) triples to per-graph edge
 //!   occurrence lists. Both baseline miners seed from it instead of
@@ -52,6 +57,7 @@
 //! ```
 
 pub mod algorithms;
+pub mod compiled;
 pub mod control;
 pub mod database;
 pub mod display;
@@ -65,6 +71,7 @@ pub mod neighborhood;
 pub mod par;
 
 pub use algorithms::{connected_components, cycle_rank, diameter, eccentricity};
+pub use compiled::{CompiledDb, CompiledGraph};
 pub use control::{Budget, CancelToken, Completion, Meter, Outcome, StopReason};
 pub use database::{DbStats, GraphDb};
 pub use display::{display_with, DisplayWith};
@@ -72,7 +79,7 @@ pub use edit::{induced_subgraph, remove_edge, remove_node};
 pub use graph::{Edge, Graph, GraphBuilder, NodeId};
 pub use index::{EdgeOccurrence, LabelPairEntry, LabelPairIndex, LabelTriple};
 pub use io::{parse_transactions, write_transactions, ParseError};
-pub use iso::{are_isomorphic, MatchOutcome, MultiMatcher, SubgraphMatcher};
+pub use iso::{are_isomorphic, MatchOutcome, MatcherKind, MultiMatcher, SubgraphMatcher};
 pub use labels::{EdgeLabel, LabelTable, NodeLabel};
 pub use neighborhood::cut_graph;
 pub use par::{

@@ -19,43 +19,65 @@ pub(crate) struct Extension {
     pub edge: u32,
 }
 
-/// Enumerate every legal rightmost-path extension of one embedding.
+/// The code-side state extension enumeration needs: rightmost vertex, the
+/// DFS indices along the rightmost path, and per-DFS-index vertex labels.
+/// It depends only on the code, so callers that enumerate many embeddings
+/// of the same code compute it once instead of per embedding.
+pub(crate) struct ExtFrame {
+    /// DFS indices along the rightmost path, rightmost vertex first.
+    path_vs: Vec<u32>,
+    maxidx: u32,
+    labels: Vec<u16>,
+}
+
+impl ExtFrame {
+    pub(crate) fn of(code: &DfsCode) -> Self {
+        debug_assert!(!code.is_empty());
+        let rmpath = code.rightmost_path();
+        let maxidx = code.rightmost_vertex();
+        let labels = code.vertex_labels();
+        let mut path_vs: Vec<u32> = Vec::with_capacity(rmpath.len() + 1);
+        path_vs.push(maxidx);
+        for &k in &rmpath {
+            path_vs.push(code.edges()[k].from);
+        }
+        Self {
+            path_vs,
+            maxidx,
+            labels,
+        }
+    }
+}
+
+/// Enumerate every legal rightmost-path extension of one embedding, with
+/// the code-side state precomputed in `frame`.
 ///
 /// * `nodes[i]` — graph node matched to DFS index `i`.
-/// * `used_node` / `used_edge` — membership tests over graph node/edge ids
-///   (indexed arrays, already sized for `g`).
+/// * `used_node` / `used_edge` — membership predicates over graph node and
+///   edge ids (closures so callers can back them with indexed slices or
+///   bitmasks).
 ///
 /// Calls `out` once per legal extension, in no particular order; the caller
 /// groups and sorts.
-pub(crate) fn enumerate_extensions(
+pub(crate) fn enumerate_extensions_framed(
     g: &Graph,
-    code: &DfsCode,
+    frame: &ExtFrame,
     nodes: &[NodeId],
-    used_node: &[bool],
-    used_edge: &[bool],
+    used_node: impl Fn(NodeId) -> bool,
+    used_edge: impl Fn(u32) -> bool,
     out: &mut impl FnMut(Extension),
 ) {
-    debug_assert!(!code.is_empty());
-    let rmpath = code.rightmost_path();
-    let maxidx = code.rightmost_vertex();
-    let labels = code.vertex_labels();
-
-    // DFS indices along the rightmost path, rightmost vertex first.
-    let mut path_vs: Vec<u32> = Vec::with_capacity(rmpath.len() + 1);
-    path_vs.push(maxidx);
-    for &k in &rmpath {
-        path_vs.push(code.edges()[k].from);
-    }
-
+    let maxidx = frame.maxidx;
+    let labels = &frame.labels;
     let vr_node = nodes[maxidx as usize];
 
     // Backward extensions: rightmost vertex -> earlier rightmost-path vertex.
     // Skip path_vs[0] (the rightmost vertex itself); the edge to its direct
     // parent is already used, so it is excluded automatically.
-    for &j in path_vs.iter().skip(1) {
+    for &j in frame.path_vs.iter().skip(1) {
         let j_node = nodes[j as usize];
         for a in g.neighbors(vr_node) {
-            if a.to == j_node && !used_edge[a.edge as usize] {
+            if a.to == j_node && !used_edge(a.edge) {
                 out(Extension {
                     dfs: DfsEdge::new(
                         maxidx,
@@ -73,10 +95,10 @@ pub(crate) fn enumerate_extensions(
     }
 
     // Forward extensions: from any rightmost-path vertex to a fresh vertex.
-    for &i in &path_vs {
+    for &i in &frame.path_vs {
         let i_node = nodes[i as usize];
         for a in g.neighbors(i_node) {
-            if !used_node[a.to as usize] {
+            if !used_node(a.to) {
                 out(Extension {
                     dfs: DfsEdge::new(
                         i,
@@ -92,6 +114,30 @@ pub(crate) fn enumerate_extensions(
             }
         }
     }
+}
+
+/// [`enumerate_extensions_framed`] with the frame derived from `code` and
+/// slice-backed membership tests — the one-shot convenience form. Production
+/// callers all enumerate many embeddings per code and use the framed form
+/// directly; this remains as the reference shape the tests exercise.
+#[cfg(test)]
+pub(crate) fn enumerate_extensions(
+    g: &Graph,
+    code: &DfsCode,
+    nodes: &[NodeId],
+    used_node: &[bool],
+    used_edge: &[bool],
+    out: &mut impl FnMut(Extension),
+) {
+    let frame = ExtFrame::of(code);
+    enumerate_extensions_framed(
+        g,
+        &frame,
+        nodes,
+        |n| used_node[n as usize],
+        |e| used_edge[e as usize],
+        out,
+    );
 }
 
 #[cfg(test)]
@@ -164,5 +210,39 @@ mod tests {
         assert!(!e.dfs.is_forward());
         assert_eq!((e.dfs.from, e.dfs.to), (2, 0));
         assert_eq!(e.edge, 2);
+    }
+
+    #[test]
+    fn framed_form_matches_one_shot_form() {
+        // Bowtie-ish labeled graph; compare both entry points on the same
+        // embedding state.
+        let mut b = GraphBuilder::new();
+        let n: Vec<_> = [0u16, 1, 0, 2].iter().map(|&l| b.add_node(l)).collect();
+        b.add_edge(n[0], n[1], 1);
+        b.add_edge(n[1], n[2], 2);
+        b.add_edge(n[2], n[3], 1);
+        b.add_edge(n[3], n[0], 2);
+        let g = b.build();
+        let mut code = DfsCode::from_initial(0, 1, 1);
+        code.push(DfsEdge::new(1, 2, 1, 2, 0));
+        let nodes = [0u32, 1, 2];
+        let used_node = vec![true, true, true, false];
+        let used_edge = vec![true, true, false, false];
+        let mut one_shot = Vec::new();
+        enumerate_extensions(&g, &code, &nodes, &used_node, &used_edge, &mut |e| {
+            one_shot.push((e.dfs, e.gfrom, e.gto, e.edge))
+        });
+        let frame = ExtFrame::of(&code);
+        let mut framed = Vec::new();
+        enumerate_extensions_framed(
+            &g,
+            &frame,
+            &nodes,
+            |v| used_node[v as usize],
+            |e| used_edge[e as usize],
+            &mut |e| framed.push((e.dfs, e.gfrom, e.gto, e.edge)),
+        );
+        assert_eq!(one_shot, framed);
+        assert!(!one_shot.is_empty());
     }
 }

@@ -47,4 +47,6 @@ pub mod pattern;
 pub use dfs_code::{DfsCode, DfsEdge};
 pub use min_code::{is_min, min_dfs_code};
 pub use miner::{GSpan, MinerConfig};
-pub use pattern::{filter_closed, filter_maximal, Pattern};
+pub use pattern::{
+    filter_closed, filter_closed_with, filter_maximal, filter_maximal_with, Pattern,
+};

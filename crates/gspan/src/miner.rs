@@ -20,7 +20,7 @@ use std::collections::BTreeMap;
 use std::rc::Rc;
 
 use crate::dfs_code::{extension_order, DfsCode, DfsEdge};
-use crate::extend::enumerate_extensions;
+use crate::extend::{enumerate_extensions_framed, ExtFrame};
 use crate::min_code::is_min;
 use crate::pattern::Pattern;
 use graphsig_graph::control::{self, Budget, Completion, Meter, Outcome, StopReason};
@@ -397,8 +397,11 @@ impl<'a> Ctx<'a> {
             return;
         }
 
-        // Group every legal extension of every embedding.
+        // Group every legal extension of every embedding. The extension
+        // frame depends only on the code, so compute it once here rather
+        // than once per embedding.
         let mut children: BTreeMap<OrdExt, Vec<Emb>> = BTreeMap::new();
+        let frame = ExtFrame::of(code);
         let code_len = code.len();
         let node_count = code.node_count();
         // Take the scratch buffers out of `self` for the duration of the
@@ -438,12 +441,12 @@ impl<'a> Ctx<'a> {
                 scratch.used_node[gto as usize] = true;
                 scratch.used_edge[edge as usize] = true;
             }
-            enumerate_extensions(
+            enumerate_extensions_framed(
                 g,
-                code,
+                &frame,
                 &scratch.nodes,
-                &scratch.used_node,
-                &scratch.used_edge,
+                |n| scratch.used_node[n as usize],
+                |e| scratch.used_edge[e as usize],
                 &mut |ext| {
                     children.entry(OrdExt(ext.dfs)).or_default().push(Emb {
                         gid: emb.gid,

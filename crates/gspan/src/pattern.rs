@@ -1,7 +1,7 @@
 //! Mined patterns and closed / maximal post-filters.
 
 use crate::dfs_code::DfsCode;
-use graphsig_graph::{Graph, SubgraphMatcher};
+use graphsig_graph::{Graph, MatcherKind, MultiMatcher};
 
 /// A frequent subgraph produced by a miner.
 #[derive(Debug, Clone)]
@@ -30,7 +30,13 @@ impl Pattern {
 /// Keep only *closed* patterns: those with no super-pattern of equal
 /// support. (CloseGraph output semantics, by post-filtering.)
 pub fn filter_closed(patterns: Vec<Pattern>) -> Vec<Pattern> {
-    retain_without_superpattern(patterns, true)
+    filter_closed_with(patterns, MatcherKind::default())
+}
+
+/// [`filter_closed`] with an explicit isomorphism engine for the
+/// containment tests.
+pub fn filter_closed_with(patterns: Vec<Pattern>, matcher: MatcherKind) -> Vec<Pattern> {
+    retain_without_superpattern(patterns, true, matcher)
 }
 
 /// Keep only *maximal* patterns: those that are not a subgraph of any other
@@ -38,7 +44,13 @@ pub fn filter_closed(patterns: Vec<Pattern>) -> Vec<Pattern> {
 /// Algorithm 2 — "a frequent subgraph is maximal if it is not a subgraph of
 /// any other frequent subgraph".
 pub fn filter_maximal(patterns: Vec<Pattern>) -> Vec<Pattern> {
-    retain_without_superpattern(patterns, false)
+    filter_maximal_with(patterns, MatcherKind::default())
+}
+
+/// [`filter_maximal`] with an explicit isomorphism engine for the
+/// containment tests.
+pub fn filter_maximal_with(patterns: Vec<Pattern>, matcher: MatcherKind) -> Vec<Pattern> {
+    retain_without_superpattern(patterns, false, matcher)
 }
 
 /// Shared filter: drop `p` when some other pattern strictly contains it
@@ -51,7 +63,11 @@ pub fn filter_maximal(patterns: Vec<Pattern>) -> Vec<Pattern> {
 /// in a kept maximal (closed) pattern that also witnesses it. This keeps
 /// the filter O(|patterns| × |kept|) instead of O(|patterns|²) — the kept
 /// set is tiny for the high-threshold region sets of Algorithm 2.
-fn retain_without_superpattern(patterns: Vec<Pattern>, same_support_only: bool) -> Vec<Pattern> {
+fn retain_without_superpattern(
+    patterns: Vec<Pattern>,
+    same_support_only: bool,
+    matcher: MatcherKind,
+) -> Vec<Pattern> {
     let mut order: Vec<usize> = (0..patterns.len()).collect();
     order.sort_by(|&a, &b| {
         patterns[b]
@@ -63,6 +79,9 @@ fn retain_without_superpattern(patterns: Vec<Pattern>, same_support_only: bool) 
     for &i in &order {
         let p = &patterns[i];
         let pe = p.graph.edge_count();
+        // One matcher for p against every kept super-pattern candidate:
+        // the pattern-side compilation is shared across the kept set.
+        let mut m = MultiMatcher::with_kind(&p.graph, matcher);
         let dominated = kept.iter().any(|&k| {
             let q = &patterns[k];
             if q.graph.edge_count() <= pe {
@@ -76,7 +95,7 @@ fn retain_without_superpattern(patterns: Vec<Pattern>, same_support_only: bool) 
             if !is_subset(&p.gids, &q.gids) {
                 return false;
             }
-            SubgraphMatcher::new(&p.graph, &q.graph).exists()
+            m.exists_in(&q.graph)
         });
         if !dominated {
             kept.push(i);
@@ -173,6 +192,21 @@ mod tests {
         // C-C has support 3 but is still inside C-C-O → not maximal.
         assert_eq!(maximal.len(), 1);
         assert_eq!(maximal[0].graph.edge_count(), 2);
+    }
+
+    #[test]
+    fn filter_variants_agree_across_matcher_kinds() {
+        let pats = GSpan::new(MinerConfig::new(2)).mine(&db());
+        for kind in [MatcherKind::Vf2, MatcherKind::Fast] {
+            let closed = filter_closed_with(pats.clone(), kind);
+            assert_eq!(closed.len(), filter_closed(pats.clone()).len());
+            let maximal = filter_maximal_with(pats.clone(), kind);
+            assert_eq!(maximal.len(), filter_maximal(pats.clone()).len());
+            for (a, b) in maximal.iter().zip(filter_maximal(pats.clone()).iter()) {
+                assert_eq!(a.code, b.code, "kind={kind}");
+                assert_eq!(a.gids, b.gids, "kind={kind}");
+            }
+        }
     }
 
     #[test]

@@ -10,7 +10,7 @@
 //!
 //! ```text
 //! request  := op (WS key "=" value)*
-//! op       := "load" | "mine" | "freq" | "stats" | "cancel" | "ping" | "shutdown"
+//! op       := "load" | "mine" | "freq" | "sweep" | "stats" | "cancel" | "ping" | "shutdown"
 //! key      := [a-z_]+
 //! value    := escaped token (no whitespace)
 //! ```
@@ -23,8 +23,9 @@
 //! | op | keys |
 //! |---|---|
 //! | `load` | `dataset=` plus `path=` *or* `gen=aids count= [seed=]` |
-//! | `mine` | `dataset=` `[max_pvalue=] [min_freq=] [radius=] [fsm_freq=] [backend=fsg\|gspan] [threads=] [top=] [timeout_ms=] [max_steps=]` (+ fault-injection keys `sleep_ms=` / `inject=panic`, only honored when the server enables them) |
-//! | `freq` | `dataset=` `min_support=` `[backend=] [max_edges=] [max_patterns=] [timeout_ms=] [max_steps=]` |
+//! | `mine` | `dataset=` `[max_pvalue=] [min_freq=] [radius=] [fsm_freq=] [backend=fsg\|gspan] [matcher=vf2\|fast] [threads=] [top=] [timeout_ms=] [max_steps=]` (+ fault-injection keys `sleep_ms=` / `inject=panic`, only honored when the server enables them) |
+//! | `freq` | `dataset=` `min_support=` `[backend=] [matcher=] [max_edges=] [max_patterns=] [timeout_ms=] [max_steps=]` |
+//! | `sweep` | `dataset=` `supports=<s1,s2,...>` `[backend=] [matcher=] [max_edges=] [max_patterns=] [threads=] [timeout_ms=] [max_steps=]` — one `freq` run per threshold over one shared index build; per-threshold payload segments are byte-identical to individual `freq` calls |
 //! | `stats` | `[dataset=]` |
 //! | `cancel` | `target=<request id>` |
 //! | `ping` | — |
@@ -47,6 +48,8 @@
 //! serving. `bytes=` is always the last header field.
 
 use std::fmt;
+
+use graphsig_graph::MatcherKind;
 
 /// Longest accepted request line (raw bytes, before unescaping). Keeps a
 /// hostile client from ballooning server memory one line at a time.
@@ -179,6 +182,8 @@ pub struct MineRequest {
     pub fsm_freq: Option<f64>,
     /// FSM backend override.
     pub backend: Option<BackendKind>,
+    /// Isomorphism engine override (default fast).
+    pub matcher: Option<MatcherKind>,
     /// Worker threads for this request (0 = auto).
     pub threads: Option<usize>,
     /// Cap on rendered subgraphs (like the CLI's `--top`).
@@ -204,6 +209,8 @@ pub struct FreqRequest {
     pub min_support: usize,
     /// Miner to run (default FSG).
     pub backend: Option<BackendKind>,
+    /// Isomorphism engine override (default fast).
+    pub matcher: Option<MatcherKind>,
     /// Pattern edge cap.
     pub max_edges: Option<usize>,
     /// Pattern count cap.
@@ -211,6 +218,32 @@ pub struct FreqRequest {
     /// Worker threads for this request (0 = auto).
     pub threads: Option<usize>,
     /// Deadline / step caps.
+    pub budget: BudgetParams,
+}
+
+/// `sweep`: a threshold sweep of `freq` runs over one shared index build.
+/// The per-threshold payload segments are byte-identical to the payloads
+/// the equivalent individual `freq` calls would produce (unbudgeted), so
+/// clients can switch between the two forms without reparsing.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepRequest {
+    /// Request id.
+    pub id: String,
+    /// Resident dataset name.
+    pub dataset: String,
+    /// Absolute support thresholds, run in the given order.
+    pub supports: Vec<usize>,
+    /// Miner to run (default FSG).
+    pub backend: Option<BackendKind>,
+    /// Isomorphism engine override (default fast).
+    pub matcher: Option<MatcherKind>,
+    /// Pattern edge cap.
+    pub max_edges: Option<usize>,
+    /// Pattern count cap.
+    pub max_patterns: Option<usize>,
+    /// Worker threads for this request (0 = auto).
+    pub threads: Option<usize>,
+    /// Deadline / step caps — one budget governs the whole sweep.
     pub budget: BudgetParams,
 }
 
@@ -223,6 +256,8 @@ pub enum Request {
     Mine(MineRequest),
     /// Mine frequent subgraphs via the shared index.
     Freq(FreqRequest),
+    /// Threshold sweep of `freq` runs over one shared index build.
+    Sweep(SweepRequest),
     /// Server / dataset observability.
     Stats {
         /// Request id.
@@ -258,6 +293,7 @@ impl Request {
             Request::Load(r) => &r.id,
             Request::Mine(r) => &r.id,
             Request::Freq(r) => &r.id,
+            Request::Sweep(r) => &r.id,
             Request::Stats { id, .. } => id,
             Request::Cancel { id, .. } => id,
             Request::Ping { id } => id,
@@ -271,6 +307,7 @@ impl Request {
             Request::Load(_) => "load",
             Request::Mine(_) => "mine",
             Request::Freq(_) => "freq",
+            Request::Sweep(_) => "sweep",
             Request::Stats { .. } => "stats",
             Request::Cancel { .. } => "cancel",
             Request::Ping { .. } => "ping",
@@ -334,6 +371,15 @@ impl Fields {
             Some("fsg") => Ok(Some(BackendKind::Fsg)),
             Some("gspan") => Ok(Some(BackendKind::GSpan)),
             Some(other) => Err(err(format!("unknown backend '{other}'"))),
+        }
+    }
+
+    fn take_matcher(&mut self) -> Result<Option<MatcherKind>, ProtocolError> {
+        match self.take("matcher") {
+            None => Ok(None),
+            Some(v) => MatcherKind::parse(&v)
+                .map(Some)
+                .ok_or_else(|| err(format!("unknown matcher '{v}' (expected vf2 or fast)"))),
         }
     }
 
@@ -415,6 +461,7 @@ pub fn parse_request(line: &str) -> Result<Option<Request>, ProtocolError> {
                     radius: fields.take_parse("radius")?,
                     fsm_freq: fields.take_parse("fsm_freq")?,
                     backend: fields.take_backend()?,
+                    matcher: fields.take_matcher()?,
                     threads: fields.take_parse("threads")?,
                     top: fields.take_parse("top")?,
                     budget: fields.take_budget()?,
@@ -434,6 +481,7 @@ pub fn parse_request(line: &str) -> Result<Option<Request>, ProtocolError> {
                     dataset: fields.require("dataset")?,
                     min_support: fields.require_parse("min_support")?,
                     backend: fields.take_backend()?,
+                    matcher: fields.take_matcher()?,
                     max_edges: fields.take_parse("max_edges")?,
                     max_patterns: fields.take_parse("max_patterns")?,
                     threads: fields.take_parse("threads")?,
@@ -441,6 +489,29 @@ pub fn parse_request(line: &str) -> Result<Option<Request>, ProtocolError> {
                 };
                 fields.finish("freq")?;
                 Ok(Request::Freq(r))
+            }
+            "sweep" => {
+                let raw = fields.require("supports")?;
+                let supports: Vec<usize> = raw
+                    .split(',')
+                    .map(|t| {
+                        t.parse()
+                            .map_err(|_| err(format!("bad support '{t}' in supports list")))
+                    })
+                    .collect::<Result<_, _>>()?;
+                let r = SweepRequest {
+                    id: id.clone(),
+                    dataset: fields.require("dataset")?,
+                    supports,
+                    backend: fields.take_backend()?,
+                    matcher: fields.take_matcher()?,
+                    max_edges: fields.take_parse("max_edges")?,
+                    max_patterns: fields.take_parse("max_patterns")?,
+                    threads: fields.take_parse("threads")?,
+                    budget: fields.take_budget()?,
+                };
+                fields.finish("sweep")?;
+                Ok(Request::Sweep(r))
             }
             "stats" => {
                 let dataset = fields.take("dataset");
@@ -702,6 +773,45 @@ mod tests {
         assert_eq!(r.budget.max_steps, Some(100));
         assert_eq!(r.top, Some(10));
         assert!(!r.inject_panic);
+    }
+
+    #[test]
+    fn parses_matcher_key_on_mine_and_freq() {
+        let Ok(Some(Request::Mine(r))) = parse_request("mine id=1 dataset=d matcher=vf2") else {
+            panic!("parse failed");
+        };
+        assert_eq!(r.matcher, Some(MatcherKind::Vf2));
+        let Ok(Some(Request::Freq(r))) =
+            parse_request("freq id=2 dataset=d min_support=3 matcher=fast")
+        else {
+            panic!("parse failed");
+        };
+        assert_eq!(r.matcher, Some(MatcherKind::Fast));
+        assert!(parse_request("mine id=3 dataset=d matcher=magic").is_err());
+    }
+
+    #[test]
+    fn parses_sweep_with_support_list() {
+        let line = "sweep id=9 dataset=d supports=10,8,6 backend=fsg matcher=vf2 \
+                    max_edges=6 max_patterns=500 threads=1 timeout_ms=900 max_steps=77";
+        let Ok(Some(Request::Sweep(r))) = parse_request(line) else {
+            panic!("parse failed");
+        };
+        assert_eq!(r.id, "9");
+        assert_eq!(r.supports, vec![10, 8, 6]);
+        assert_eq!(r.backend, Some(BackendKind::Fsg));
+        assert_eq!(r.matcher, Some(MatcherKind::Vf2));
+        assert_eq!(r.budget.timeout_ms, Some(900));
+        assert_eq!(r.budget.max_steps, Some(77));
+        // Malformed lists are rejected, never a panic.
+        for bad in [
+            "sweep id=1 dataset=d",
+            "sweep id=1 dataset=d supports=",
+            "sweep id=1 dataset=d supports=3,x",
+            "sweep id=1 dataset=d supports=3,,4",
+        ] {
+            assert!(parse_request(bad).is_err(), "accepted: {bad}");
+        }
     }
 
     #[test]

@@ -42,12 +42,13 @@ use graphsig_core::{
     render_subgraphs, Budget, CancelToken, FsmBackend, GraphSigConfig, PreparedCache,
 };
 use graphsig_fsg::{Fsg, FsgConfig};
-use graphsig_graph::{parse_transactions, GraphDb, LabelPairIndex};
+use graphsig_graph::control::Outcome;
+use graphsig_graph::{parse_transactions, Completion, GraphDb, LabelPairIndex, MatcherKind};
 use graphsig_gspan::{GSpan, MinerConfig, Pattern};
 
 use crate::protocol::{
     parse_request, BackendKind, BudgetParams, FreqRequest, LoadRequest, LoadSource, MineRequest,
-    ProtocolError, Request, Response, Status,
+    ProtocolError, Request, Response, Status, SweepRequest,
 };
 
 /// Tunables for one [`Server`].
@@ -350,7 +351,11 @@ impl ServerInner {
                 );
                 true
             }
-            Request::Load(_) | Request::Mine(_) | Request::Freq(_) | Request::Stats { .. } => {
+            Request::Load(_)
+            | Request::Mine(_)
+            | Request::Freq(_)
+            | Request::Sweep(_)
+            | Request::Stats { .. } => {
                 self.submit(request, out);
                 false
             }
@@ -532,6 +537,7 @@ impl ServerInner {
             Request::Load(r) => self.exec_load(r),
             Request::Mine(r) => self.exec_mine(r, token, submitted),
             Request::Freq(r) => self.exec_freq(r, token, submitted),
+            Request::Sweep(r) => self.exec_sweep(r, token, submitted),
             Request::Stats { id, dataset } => self.exec_stats(id, dataset.as_deref()),
             // Control ops never reach the queue.
             other => Response::error(other.id(), other.op(), "internal: control op queued"),
@@ -611,6 +617,7 @@ impl ServerInner {
                 None | Some(BackendKind::Fsg) => FsmBackend::Fsg,
                 Some(BackendKind::GSpan) => FsmBackend::GSpan,
             },
+            matcher: r.matcher.unwrap_or_default(),
             budget: Some(self.budget_for(&r.budget, token, submitted)),
             ..defaults
         };
@@ -649,33 +656,73 @@ impl ServerInner {
         }
         let budget = self.budget_for(&r.budget, token, submitted);
         let index = dataset.index();
-        let threads = r.threads.unwrap_or(0);
-        let max_edges = r.max_edges.unwrap_or(8);
-        let max_patterns = r.max_patterns.unwrap_or(10_000);
-        let outcome = match r.backend {
-            None | Some(BackendKind::Fsg) => Fsg::new(
-                FsgConfig::new(r.min_support)
-                    .with_max_edges(max_edges)
-                    .with_max_patterns(max_patterns)
-                    .with_threads(threads)
-                    .with_budget(budget),
-            )
-            .mine_indexed_outcome(&dataset.db, &index),
-            Some(BackendKind::GSpan) => GSpan::new(
-                MinerConfig::new(r.min_support)
-                    .with_max_edges(max_edges)
-                    .with_max_patterns(max_patterns)
-                    .with_threads(threads)
-                    .with_budget(budget),
-            )
-            .mine_indexed_outcome(&dataset.db, &index),
+        let params = FreqParams {
+            backend: r.backend,
+            matcher: r.matcher.unwrap_or_default(),
+            max_edges: r.max_edges.unwrap_or(8),
+            max_patterns: r.max_patterns.unwrap_or(10_000),
+            threads: r.threads.unwrap_or(0),
         };
+        let outcome = run_freq(&dataset.db, &index, r.min_support, &params, budget);
         let payload = render_patterns(&dataset.db, &outcome.result);
         Response::new(&r.id, "freq", Status::Ok)
             .with_field("dataset", &dataset.name)
             .with_field("version", dataset.version)
             .with_field("completion", outcome.completion)
             .with_field("patterns", outcome.result.len())
+            .with_field("index_types", index.len())
+            .with_payload(payload)
+    }
+
+    fn exec_sweep(&self, r: &SweepRequest, token: &CancelToken, submitted: Instant) -> Response {
+        let dataset = match self.dataset(&r.dataset) {
+            Ok(d) => d,
+            Err(e) => return Response::error(&r.id, "sweep", e),
+        };
+        if r.supports.is_empty() {
+            return Response::error(&r.id, "sweep", "supports must name at least one threshold");
+        }
+        if r.supports.contains(&0) {
+            return Response::error(&r.id, "sweep", "every support must be >= 1");
+        }
+        // One budget governs the whole sweep: the deadline spans every
+        // threshold, cancellation stops mid-sweep, and step allowances stay
+        // per-work-unit (so unbudgeted sweeps match individual calls).
+        let budget = self.budget_for(&r.budget, token, submitted);
+        // One index build (and one lazily compiled bitset database hanging
+        // off it) shared by every threshold — the whole point of the op.
+        let index = dataset.index();
+        let params = FreqParams {
+            backend: r.backend,
+            matcher: r.matcher.unwrap_or_default(),
+            max_edges: r.max_edges.unwrap_or(8),
+            max_patterns: r.max_patterns.unwrap_or(10_000),
+            threads: r.threads.unwrap_or(0),
+        };
+        let mut payload = String::new();
+        let mut completion = Completion::Complete;
+        let mut total = 0usize;
+        for &support in &r.supports {
+            let outcome = run_freq(&dataset.db, &index, support, &params, budget.clone());
+            completion = completion.merge(outcome.completion);
+            total += outcome.result.len();
+            // Marker line, then the exact bytes an individual `freq` call
+            // at this threshold would have produced as its payload.
+            use std::fmt::Write as _;
+            let _ = writeln!(
+                payload,
+                "# sweep support {support}: {} patterns ({})",
+                outcome.result.len(),
+                outcome.completion
+            );
+            payload.push_str(&render_patterns(&dataset.db, &outcome.result));
+        }
+        Response::new(&r.id, "sweep", Status::Ok)
+            .with_field("dataset", &dataset.name)
+            .with_field("version", dataset.version)
+            .with_field("completion", completion)
+            .with_field("supports", r.supports.len())
+            .with_field("patterns", total)
             .with_field("index_types", index.len())
             .with_payload(payload)
     }
@@ -723,6 +770,46 @@ impl ServerInner {
                 }
             },
         }
+    }
+}
+
+/// The per-threshold knobs shared by `freq` and `sweep`.
+struct FreqParams {
+    backend: Option<BackendKind>,
+    matcher: MatcherKind,
+    max_edges: usize,
+    max_patterns: usize,
+    threads: usize,
+}
+
+/// One indexed frequent-mining run — the single implementation behind both
+/// `freq` and each `sweep` threshold, so their results (and rendered
+/// payloads) agree byte-for-byte.
+fn run_freq(
+    db: &GraphDb,
+    index: &LabelPairIndex,
+    min_support: usize,
+    params: &FreqParams,
+    budget: Budget,
+) -> Outcome<Vec<Pattern>> {
+    match params.backend {
+        None | Some(BackendKind::Fsg) => Fsg::new(
+            FsgConfig::new(min_support)
+                .with_max_edges(params.max_edges)
+                .with_max_patterns(params.max_patterns)
+                .with_matcher(params.matcher)
+                .with_threads(params.threads)
+                .with_budget(budget),
+        )
+        .mine_indexed_outcome(db, index),
+        Some(BackendKind::GSpan) => GSpan::new(
+            MinerConfig::new(min_support)
+                .with_max_edges(params.max_edges)
+                .with_max_patterns(params.max_patterns)
+                .with_threads(params.threads)
+                .with_budget(budget),
+        )
+        .mine_indexed_outcome(db, index),
     }
 }
 

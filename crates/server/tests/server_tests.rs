@@ -139,6 +139,66 @@ fn concurrent_mixed_budget_load_is_byte_identical_to_one_shot() {
 }
 
 #[test]
+fn sweep_payload_segments_match_individual_freq_calls() {
+    let server = Server::new(ServerConfig {
+        workers: 1,
+        ..ServerConfig::default()
+    });
+    let sink = Sink::default();
+    let out = writer(&sink);
+    server.dispatch_line("load id=L dataset=d gen=aids count=60 seed=5", &out);
+    wait_all(&sink, &["L".to_string()]);
+    server.dispatch_line("freq id=f12 dataset=d min_support=12 max_edges=5", &out);
+    server.dispatch_line("freq id=f6 dataset=d min_support=6 max_edges=5", &out);
+    server.dispatch_line(
+        "freq id=fv dataset=d min_support=6 max_edges=5 matcher=vf2",
+        &out,
+    );
+    server.dispatch_line("sweep id=s dataset=d supports=12,6 max_edges=5", &out);
+    let ids: Vec<String> = ["f12", "f6", "fv", "s"]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    let responses = wait_all(&sink, &ids);
+    let body = |id: &str| -> String {
+        let (h, b) = responses.iter().find(|(h, _)| h.id == id).expect(id);
+        assert_eq!(h.status, Status::Ok, "{id}");
+        String::from_utf8(b.clone()).expect("utf-8 payload")
+    };
+    // The vf2 engine produces the same frequent patterns as the default
+    // fast engine — byte-identical payloads.
+    assert_eq!(body("f6"), body("fv"), "vf2 vs fast freq payloads differ");
+    // Each sweep segment (after its marker line) is byte-identical to the
+    // corresponding individual freq payload.
+    let sweep = body("s");
+    let (h, _) = responses.iter().find(|(h, _)| h.id == "s").unwrap();
+    assert_eq!(h.field("supports"), Some("2"));
+    assert_eq!(h.field("completion"), Some("complete"));
+    let markers: Vec<usize> = sweep
+        .match_indices("# sweep support ")
+        .map(|(i, _)| i)
+        .collect();
+    assert_eq!(markers.len(), 2, "expected two sweep segments:\n{sweep}");
+    let segment = |k: usize| -> &str {
+        let start = markers[k] + sweep[markers[k]..].find('\n').unwrap() + 1;
+        let end = if k + 1 < markers.len() {
+            markers[k + 1]
+        } else {
+            sweep.len()
+        };
+        &sweep[start..end]
+    };
+    assert_eq!(segment(0), body("f12"), "support=12 segment differs");
+    assert_eq!(segment(1), body("f6"), "support=6 segment differs");
+    // Empty and zero support lists are structured errors.
+    server.dispatch_line("sweep id=z dataset=d supports=0,3", &out);
+    let responses = wait_all(&sink, &["z".to_string()]);
+    let (h, _) = responses.iter().find(|(h, _)| h.id == "z").unwrap();
+    assert_eq!(h.status, Status::Error);
+    server.join();
+}
+
+#[test]
 fn duplicate_ids_and_unknown_datasets_are_structured_errors() {
     let server = Server::new(ServerConfig {
         workers: 1,

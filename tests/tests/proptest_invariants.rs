@@ -4,7 +4,10 @@
 use proptest::prelude::*;
 
 use graphsig_fvmine::{ceiling_of, floor_of, is_sub_vector};
-use graphsig_graph::{are_isomorphic, Graph, GraphBuilder, SubgraphMatcher};
+use graphsig_graph::{
+    are_isomorphic, CompiledGraph, Graph, GraphBuilder, MatchOutcome, MatcherKind, MultiMatcher,
+    SubgraphMatcher,
+};
 use graphsig_gspan::{is_min, min_dfs_code};
 use graphsig_stats::{binomial_tail_upper, Binomial};
 
@@ -234,6 +237,61 @@ proptest! {
     #[test]
     fn response_stream_parser_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..512)) {
         let _ = graphsig_server::protocol::parse_response_stream(&bytes);
+    }
+
+    // ---- isomorphism engines: vf2 and fast must agree ----
+
+    #[test]
+    fn iso_backends_agree_on_random_pairs(
+        pseed in any::<u64>(),
+        tseed in any::<u64>(),
+        steps in 0u64..400,
+    ) {
+        let pattern = lcg_graph(pseed);
+        let target = lcg_graph(tseed);
+        let mut vf2 = MultiMatcher::with_kind(&pattern, MatcherKind::Vf2);
+        let mut fast = MultiMatcher::with_kind(&pattern, MatcherKind::Fast);
+        // Unbudgeted existence agrees across engines, and the compiled
+        // target entry point agrees with the plain one.
+        let expect = vf2.exists_in(&target);
+        prop_assert_eq!(fast.exists_in(&target), expect);
+        let compiled = CompiledGraph::compile(&target);
+        prop_assert_eq!(fast.exists_in_compiled(&compiled), expect);
+        // Budgeted runs: per-engine deterministic, never overspend, and a
+        // decided outcome must agree with the unbudgeted answer. (Step
+        // counts are engine-specific by design, so the engines may decide
+        // at different budgets — but never differently.)
+        for m in [&mut vf2, &mut fast] {
+            let first = m.exists_in_counted(&target, steps);
+            prop_assert_eq!(m.exists_in_counted(&target, steps), first);
+            let (outcome, used) = first;
+            prop_assert!(used <= steps);
+            match outcome {
+                MatchOutcome::Matched => prop_assert!(expect),
+                MatchOutcome::Unmatched => prop_assert!(!expect),
+                MatchOutcome::Indeterminate => prop_assert_eq!(used, steps),
+            }
+        }
+        // Compiled targets cost exactly what plain targets cost.
+        prop_assert_eq!(
+            fast.exists_in_counted_compiled(&compiled, steps),
+            fast.exists_in_counted(&target, steps)
+        );
+    }
+
+    #[test]
+    fn iso_backends_agree_on_support_counts(seed in any::<u64>()) {
+        // The quantity every miner derives from the matcher: how many of a
+        // database's graphs contain the pattern.
+        let pattern = lcg_graph(seed ^ 0x00C0FFEE);
+        let targets: Vec<Graph> = (0..8u64)
+            .map(|i| lcg_graph(seed ^ i.wrapping_mul(0x9E3779B97F4A7C15)))
+            .collect();
+        let count = |kind: MatcherKind| {
+            let mut m = MultiMatcher::with_kind(&pattern, kind);
+            targets.iter().filter(|t| m.exists_in(t)).count()
+        };
+        prop_assert_eq!(count(MatcherKind::Vf2), count(MatcherKind::Fast));
     }
 
     #[test]
