@@ -135,6 +135,15 @@ pub struct RunStats {
     /// unbudgeted run reports 0 — and useful for naming the dominant phase
     /// when a step budget truncates the run.
     pub match_steps: u64,
+    /// Full canonical-code (`min_dfs_code` / restricted self-projection)
+    /// computations performed during the FSM phase. Only tracked on
+    /// budgeted runs; the canonicalization-v2 certificate layer exists to
+    /// drive this number down.
+    pub canon_calls: u64,
+    /// Canonicalization queries answered from certificates (dedup merges,
+    /// certificate-set apriori checks, canonical-cache hits) instead of a
+    /// full `min_dfs_code`. Only tracked on budgeted runs.
+    pub cert_hits: u64,
 }
 
 /// The result of [`GraphSig::mine`].
@@ -507,6 +516,8 @@ impl GraphSig {
         }
         profile.fsm = t2.elapsed();
         stats.match_steps = budget.map_or(0, |b| b.match_steps_spent());
+        stats.canon_calls = budget.map_or(0, |b| b.canon_calls());
+        stats.cert_hits = budget.map_or(0, |b| b.cert_hits());
 
         // Final sort with the canonical-code tiebreak key computed once per
         // subgraph (it allocates a Vec — computing it inside the comparator
@@ -870,9 +881,21 @@ mod budget_tests {
             outcome.result.stats.match_steps > 0,
             "no matcher steps attributed"
         );
+        // The FSM phase runs through the canonical cache: both sides of
+        // the canonicalization split are live on budgeted runs.
+        assert!(
+            outcome.result.stats.canon_calls > 0,
+            "no canonicalizations attributed"
+        );
+        assert!(
+            outcome.result.stats.cert_hits > 0,
+            "no certificate hits attributed"
+        );
         // Unbudgeted runs don't track the split.
         let plain = GraphSig::new(cfg()).mine_outcome(&actives);
         assert_eq!(plain.result.stats.match_steps, 0);
+        assert_eq!(plain.result.stats.canon_calls, 0);
+        assert_eq!(plain.result.stats.cert_hits, 0);
     }
 
     #[test]

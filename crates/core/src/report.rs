@@ -68,6 +68,8 @@ pub fn describe_run(result: &GraphSigResult, completion: Completion) -> String {
         pruned_sets,
         truncated_sets,
         match_steps,
+        canon_calls,
+        cert_hits,
     } = result.stats;
     let mut line = format!(
         "{} subgraphs ({}); {} vectors in {} groups -> {} significant, \
@@ -85,6 +87,11 @@ pub fn describe_run(result: &GraphSigResult, completion: Completion) -> String {
     // isomorphism matching — the usual suspect when a step budget bites.
     if match_steps > 0 {
         let _ = write!(line, "; {match_steps} matcher steps");
+    }
+    // Canonicalization economics (also budgeted-run-only): full min-code
+    // computations vs. queries short-circuited through certificates.
+    if canon_calls > 0 || cert_hits > 0 {
+        let _ = write!(line, "; {canon_calls} canon calls, {cert_hits} cert hits");
     }
     line
 }

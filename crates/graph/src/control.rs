@@ -202,6 +202,8 @@ pub struct Budget {
     cancel: CancelToken,
     spent: Arc<AtomicU64>,
     match_spent: Arc<AtomicU64>,
+    canon_spent: Arc<AtomicU64>,
+    cert_hit_spent: Arc<AtomicU64>,
 }
 
 impl Budget {
@@ -271,6 +273,21 @@ impl Budget {
         self.match_spent.load(Ordering::Relaxed)
     }
 
+    /// Number of full `min_dfs_code` canonicalizations flushed back by
+    /// finished meters ([`Meter::note_canon`]). Diagnostic only: the
+    /// certificate layer exists to drive this number down, and reports
+    /// surface it next to matcher steps so the win is attributable.
+    pub fn canon_calls(&self) -> u64 {
+        self.canon_spent.load(Ordering::Relaxed)
+    }
+
+    /// Number of canonicalizations *avoided* because an
+    /// isomorphism-invariant certificate resolved the question first
+    /// ([`Meter::note_cert_hit`]). Diagnostic only.
+    pub fn cert_hits(&self) -> u64 {
+        self.cert_hit_spent.load(Ordering::Relaxed)
+    }
+
     /// Check the best-effort external conditions (deadline, cancellation)
     /// before starting a work unit, so that once a deadline passes,
     /// remaining units are skipped instead of started.
@@ -292,6 +309,8 @@ impl Budget {
             budget: Some(self),
             local: 0,
             local_match: 0,
+            local_canon: 0,
+            local_cert_hit: 0,
             stop: None,
         }
     }
@@ -315,6 +334,8 @@ pub struct Meter<'b> {
     budget: Option<&'b Budget>,
     local: u64,
     local_match: u64,
+    local_canon: u64,
+    local_cert_hit: u64,
     stop: Option<StopReason>,
 }
 
@@ -326,6 +347,8 @@ impl Meter<'static> {
             budget: None,
             local: 0,
             local_match: 0,
+            local_canon: 0,
+            local_cert_hit: 0,
             stop: None,
         }
     }
@@ -338,6 +361,8 @@ impl<'b> Meter<'b> {
             budget,
             local: 0,
             local_match: 0,
+            local_canon: 0,
+            local_cert_hit: 0,
             stop: None,
         }
     }
@@ -392,6 +417,26 @@ impl<'b> Meter<'b> {
         self.consume(n)
     }
 
+    /// Note one full `min_dfs_code` canonicalization. Pure diagnostics
+    /// (attributed to [`Budget::canon_calls`] on drop) — never consumes
+    /// budget, so adding the counter changes no truncation point.
+    #[inline]
+    pub fn note_canon(&mut self) {
+        if self.budget.is_some() {
+            self.local_canon += 1;
+        }
+    }
+
+    /// Note one canonicalization avoided by a certificate (cache hit or
+    /// certificate-only decision). Pure diagnostics, attributed to
+    /// [`Budget::cert_hits`] on drop.
+    #[inline]
+    pub fn note_cert_hit(&mut self) {
+        if self.budget.is_some() {
+            self.local_cert_hit += 1;
+        }
+    }
+
     /// Steps left in this unit's allowance (`u64::MAX` when unlimited).
     /// Used to hand a sub-search (one VF2 match) a hard cap.
     pub fn remaining_steps(&self) -> u64 {
@@ -431,6 +476,16 @@ impl Drop for Meter<'_> {
                 budget
                     .match_spent
                     .fetch_add(self.local_match, Ordering::Relaxed);
+            }
+            if self.local_canon > 0 {
+                budget
+                    .canon_spent
+                    .fetch_add(self.local_canon, Ordering::Relaxed);
+            }
+            if self.local_cert_hit > 0 {
+                budget
+                    .cert_hit_spent
+                    .fetch_add(self.local_cert_hit, Ordering::Relaxed);
             }
         }
     }
@@ -507,6 +562,28 @@ mod tests {
         // Unbudgeted meters record nothing, as with plain consume.
         let mut m = Meter::unbudgeted();
         assert!(m.consume_match(100));
+    }
+
+    #[test]
+    fn canon_counters_are_attributed_and_budget_neutral() {
+        let b = Budget::unlimited().with_max_steps(2);
+        let mut m = b.meter();
+        // Notes never consume budget: many notes, still two ticks left.
+        for _ in 0..100 {
+            m.note_canon();
+            m.note_cert_hit();
+        }
+        assert!(m.tick());
+        assert!(m.tick());
+        assert!(!m.tick());
+        drop(m);
+        assert_eq!(b.canon_calls(), 100);
+        assert_eq!(b.cert_hits(), 100);
+        // Unbudgeted meters record nothing.
+        let mut m = Meter::unbudgeted();
+        m.note_canon();
+        m.note_cert_hit();
+        assert!(m.tick());
     }
 
     #[test]

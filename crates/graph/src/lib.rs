@@ -22,6 +22,10 @@
 //! * [`compiled`] — [`CompiledGraph`]/[`CompiledDb`]: label-bucketed bitset
 //!   target representation the fast matcher searches over, built once per
 //!   database and cached on the [`LabelPairIndex`].
+//! * [`invariant`] — isomorphism-invariant [`Certificate`]s via 1-WL
+//!   label/degree partition refinement, plus per-node orbit colors and a
+//!   bounded pinned automorphism search. The miners use certificates to
+//!   avoid `min_dfs_code` canonicalization except on genuine collisions.
 //! * [`index`] — [`LabelPairIndex`]: a database-wide index from
 //!   (node-label, edge-label, node-label) triples to per-graph edge
 //!   occurrence lists. Both baseline miners seed from it instead of
@@ -64,6 +68,7 @@ pub mod display;
 pub mod edit;
 pub mod graph;
 pub mod index;
+pub mod invariant;
 pub mod io;
 pub mod iso;
 pub mod labels;
@@ -78,6 +83,7 @@ pub use display::{display_with, DisplayWith};
 pub use edit::{induced_subgraph, remove_edge, remove_node};
 pub use graph::{Edge, Graph, GraphBuilder, NodeId};
 pub use index::{EdgeOccurrence, LabelPairEntry, LabelPairIndex, LabelTriple};
+pub use invariant::{certificate, refine, refine_metered, Certificate, Refinement};
 pub use io::{parse_transactions, write_transactions, ParseError};
 pub use iso::{are_isomorphic, MatchOutcome, MatcherKind, MultiMatcher, SubgraphMatcher};
 pub use labels::{EdgeLabel, LabelTable, NodeLabel};

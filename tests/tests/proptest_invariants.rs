@@ -4,11 +4,12 @@
 use proptest::prelude::*;
 
 use graphsig_fvmine::{ceiling_of, floor_of, is_sub_vector};
+use graphsig_graph::invariant::certificate;
 use graphsig_graph::{
     are_isomorphic, CompiledGraph, Graph, GraphBuilder, MatchOutcome, MatcherKind, MultiMatcher,
     SubgraphMatcher,
 };
-use graphsig_gspan::{is_min, min_dfs_code};
+use graphsig_gspan::{is_min, is_min_unpruned, min_dfs_code, min_dfs_code_unpruned};
 use graphsig_stats::{binomial_tail_upper, Binomial};
 
 /// Strategy: a small random connected labeled graph (tree + extra edges).
@@ -108,6 +109,60 @@ proptest! {
         let p = permuted(&g, seed);
         prop_assert!(are_isomorphic(&g, &p));
         prop_assert_eq!(min_dfs_code(&g), min_dfs_code(&p));
+    }
+
+    #[test]
+    fn certificate_invariant_under_permutation(g in connected_graph(), seed in any::<u64>()) {
+        // Same isomorphism class (node/edge permutation) ⇒ same certificate;
+        // this is the direction every certificate consumer relies on.
+        let p = permuted(&g, seed);
+        prop_assert_eq!(certificate(&g), certificate(&p));
+    }
+
+    #[test]
+    fn certificate_separates_distinct_min_codes(ga in connected_graph(), gb in connected_graph()) {
+        // Contrapositive on arbitrary pairs: equal certificates must never
+        // be contradicted by a *provable* non-isomorphism witness the other
+        // way round — different certificates ⇒ different canonical codes.
+        if certificate(&ga) != certificate(&gb) {
+            prop_assert_ne!(min_dfs_code(&ga), min_dfs_code(&gb));
+            prop_assert!(!are_isomorphic(&ga, &gb));
+        }
+    }
+
+    #[test]
+    fn pruned_min_code_agrees_with_reference(g in connected_graph(), seed in any::<u64>()) {
+        // Automorphism-orbit pruning of starting embeddings must be
+        // invisible: identical canonical code, also under relabeling.
+        prop_assert_eq!(min_dfs_code(&g), min_dfs_code_unpruned(&g));
+        let p = permuted(&g, seed);
+        prop_assert_eq!(min_dfs_code(&p), min_dfs_code_unpruned(&p));
+    }
+
+    #[test]
+    fn pruned_is_min_agrees_with_reference(
+        g in connected_graph(),
+        labels in prop::collection::vec((0u16..3, 0u16..2), 1..7),
+    ) {
+        use graphsig_gspan::{DfsCode, DfsEdge};
+        // The minimal code says yes in both variants.
+        let code = min_dfs_code(&g);
+        prop_assert!(is_min(&code) && is_min_unpruned(&code));
+        // Random path codes are valid DFS codes but often rooted at the
+        // wrong end (non-minimal), exercising the rejection branch; the
+        // verdicts must match exactly either way.
+        let mut path = DfsCode::from_initial(labels[0].0, labels[0].1, labels.get(1).map_or(0, |l| l.0));
+        for (i, w) in labels.windows(2).enumerate() {
+            let next_label = labels.get(i + 2).map_or(0, |l| l.0);
+            path.push(DfsEdge::new(
+                (i + 1) as u32,
+                (i + 2) as u32,
+                w[1].0,
+                w[1].1,
+                next_label,
+            ));
+        }
+        prop_assert_eq!(is_min(&path), is_min_unpruned(&path));
     }
 
     #[test]
@@ -292,6 +347,31 @@ proptest! {
             targets.iter().filter(|t| m.exists_in(t)).count()
         };
         prop_assert_eq!(count(MatcherKind::Vf2), count(MatcherKind::Fast));
+    }
+
+    #[test]
+    fn miners_are_certificate_oblivious(seed in any::<u64>()) {
+        use graphsig_fsg::{Fsg, FsgConfig};
+        use graphsig_gspan::{GSpan, MinerConfig};
+        // Certificates and canonical caches are pure accelerators: mined
+        // pattern lists must be byte-identical with them on or off.
+        let mut db = graphsig_graph::GraphDb::new();
+        for i in 0..6u64 {
+            db.push(lcg_graph(seed ^ (i.wrapping_mul(0x9E3779B97F4A7C15))));
+        }
+        let key = |p: &graphsig_gspan::Pattern| (p.code.clone(), p.support, p.gids.clone());
+        let fsg_on = Fsg::new(FsgConfig::new(2).with_max_edges(4)).mine(&db);
+        let fsg_off = Fsg::new(FsgConfig::new(2).with_max_edges(4).with_certificates(false)).mine(&db);
+        prop_assert_eq!(
+            fsg_on.iter().map(key).collect::<Vec<_>>(),
+            fsg_off.iter().map(key).collect::<Vec<_>>()
+        );
+        let gsp_on = GSpan::new(MinerConfig::new(2).with_max_edges(4)).mine(&db);
+        let gsp_off = GSpan::new(MinerConfig::new(2).with_max_edges(4).with_canon_cache(false)).mine(&db);
+        prop_assert_eq!(
+            gsp_on.iter().map(key).collect::<Vec<_>>(),
+            gsp_off.iter().map(key).collect::<Vec<_>>()
+        );
     }
 
     #[test]
