@@ -170,8 +170,41 @@ fn main() -> ExitCode {
     wait_response(&sink, "bye");
     server.join();
 
+    // Durable-store path on the same dataset: pack it, then time the two
+    // operations a restarting server actually pays — open and verify.
+    let db = graphsig_datagen::aids_like(n, cli.seed).db;
+    let store_dir = std::env::temp_dir().join(format!(
+        "graphsig_bench_server_store_{}",
+        std::process::id()
+    ));
+    std::fs::remove_dir_all(&store_dir).ok();
+    let pack_start = Instant::now();
+    let packed = graphsig_store::pack(&store_dir, &db, 1024).expect("pack dataset");
+    let store_pack_t = pack_start.elapsed();
+    let open_start = Instant::now();
+    let opened = graphsig_store::open_lenient(&store_dir).expect("open packed store");
+    let store_open_t = open_start.elapsed();
+    assert_eq!(opened.db.len(), db.len(), "packed store lost graphs");
+    assert!(!opened.degraded());
+    let verify_start = Instant::now();
+    let report = graphsig_store::verify(&store_dir).expect("verify packed store");
+    let store_verify_t = verify_start.elapsed();
+    assert!(report.is_clean(), "fresh store must verify clean");
+    std::fs::remove_dir_all(&store_dir).ok();
+    println!(
+        "store: pack {}s ({} shards, {} bytes) | open {}s | verify {}s",
+        secs(store_pack_t),
+        packed.shards_written,
+        packed.bytes_written,
+        secs(store_open_t),
+        secs(store_verify_t)
+    );
+
     if cli.smoke {
-        println!("smoke: OK (warm bytes identical, all requests answered, nothing written)");
+        println!(
+            "smoke: OK (warm bytes identical, all requests answered, store round-trips, \
+             nothing written)"
+        );
         return ExitCode::SUCCESS;
     }
 
@@ -193,6 +226,11 @@ fn main() -> ExitCode {
     let _ = writeln!(json, "  \"sweep_requests\": {total},");
     let _ = writeln!(json, "  \"sweep_s\": {},", secs(sweep_t));
     let _ = writeln!(json, "  \"sweep_req_per_s\": {throughput:.3},");
+    let _ = writeln!(json, "  \"store_shards\": {},", packed.shards_written);
+    let _ = writeln!(json, "  \"store_bytes\": {},", packed.bytes_written);
+    let _ = writeln!(json, "  \"store_pack_s\": {},", secs(store_pack_t));
+    let _ = writeln!(json, "  \"store_open_s\": {},", secs(store_open_t));
+    let _ = writeln!(json, "  \"store_verify_s\": {},", secs(store_verify_t));
     let _ = writeln!(json, "  \"warm_bytes_identical\": true");
     let _ = writeln!(json, "}}");
     std::fs::write("BENCH_server.json", &json).expect("write BENCH_server.json");

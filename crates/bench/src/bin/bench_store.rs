@@ -1,0 +1,314 @@
+//! Durable-store benchmark and fault-injection harness.
+//!
+//! Two jobs in one binary:
+//!
+//! 1. **Corruption matrix** (always runs): stage a known-good store, then
+//!    inject every fault class the format defends against — truncation at
+//!    each header boundary, single-bit flips across the whole shard,
+//!    manifest bit flips, a torn manifest write, overlapping/duplicate gid
+//!    ranges, and a crash between shard rename and manifest commit. Every
+//!    fault must surface as **exactly one structured error** (or a clean
+//!    recovery, for the crash cases) and **never a panic**.
+//! 2. **Timings** (non-smoke only): pack/open/verify wall times at scale,
+//!    written to `BENCH_store.json`.
+//!
+//! Usage: `bench_store [--scale f] [--seed u] [--smoke]`
+
+use std::fmt::Write as _;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+use std::time::Instant;
+
+use graphsig_bench::{secs, timed, Cli};
+use graphsig_graph::GraphDb;
+use graphsig_store::{
+    open_lenient, open_strict, pack, verify, ShardMeta, StoreError, MANIFEST_NAME, SHARD_HEADER_LEN,
+};
+
+/// Fresh scratch directory; contents are recreated per fault case.
+fn scratch(tag: &str) -> PathBuf {
+    let dir =
+        std::env::temp_dir().join(format!("graphsig_bench_store_{tag}_{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    dir
+}
+
+/// A pristine store captured as (file name, bytes) pairs, so each fault
+/// case restores without paying the packer's fsync discipline again.
+type Snapshot = Vec<(String, Vec<u8>)>;
+
+fn snapshot(dir: &Path) -> Snapshot {
+    let mut files = Vec::new();
+    for entry in std::fs::read_dir(dir).expect("read store dir") {
+        let entry = entry.expect("dir entry");
+        let name = entry.file_name().into_string().expect("utf-8 name");
+        files.push((
+            name.clone(),
+            std::fs::read(dir.join(&name)).expect("read file"),
+        ));
+    }
+    files.sort();
+    files
+}
+
+/// Reset `dir` to exactly the snapshot (quarantined/renamed leftovers from
+/// the previous case are wiped).
+fn restore(dir: &Path, snap: &Snapshot) {
+    std::fs::remove_dir_all(dir).ok();
+    std::fs::create_dir_all(dir).expect("recreate store dir");
+    for (name, bytes) in snap {
+        std::fs::write(dir.join(name), bytes).expect("restore file");
+    }
+}
+
+/// Run one fault case: `inject` damages the restored store, then a strict
+/// open must return exactly one structured error (never panic), and a
+/// lenient open must also complete without panicking. Returns the error
+/// the strict open produced.
+fn expect_fault(dir: &Path, snap: &Snapshot, what: &str, inject: impl FnOnce(&Path)) -> StoreError {
+    restore(dir, snap);
+    inject(dir);
+    let strict = catch_unwind(AssertUnwindSafe(|| open_strict(dir)))
+        .unwrap_or_else(|_| panic!("PANIC in strict open after {what}"));
+    let err = match strict {
+        Ok(_) => panic!("fault not detected: {what}"),
+        Err(e) => e,
+    };
+    // The lenient path must be total too — it may succeed (serving
+    // survivors) or fail structurally (manifest-level faults), but never
+    // panic.
+    let lenient = catch_unwind(AssertUnwindSafe(|| open_lenient(dir)))
+        .unwrap_or_else(|_| panic!("PANIC in lenient open after {what}"));
+    drop(lenient);
+    // And verify stays read-only total as well.
+    let v = catch_unwind(AssertUnwindSafe(|| verify(dir)))
+        .unwrap_or_else(|_| panic!("PANIC in verify after {what}"));
+    drop(v);
+    err
+}
+
+/// The corruption matrix. Returns (cases run, per-class counts line).
+fn corruption_matrix(db: &GraphDb, shard_size: usize) -> (usize, String) {
+    let dir = scratch("matrix");
+    let mut cases = 0usize;
+
+    // Baseline sanity: the pristine store round-trips.
+    std::fs::remove_dir_all(&dir).ok();
+    pack(&dir, db, shard_size).expect("stage pristine store");
+    let snap = snapshot(&dir);
+    let opened = open_strict(&dir).expect("pristine store opens");
+    assert_eq!(opened.db.len(), db.len(), "pristine store lost graphs");
+    assert!(!opened.degraded());
+    let shard0 = opened.shards[0].name.clone();
+    let shard0_path = dir.join(&shard0);
+    let shard_bytes = std::fs::read(&shard0_path).expect("read staged shard");
+
+    // 1. Truncation at every header boundary (and a payload cut): each
+    //    must be caught, and at header lengths the error must be the
+    //    structured Truncated/BadMagic family, not a checksum afterthought.
+    let boundaries: Vec<usize> = (0..=SHARD_HEADER_LEN)
+        .chain([SHARD_HEADER_LEN + 1, shard_bytes.len() - 1])
+        .collect();
+    let mut truncations = 0usize;
+    for cut in boundaries {
+        let (s0, bytes) = (shard0.clone(), shard_bytes.clone());
+        let err = expect_fault(&dir, &snap, "shard truncation", move |d| {
+            std::fs::write(d.join(&s0), &bytes[..cut]).expect("truncate shard");
+        });
+        assert!(
+            matches!(
+                err,
+                StoreError::Truncated { .. }
+                    | StoreError::BadMagic { .. }
+                    | StoreError::ChecksumMismatch { .. }
+                    | StoreError::ManifestMismatch { .. }
+            ),
+            "truncation at {cut} gave the wrong class: {err}"
+        );
+        cases += 1;
+        truncations += 1;
+    }
+
+    // 2. Single-bit flips across the whole shard file (every byte, one
+    //    bit each — enough to cover header fields, labels, and topology).
+    let mut flips = 0usize;
+    for byte in 0..shard_bytes.len() {
+        let (s0, mut bytes) = (shard0.clone(), shard_bytes.clone());
+        bytes[byte] ^= 1 << (byte % 8);
+        expect_fault(&dir, &snap, "shard bit flip", move |d| {
+            std::fs::write(d.join(&s0), &bytes).expect("flip shard bit");
+        });
+        cases += 1;
+        flips += 1;
+    }
+
+    // 3. Manifest bit flips: the root document is sealed the same way.
+    restore(&dir, &snap);
+    let manifest_bytes = std::fs::read(dir.join(MANIFEST_NAME)).expect("read manifest");
+    let mut manifest_flips = 0usize;
+    for byte in (0..manifest_bytes.len()).step_by(3) {
+        let mut bytes = manifest_bytes.clone();
+        bytes[byte] ^= 1 << (byte % 8);
+        expect_fault(&dir, &snap, "manifest bit flip", move |d| {
+            std::fs::write(d.join(MANIFEST_NAME), &bytes).expect("flip manifest bit");
+        });
+        cases += 1;
+        manifest_flips += 1;
+    }
+
+    // 4. Torn manifest write: a crash mid-commit leaves `MANIFEST.gsm.tmp`
+    //    (possibly garbage) next to the previous manifest. Recovery = the
+    //    previous commit serves and the temp is swept.
+    restore(&dir, &snap);
+    let before = open_strict(&dir).expect("staged store opens").manifest;
+    std::fs::write(
+        dir.join(format!("{MANIFEST_NAME}.tmp")),
+        b"torn half-written garbage",
+    )
+    .expect("stage torn temp");
+    let recovered = open_strict(&dir).expect("torn temp must not block recovery");
+    assert_eq!(recovered.manifest, before, "recovered to the wrong commit");
+    assert_eq!(recovered.report.temps_swept.len(), 1, "temp not swept");
+    assert!(!dir.join(format!("{MANIFEST_NAME}.tmp")).exists());
+    cases += 1;
+
+    // 5. Overlapping and duplicate gid ranges: hand-craft manifests whose
+    //    shard lists violate the contiguous-tiling invariant.
+    for (tag, mutate) in [
+        (
+            "overlap",
+            Box::new(|metas: &mut Vec<ShardMeta>| metas[1].gid_start = 0)
+                as Box<dyn Fn(&mut Vec<ShardMeta>)>,
+        ),
+        (
+            "gap",
+            Box::new(|metas: &mut Vec<ShardMeta>| metas[1].gid_start += 1),
+        ),
+        (
+            "duplicate",
+            Box::new(|metas: &mut Vec<ShardMeta>| {
+                let m = metas[0].clone();
+                metas[1] = m;
+            }),
+        ),
+    ] {
+        restore(&dir, &snap);
+        let mut manifest = open_strict(&dir).expect("staged store opens").manifest;
+        assert!(manifest.shards.len() >= 2, "matrix needs >= 2 shards");
+        mutate(&mut manifest.shards);
+        let err = expect_fault(&dir, &snap, tag, |d| {
+            std::fs::write(d.join(MANIFEST_NAME), manifest.encode()).expect("write bad manifest");
+        });
+        assert!(
+            matches!(
+                err,
+                StoreError::GidRangeConflict { .. } | StoreError::Corrupt { .. }
+            ),
+            "{tag} gave the wrong class: {err}"
+        );
+        cases += 1;
+    }
+
+    // 6. Crash between shard rename and manifest commit: extra `.gss`
+    //    files exist that the manifest does not reference. The store must
+    //    open clean on the committed manifest and report the orphan.
+    restore(&dir, &snap);
+    std::fs::copy(&shard0_path, dir.join("shard-99999.gss")).expect("stage orphan");
+    let opened = open_strict(&dir).expect("orphan must not block open");
+    assert_eq!(opened.db.len(), db.len());
+    assert_eq!(opened.report.orphans, vec!["shard-99999.gss".to_string()]);
+    cases += 1;
+
+    // 7. Quarantine keeps survivors serving: damage one shard, lenient
+    //    open must serve the rest and say exactly what it lost.
+    restore(&dir, &snap);
+    let mut bytes = shard_bytes.clone();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x08;
+    std::fs::write(&shard0_path, &bytes).expect("damage shard");
+    let opened = open_lenient(&dir).expect("lenient open serves survivors");
+    assert!(opened.degraded());
+    assert_eq!(
+        opened.report.quarantined.len(),
+        1,
+        "exactly one fault, one quarantine"
+    );
+    assert_eq!(opened.report.quarantined[0].name, shard0);
+    assert_eq!(
+        opened.db.len(),
+        db.len() - opened.manifest.shards[0].graph_count as usize,
+        "survivors must all serve"
+    );
+    cases += 1;
+
+    std::fs::remove_dir_all(&dir).ok();
+    let summary = format!(
+        "{truncations} truncations, {flips} shard bit flips, {manifest_flips} manifest bit flips, \
+         1 torn manifest, 3 gid-range conflicts, 1 orphan recovery, 1 quarantine"
+    );
+    (cases, summary)
+}
+
+fn main() -> ExitCode {
+    let cli = Cli::parse(0.01);
+    let n = if cli.smoke {
+        48
+    } else {
+        (43_905.0 * cli.scale).round() as usize
+    };
+    let shard_size = if cli.smoke { 8 } else { 1024 };
+    println!("# bench_store — {n} molecules, shard size {shard_size}");
+
+    // Small fixed db for the fault matrix (the matrix cost is dominated by
+    // per-case re-staging, so it stays small even in full runs).
+    let matrix_db = graphsig_datagen::aids_like(48, cli.seed).db;
+    let start = Instant::now();
+    let (cases, summary) = corruption_matrix(&matrix_db, 8);
+    println!(
+        "corruption matrix: {cases} faults injected, 0 panics, every fault caught ({}s)",
+        secs(start.elapsed())
+    );
+    println!("  {summary}");
+
+    if cli.smoke {
+        println!("smoke: OK (matrix passed, nothing written)");
+        return ExitCode::SUCCESS;
+    }
+
+    // Timings at scale.
+    let db = graphsig_datagen::aids_like(n, cli.seed).db;
+    let dir = scratch("timing");
+    let (packed, pack_t) = timed(|| pack(&dir, &db, shard_size).expect("pack at scale"));
+    let (opened, open_t) = timed(|| open_lenient(&dir).expect("open at scale"));
+    assert_eq!(opened.db.len(), db.len());
+    let (report, verify_t) = timed(|| verify(&dir).expect("verify at scale"));
+    assert!(report.is_clean());
+    std::fs::remove_dir_all(&dir).ok();
+    println!(
+        "pack: {}s ({} shards, {} bytes) | open: {}s | verify: {}s",
+        secs(pack_t),
+        packed.shards_written,
+        packed.bytes_written,
+        secs(open_t),
+        secs(verify_t)
+    );
+
+    let mut json = String::new();
+    let _ = writeln!(json, "{{");
+    let _ = writeln!(json, "  \"bench\": \"store\",");
+    let _ = writeln!(json, "  \"molecules\": {n},");
+    let _ = writeln!(json, "  \"seed\": {},", cli.seed);
+    let _ = writeln!(json, "  \"shard_size\": {shard_size},");
+    let _ = writeln!(json, "  \"shards\": {},", packed.shards_written);
+    let _ = writeln!(json, "  \"disk_bytes\": {},", packed.bytes_written);
+    let _ = writeln!(json, "  \"pack_s\": {},", secs(pack_t));
+    let _ = writeln!(json, "  \"open_s\": {},", secs(open_t));
+    let _ = writeln!(json, "  \"verify_s\": {},", secs(verify_t));
+    let _ = writeln!(json, "  \"matrix_faults\": {cases},");
+    let _ = writeln!(json, "  \"matrix_panics\": 0");
+    let _ = writeln!(json, "}}");
+    std::fs::write("BENCH_store.json", &json).expect("write BENCH_store.json");
+    println!("wrote BENCH_store.json");
+    ExitCode::SUCCESS
+}

@@ -6,6 +6,8 @@
 //! graphsig stats <transactions.txt>
 //! graphsig generate aids  <n> [--seed S]        # emit a synthetic dataset
 //! graphsig generate screen <NAME> <scale>       # one of the Table V screens
+//! graphsig pack <file> <dir> [--shard-size N] [--append]
+//! graphsig verify <dir> [--lenient]
 //! ```
 //!
 //! Input files use the classic gSpan transaction format
@@ -19,7 +21,7 @@ use std::time::Duration;
 
 use graphsig_classify::{GraphSigClassifier, KnnConfig};
 use graphsig_core::{Budget, GraphSig, GraphSigConfig};
-use graphsig_graph::{parse_transactions, write_transactions, GraphDb};
+use graphsig_graph::{parse_transactions, parse_transactions_into, write_transactions, GraphDb};
 use graphsig_server::{Server, ServerConfig};
 
 fn main() -> ExitCode {
@@ -30,6 +32,8 @@ fn main() -> ExitCode {
         Some("generate") => cmd_generate(&args[1..]),
         Some("classify") => cmd_classify(&args[1..]),
         Some("serve") => cmd_serve(&args[1..]),
+        Some("pack") => cmd_pack(&args[1..]),
+        Some("verify") => cmd_verify(&args[1..]),
         Some("--help") | Some("-h") | None => {
             print_usage();
             Ok(())
@@ -69,6 +73,13 @@ fn print_usage() {
          \x20                      [--drain-ms MS] [--allow-inject] [--smoke]\n\
          \x20                      (keeps datasets resident; line protocol on stdio, or TCP\n\
          \x20                       with --tcp; --smoke runs the fault-injection self-test)\n\
+         \x20 graphsig pack <file> <dir> [--shard-size N] [--append]\n\
+         \x20                      (write a checksummed sharded binary store; --append adds\n\
+         \x20                       the file's graphs to an existing store atomically)\n\
+         \x20 graphsig verify <dir> [--lenient]\n\
+         \x20                      (read-only integrity sweep; exits nonzero naming every\n\
+         \x20                       damaged shard; --lenient instead quarantines damaged\n\
+         \x20                       shards and reports what still serves)\n\
          \n\
          Files use the gSpan transaction format: t / v / e lines."
     );
@@ -326,6 +337,152 @@ fn serve_tcp(addr: &str, cfg: ServerConfig) -> Result<(), String> {
     Ok(())
 }
 
+/// `graphsig pack <file> <dir>` — ingest a transaction file into the
+/// durable sharded store. Crash-safe by construction: shards land via
+/// write-to-temp + fsync + rename, and the manifest commits last, so an
+/// interrupted pack leaves the previous store version intact.
+fn cmd_pack(args: &[String]) -> Result<(), String> {
+    let mut append = false;
+    let rest: Vec<String> = args
+        .iter()
+        .filter(|a| {
+            if a.as_str() == "--append" {
+                append = true;
+                false
+            } else {
+                true
+            }
+        })
+        .cloned()
+        .collect();
+    let mut shard_size = None;
+    let positional = take_flags(&rest, &mut [("--shard-size", &mut shard_size)])?;
+    let [input, dir] = positional.as_slice() else {
+        return Err("pack needs <input.txt> <store-dir>".into());
+    };
+    let shard_size: usize = parse_or(
+        &shard_size,
+        graphsig_store::DEFAULT_SHARD_SIZE,
+        "--shard-size",
+    )?;
+    if shard_size == 0 {
+        return Err("--shard-size must be at least 1".into());
+    }
+    let dir = std::path::Path::new(dir);
+    let started = std::time::Instant::now();
+    let summary = if append {
+        // Append extends the existing store: its label table seeds the
+        // parse so old graphs and label ids are untouched, and only the
+        // new tail is written out as fresh shards.
+        let opened = graphsig_store::open_strict(dir).map_err(|e| e.to_string())?;
+        let mut db = opened.db;
+        let from = db.len();
+        let text =
+            std::fs::read_to_string(input).map_err(|e| format!("cannot read {input}: {e}"))?;
+        parse_transactions_into(&mut db, &text).map_err(|e| format!("{input}: {e}"))?;
+        graphsig_store::append(dir, &db, from, shard_size).map_err(|e| e.to_string())?
+    } else {
+        let db = load_db(input)?;
+        graphsig_store::pack(dir, &db, shard_size).map_err(|e| e.to_string())?
+    };
+    eprintln!(
+        "packed {} new shard(s), {} bytes written; store now holds {} graphs at version {} ({} ms)",
+        summary.shards_written,
+        summary.bytes_written,
+        summary.total_graphs,
+        summary.store_version,
+        started.elapsed().as_millis()
+    );
+    Ok(())
+}
+
+/// `graphsig verify <dir>` — read-only integrity sweep over a packed
+/// store. Exits nonzero naming every damaged shard. With `--lenient` it
+/// instead opens the store the way the server would: damaged shards are
+/// quarantined (moved aside) and the report says what still serves.
+fn cmd_verify(args: &[String]) -> Result<(), String> {
+    let mut lenient = false;
+    let positional: Vec<&String> = args
+        .iter()
+        .filter(|a| {
+            if a.as_str() == "--lenient" {
+                lenient = true;
+                false
+            } else {
+                true
+            }
+        })
+        .collect();
+    let [dir] = positional.as_slice() else {
+        return Err("verify needs exactly one store directory".into());
+    };
+    let dir = std::path::Path::new(dir.as_str());
+    let started = std::time::Instant::now();
+    if lenient {
+        let opened = graphsig_store::open_lenient(dir).map_err(|e| e.to_string())?;
+        let total = opened.manifest.shards.len();
+        let survivors = opened.shards.len();
+        println!("store version:   {}", opened.manifest.store_version);
+        println!("shards serving:  {survivors}/{total}");
+        println!("graphs serving:  {}", opened.db.len());
+        println!("disk bytes:      {}", opened.disk_bytes());
+        for q in &opened.report.quarantined {
+            eprintln!("quarantined {}: {}", q.name, q.error);
+        }
+        for orphan in &opened.report.orphans {
+            eprintln!("orphan shard (unreferenced): {orphan}");
+        }
+        eprintln!("verified (lenient) in {} ms", started.elapsed().as_millis());
+        if opened.degraded() {
+            eprintln!("store is DEGRADED: serving {survivors}/{total} shards");
+        }
+        return Ok(());
+    }
+    let report = graphsig_store::verify(dir).map_err(|e| e.to_string())?;
+    println!("store version:   {}", report.store_version);
+    println!("shards:          {}", report.shards.len());
+    println!(
+        "graphs promised: {}",
+        report
+            .shards
+            .iter()
+            .map(|s| s.graph_count as u64)
+            .sum::<u64>()
+    );
+    println!("disk bytes:      {}", report.disk_bytes);
+    for orphan in &report.orphans {
+        eprintln!("orphan shard (unreferenced): {orphan}");
+    }
+    for temp in &report.temps {
+        eprintln!("torn temp file: {temp}");
+    }
+    eprintln!("verified in {} ms", started.elapsed().as_millis());
+    let failures: Vec<String> = report
+        .failures()
+        .map(|(name, e)| format!("{name}: {e}"))
+        .collect();
+    if failures.is_empty() {
+        Ok(())
+    } else {
+        // One line per damaged shard, then a nonzero exit that names the
+        // first offender so scripts get the culprit even from the summary.
+        for f in &failures {
+            eprintln!("FAILED {f}");
+        }
+        Err(format!(
+            "verify failed: {} of {} shard(s) damaged (first: {})",
+            failures.len(),
+            report.shards.len(),
+            report
+                .shards
+                .iter()
+                .find(|s| s.error.is_some())
+                .map(|s| s.name.as_str())
+                .unwrap_or("?")
+        ))
+    }
+}
+
 fn cmd_stats(args: &[String]) -> Result<(), String> {
     let [path] = args else {
         return Err("stats needs exactly one input file".into());
@@ -544,6 +701,99 @@ mod tests {
         };
         assert!(err.contains("cannot read"), "{err}");
         Ok(())
+    }
+
+    /// Fresh per-test store directory under the system temp dir.
+    fn store_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("graphsig_cli_{tag}_{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        dir
+    }
+
+    #[test]
+    fn pack_then_verify_roundtrips() -> Result<(), String> {
+        let dir = store_dir("pack_ok");
+        let input =
+            std::env::temp_dir().join(format!("graphsig_cli_pack_{}.txt", std::process::id()));
+        std::fs::write(&input, "t # 0\nv 0 C\nv 1 N\ne 0 1 s\nt # 1\nv 0 O\n")
+            .map_err(|e| format!("cannot stage input: {e}"))?;
+        let args: Vec<String> = vec![
+            input.display().to_string(),
+            dir.display().to_string(),
+            "--shard-size".into(),
+            "1".into(),
+        ];
+        cmd_pack(&args)?;
+        let verify_args: Vec<String> = vec![dir.display().to_string()];
+        let clean = cmd_verify(&verify_args);
+        let lenient_args: Vec<String> = vec![dir.display().to_string(), "--lenient".into()];
+        let lenient = cmd_verify(&lenient_args);
+        std::fs::remove_file(&input).ok();
+        std::fs::remove_dir_all(&dir).ok();
+        clean?;
+        lenient
+    }
+
+    #[test]
+    fn pack_rejects_zero_shard_size_and_bad_arity() {
+        let args: Vec<String> = vec![
+            "a.txt".into(),
+            "d".into(),
+            "--shard-size".into(),
+            "0".into(),
+        ];
+        assert!(cmd_pack(&args).is_err());
+        let args: Vec<String> = vec!["only-one.txt".into()];
+        assert!(cmd_pack(&args).is_err());
+    }
+
+    #[test]
+    fn verify_names_the_damaged_shard_and_fails() -> Result<(), String> {
+        let dir = store_dir("verify_bad");
+        let input =
+            std::env::temp_dir().join(format!("graphsig_cli_vbad_{}.txt", std::process::id()));
+        std::fs::write(&input, "t # 0\nv 0 C\nv 1 N\ne 0 1 s\nt # 1\nv 0 O\n")
+            .map_err(|e| format!("cannot stage input: {e}"))?;
+        let args: Vec<String> = vec![
+            input.display().to_string(),
+            dir.display().to_string(),
+            "--shard-size".into(),
+            "1".into(),
+        ];
+        let packed = cmd_pack(&args);
+        std::fs::remove_file(&input).ok();
+        packed?;
+        // Flip one payload byte in the second shard; verify must exit
+        // nonzero and the error must name that shard, not the clean one.
+        let shard = dir.join("shard-00001.gss");
+        let mut bytes =
+            std::fs::read(&shard).map_err(|e| format!("cannot read staged shard: {e}"))?;
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x40;
+        std::fs::write(&shard, &bytes).map_err(|e| format!("cannot corrupt shard: {e}"))?;
+        let verify_args: Vec<String> = vec![dir.display().to_string()];
+        let err = match cmd_verify(&verify_args) {
+            Ok(()) => Err("corrupted store must not verify".to_string()),
+            Err(e) => Ok(e),
+        };
+        std::fs::remove_dir_all(&dir).ok();
+        let err = err?;
+        assert!(err.contains("shard-00001.gss"), "culprit unnamed: {err}");
+        assert!(err.contains("1 of 2"), "wrong tally: {err}");
+        Ok(())
+    }
+
+    #[test]
+    fn verify_on_missing_store_is_structured() {
+        let args: Vec<String> = vec!["/nonexistent/graphsig/store".into()];
+        let err = match cmd_verify(&args) {
+            Ok(()) => "".to_string(),
+            Err(e) => e,
+        };
+        assert!(
+            err.contains("no manifest") || err.contains("MANIFEST"),
+            "{err}"
+        );
     }
 
     #[test]

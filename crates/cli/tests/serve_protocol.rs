@@ -112,6 +112,165 @@ fn server_mine_is_byte_identical_to_one_shot_cli() {
 }
 
 #[test]
+fn packed_and_appended_loads_mine_byte_identical_to_text() {
+    // Two disjoint generated sets: `a` seeds the store, `b` arrives later.
+    // Mining must produce byte-identical payloads whether the data came
+    // from (1) the concatenated text, (2) a packed store of the
+    // concatenation, or (3) a packed store of `a` with `b` appended live.
+    let dir = std::env::temp_dir().join(format!("graphsig-serve-pack-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let gen_a = graphsig()
+        .args(["generate", "aids", "60", "--seed", "7"])
+        .output()
+        .expect("generate a");
+    let gen_b = graphsig()
+        .args(["generate", "aids", "40", "--seed", "8"])
+        .output()
+        .expect("generate b");
+    assert!(gen_a.status.success() && gen_b.status.success());
+    let full_txt = dir.join("full.txt");
+    let b_txt = dir.join("b.txt");
+    let mut full = gen_a.stdout.clone();
+    full.extend_from_slice(&gen_b.stdout);
+    std::fs::write(&full_txt, &full).expect("write full.txt");
+    std::fs::write(&b_txt, &gen_b.stdout).expect("write b.txt");
+
+    // Pack the concatenation into one store and `a` alone into another,
+    // then append `b` to the latter through the server's `load append=`.
+    let store_full = dir.join("store-full");
+    let store_a = dir.join("store-a");
+    let a_txt = dir.join("a.txt");
+    std::fs::write(&a_txt, &gen_a.stdout).expect("write a.txt");
+    for (input, store) in [(&full_txt, &store_full), (&a_txt, &store_a)] {
+        let pack = graphsig()
+            .args([
+                "pack",
+                input.to_str().expect("utf-8"),
+                store.to_str().expect("utf-8"),
+                "--shard-size",
+                "16",
+            ])
+            .output()
+            .expect("pack");
+        assert!(
+            pack.status.success(),
+            "pack failed: {}",
+            String::from_utf8_lossy(&pack.stderr)
+        );
+    }
+
+    let mine_flags = "min_freq=0.05 max_pvalue=0.05 radius=3";
+    let script = format!(
+        "load id=LT dataset=t path={full}\n\
+         load id=LP dataset=p path={sf} format=packed\n\
+         load id=LA1 dataset=a path={sa} format=packed\n\
+         load id=LA2 dataset=a path={b} append=true\n\
+         mine id=mt dataset=t {mf}\n\
+         mine id=mp dataset=p {mf}\n\
+         mine id=ma dataset=a {mf}\n\
+         stats id=S dataset=p\n",
+        full = full_txt.to_str().expect("utf-8"),
+        sf = store_full.to_str().expect("utf-8"),
+        sa = store_a.to_str().expect("utf-8"),
+        b = b_txt.to_str().expect("utf-8"),
+        mf = mine_flags,
+    );
+    let responses = serve_script(&[], &script);
+    std::fs::remove_dir_all(&dir).ok();
+
+    let (lt, _) = response(&responses, "LT");
+    assert_eq!(lt.status, Status::Ok, "{lt:?}");
+    let (lp, _) = response(&responses, "LP");
+    assert_eq!(lp.status, Status::Ok, "{lp:?}");
+    assert_eq!(lp.field("graphs"), Some("100"), "{lp:?}");
+    assert_eq!(lp.field("shards"), Some("7"), "100 graphs / 16 = 7 shards");
+    assert_eq!(lp.field("quarantined"), Some("0"));
+    assert_eq!(lp.field("store_version"), Some("1"));
+    assert!(lp.field("degraded").is_none(), "clean store: {lp:?}");
+    let (la2, _) = response(&responses, "LA2");
+    assert_eq!(la2.status, Status::Ok, "{la2:?}");
+    assert_eq!(la2.field("graphs"), Some("100"), "{la2:?}");
+    assert_eq!(la2.field("loaded"), Some("40"), "{la2:?}");
+
+    let (mt, text_body) = response(&responses, "mt");
+    assert_eq!(mt.status, Status::Ok);
+    let (mp, packed_body) = response(&responses, "mp");
+    assert_eq!(mp.status, Status::Ok);
+    assert_eq!(
+        packed_body, text_body,
+        "mining a packed store must be byte-identical to the text path"
+    );
+    let (ma, appended_body) = response(&responses, "ma");
+    assert_eq!(ma.status, Status::Ok);
+    assert_eq!(
+        appended_body, text_body,
+        "append must be byte-identical to a one-shot load of the concatenation"
+    );
+
+    let (s, _) = response(&responses, "S");
+    assert_eq!(s.field("shards"), Some("7"), "{s:?}");
+    assert_eq!(s.field("quarantined"), Some("0"));
+    assert!(s.field("disk_bytes").is_some(), "{s:?}");
+}
+
+#[test]
+fn degraded_store_still_serves_and_says_so() {
+    // Corrupt one shard of a packed store: the server must quarantine it,
+    // keep serving the survivors, and stamp every answer `degraded=K/N`.
+    let dir = std::env::temp_dir().join(format!("graphsig-serve-degraded-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let gen = graphsig()
+        .args(["generate", "aids", "64", "--seed", "3"])
+        .output()
+        .expect("generate");
+    assert!(gen.status.success());
+    let file = dir.join("db.txt");
+    std::fs::write(&file, &gen.stdout).expect("write dataset");
+    let store = dir.join("store");
+    let pack = graphsig()
+        .args([
+            "pack",
+            file.to_str().expect("utf-8"),
+            store.to_str().expect("utf-8"),
+            "--shard-size",
+            "16",
+        ])
+        .output()
+        .expect("pack");
+    assert!(pack.status.success());
+    let victim = store.join("shard-00002.gss");
+    let mut bytes = std::fs::read(&victim).expect("read shard");
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x10;
+    std::fs::write(&victim, &bytes).expect("corrupt shard");
+
+    let script = format!(
+        "load id=L dataset=d path={} format=packed\n\
+         mine id=m dataset=d min_freq=0.05 max_pvalue=0.05 radius=3\n\
+         stats id=S dataset=d\n",
+        store.to_str().expect("utf-8")
+    );
+    let responses = serve_script(&[], &script);
+    std::fs::remove_dir_all(&dir).ok();
+
+    let (l, _) = response(&responses, "L");
+    assert_eq!(l.status, Status::Ok, "degraded load still succeeds: {l:?}");
+    assert_eq!(l.field("graphs"), Some("48"), "one 16-graph shard lost");
+    assert_eq!(l.field("shards"), Some("3"), "{l:?}");
+    assert_eq!(l.field("quarantined"), Some("1"));
+    assert_eq!(l.field("degraded"), Some("1/4"), "{l:?}");
+    let (m, body) = response(&responses, "m");
+    assert_eq!(m.status, Status::Ok, "survivors must still mine: {m:?}");
+    assert_eq!(m.field("degraded"), Some("1/4"), "{m:?}");
+    assert!(!body.is_empty() || m.field("count") == Some("0"));
+    let (s, _) = response(&responses, "S");
+    assert_eq!(s.field("degraded"), Some("1/4"), "{s:?}");
+    assert_eq!(s.field("quarantined"), Some("1"));
+}
+
+#[test]
 fn serve_answers_control_requests_and_reports_errors() {
     let responses = serve_script(
         &["--workers", "2", "--queue", "4"],

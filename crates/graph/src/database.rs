@@ -1,7 +1,9 @@
 //! Graph databases: a collection of transactions plus shared labels.
 
+use std::collections::HashMap;
+
 use crate::graph::Graph;
-use crate::labels::{LabelTable, NodeLabel};
+use crate::labels::{EdgeLabel, LabelTable, NodeLabel};
 
 /// A database of labeled graphs sharing one [`LabelTable`].
 ///
@@ -88,6 +90,54 @@ impl GraphDb {
         GraphDb {
             graphs: ids.iter().map(|&i| self.graphs[i].clone()).collect(),
             labels: self.labels.clone(),
+        }
+    }
+
+    /// Append every graph of `other`, remapping its labels *by name* into
+    /// this database's table (interning names first-seen, in graph order —
+    /// the same order parsing the concatenated transaction files would
+    /// produce). Labels `other`'s table has no name for are mapped through
+    /// their decimal rendering, mirroring [`crate::io::write_transactions`].
+    ///
+    /// This is the incremental-ingestion primitive: absorbing a second
+    /// store or text batch into a resident dataset yields a database
+    /// indistinguishable from loading the concatenation in one shot.
+    pub fn absorb(&mut self, other: &GraphDb) {
+        use crate::graph::GraphBuilder;
+        let mut node_map: HashMap<NodeLabel, NodeLabel> = HashMap::new();
+        let mut edge_map: HashMap<EdgeLabel, EdgeLabel> = HashMap::new();
+        for g in other.graphs() {
+            let mut b = GraphBuilder::with_capacity(g.node_count(), g.edge_count());
+            for n in g.nodes() {
+                let l = g.node_label(n);
+                let mapped = match node_map.get(&l) {
+                    Some(&m) => m,
+                    None => {
+                        let m = match other.labels.node_name(l) {
+                            Some(name) => self.labels.intern_node(name),
+                            None => self.labels.intern_node(&l.to_string()),
+                        };
+                        node_map.insert(l, m);
+                        m
+                    }
+                };
+                b.add_node(mapped);
+            }
+            for e in g.edges() {
+                let mapped = match edge_map.get(&e.label) {
+                    Some(&m) => m,
+                    None => {
+                        let m = match other.labels.edge_name(e.label) {
+                            Some(name) => self.labels.intern_edge(name),
+                            None => self.labels.intern_edge(&e.label.to_string()),
+                        };
+                        edge_map.insert(e.label, m);
+                        m
+                    }
+                };
+                b.add_edge(e.u, e.v, mapped);
+            }
+            self.graphs.push(b.build());
         }
     }
 
@@ -246,6 +296,20 @@ mod tests {
         assert_eq!(sub.len(), 1);
         assert_eq!(sub.graph(0).node_count(), 2);
         assert_eq!(sub.labels().node_name(0), Some("C"));
+    }
+
+    #[test]
+    fn absorb_matches_concatenated_parse() {
+        use crate::io::{parse_transactions, write_transactions};
+        let a = "t # 0\nv 0 O\nv 1 H\ne 0 1 single\n";
+        let b = "t # 0\nv 0 C\nv 1 O\ne 0 1 double\n";
+        let mut db = parse_transactions(a).unwrap();
+        db.absorb(&parse_transactions(b).unwrap());
+        let one_shot = parse_transactions(&format!("{a}{b}")).unwrap();
+        assert_eq!(write_transactions(&db), write_transactions(&one_shot));
+        // Shared labels collapse: O interned once even though it is label 0
+        // in one table and label 1 in the other.
+        assert_eq!(db.labels().node_label_count(), 3);
     }
 
     #[test]

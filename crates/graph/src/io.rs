@@ -52,6 +52,18 @@ fn err(line: usize, message: impl Into<String>) -> ParseError {
 /// introduced by a `t` line before any `v`/`e` lines.
 pub fn parse_transactions(input: &str) -> Result<GraphDb, ParseError> {
     let mut db = GraphDb::new();
+    parse_transactions_into(&mut db, input)?;
+    Ok(db)
+}
+
+/// Parse a transaction file *appending* into an existing database.
+///
+/// New graphs get the next ids after the current contents and labels are
+/// interned into the database's existing table, so loading file A then
+/// appending file B is indistinguishable from one parse of `A + B`
+/// (incremental server ingestion relies on this). On error the database is
+/// left with the graphs that parsed completely before the bad line.
+pub fn parse_transactions_into(db: &mut GraphDb, input: &str) -> Result<(), ParseError> {
     let mut current: Option<GraphBuilder> = None;
     // Undirected (min, max) endpoint pairs of the current transaction, to
     // reject duplicate edges (which silently corrupt support counts).
@@ -73,7 +85,7 @@ pub fn parse_transactions(input: &str) -> Result<GraphDb, ParseError> {
         let mut parts = line.split_whitespace();
         match parts.next() {
             Some("t") => {
-                flush(current.take(), &mut db);
+                flush(current.take(), db);
                 current = Some(GraphBuilder::new());
                 seen_edges.clear();
             }
@@ -137,8 +149,8 @@ pub fn parse_transactions(input: &str) -> Result<GraphDb, ParseError> {
             None => unreachable!("empty lines filtered above"),
         }
     }
-    flush(current.take(), &mut db);
-    Ok(db)
+    flush(current.take(), db);
+    Ok(())
 }
 
 /// Serialize a database back into the transaction format. Labels are written
@@ -264,6 +276,31 @@ e 0 2 double
         let e = parse_transactions("q 1 2\n").unwrap_err();
         assert!(e.message.contains("unknown record"));
         assert_eq!(e.to_string(), "line 1: unknown record type 'q'");
+    }
+
+    #[test]
+    fn append_parse_matches_one_shot_concatenation() {
+        let a = "t # 0\nv 0 O\nv 1 H\ne 0 1 single\n";
+        let b = "t # 0\nv 0 C\nv 1 O\ne 0 1 double\nt # 1\nv 0 N\n";
+        let mut incremental = parse_transactions(a).unwrap();
+        parse_transactions_into(&mut incremental, b).unwrap();
+        let one_shot = parse_transactions(&format!("{a}{b}")).unwrap();
+        assert_eq!(incremental.len(), one_shot.len());
+        assert_eq!(
+            write_transactions(&incremental),
+            write_transactions(&one_shot),
+            "append ingestion must be indistinguishable from one parse"
+        );
+    }
+
+    #[test]
+    fn append_parse_error_keeps_completed_graphs() {
+        let mut db = parse_transactions("t # 0\nv 0 C\n").unwrap();
+        let e = parse_transactions_into(&mut db, "t # 0\nv 0 O\nt # 1\nv 1 O\n").unwrap_err();
+        assert!(e.message.contains("dense"), "{e}");
+        // Graph 0 (old) survives; the complete appended graph before the
+        // bad line was flushed too.
+        assert_eq!(db.len(), 2);
     }
 
     #[test]

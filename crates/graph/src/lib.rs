@@ -84,7 +84,7 @@ pub use edit::{induced_subgraph, remove_edge, remove_node};
 pub use graph::{Edge, Graph, GraphBuilder, NodeId};
 pub use index::{EdgeOccurrence, LabelPairEntry, LabelPairIndex, LabelTriple};
 pub use invariant::{certificate, refine, refine_metered, Certificate, Refinement};
-pub use io::{parse_transactions, write_transactions, ParseError};
+pub use io::{parse_transactions, parse_transactions_into, write_transactions, ParseError};
 pub use iso::{are_isomorphic, MatchOutcome, MatcherKind, MultiMatcher, SubgraphMatcher};
 pub use labels::{EdgeLabel, LabelTable, NodeLabel};
 pub use neighborhood::cut_graph;

@@ -22,7 +22,7 @@
 //!
 //! | op | keys |
 //! |---|---|
-//! | `load` | `dataset=` plus `path=` *or* `gen=aids count= [seed=]` |
+//! | `load` | `dataset=` plus `path=` *or* `gen=aids count= [seed=]`; `[format=text\|packed]` (`packed` opens a sharded store directory leniently — damaged shards are quarantined and the dataset serves degraded); `[append=true]` extends the resident dataset instead of replacing it (existing per-segment index caches are kept, only the new graphs are indexed) |
 //! | `mine` | `dataset=` `[max_pvalue=] [min_freq=] [radius=] [fsm_freq=] [backend=fsg\|gspan] [matcher=vf2\|fast] [threads=] [top=] [timeout_ms=] [max_steps=]` (+ fault-injection keys `sleep_ms=` / `inject=panic`, only honored when the server enables them) |
 //! | `freq` | `dataset=` `min_support=` `[backend=] [matcher=] [max_edges=] [max_patterns=] [timeout_ms=] [max_steps=]` |
 //! | `sweep` | `dataset=` `supports=<s1,s2,...>` `[backend=] [matcher=] [max_edges=] [max_patterns=] [threads=] [timeout_ms=] [max_steps=]` — one `freq` run per threshold over one shared index build; per-threshold payload segments are byte-identical to individual `freq` calls |
@@ -139,7 +139,18 @@ pub struct BudgetParams {
     pub max_steps: Option<u64>,
 }
 
-/// `load`: make a dataset resident (replacing any previous version).
+/// On-disk format of a `load path=` source.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum LoadFormat {
+    /// gSpan transaction text (the default).
+    #[default]
+    Text,
+    /// A `graphsig-store` sharded directory (`graphsig pack` output).
+    Packed,
+}
+
+/// `load`: make a dataset resident (replacing any previous version, or
+/// extending it when `append=true`).
 #[derive(Debug, Clone, PartialEq)]
 pub struct LoadRequest {
     /// Request id.
@@ -148,6 +159,10 @@ pub struct LoadRequest {
     pub dataset: String,
     /// Where the graphs come from.
     pub source: LoadSource,
+    /// How to read a `path=` source.
+    pub format: LoadFormat,
+    /// Extend the existing resident dataset instead of replacing it.
+    pub append: bool,
 }
 
 /// Data source for a [`LoadRequest`].
@@ -433,12 +448,23 @@ pub fn parse_request(line: &str) -> Result<Option<Request>, ProtocolError> {
                 let dataset = fields.require("dataset")?;
                 let path = fields.take("path");
                 let gen = fields.take("gen");
+                let format = match fields.take("format").as_deref() {
+                    None | Some("text") => LoadFormat::Text,
+                    Some("packed") => LoadFormat::Packed,
+                    Some(other) => return Err(err(format!("unknown format '{other}'"))),
+                };
+                let append = fields.take_parse("append")?.unwrap_or(false);
                 let source = match (path, gen.as_deref()) {
                     (Some(p), None) => LoadSource::Path(p),
-                    (None, Some("aids")) => LoadSource::AidsLike {
-                        count: fields.require_parse("count")?,
-                        seed: fields.take_parse("seed")?.unwrap_or(42),
-                    },
+                    (None, Some("aids")) => {
+                        if format == LoadFormat::Packed {
+                            return Err(err("format=packed requires a 'path' source"));
+                        }
+                        LoadSource::AidsLike {
+                            count: fields.require_parse("count")?,
+                            seed: fields.take_parse("seed")?.unwrap_or(42),
+                        }
+                    }
                     (None, Some(other)) => return Err(err(format!("unknown generator '{other}'"))),
                     (Some(_), Some(_)) => {
                         return Err(err("'path' and 'gen' are mutually exclusive"))
@@ -450,6 +476,8 @@ pub fn parse_request(line: &str) -> Result<Option<Request>, ProtocolError> {
                     id: id.clone(),
                     dataset,
                     source,
+                    format,
+                    append,
                 }))
             }
             "mine" => {
@@ -829,6 +857,25 @@ mod tests {
         assert_eq!(r.source, LoadSource::AidsLike { count: 50, seed: 7 });
         assert!(parse_request("load id=3 dataset=d").is_err());
         assert!(parse_request("load id=3 dataset=d path=x gen=aids count=1").is_err());
+    }
+
+    #[test]
+    fn parses_load_format_and_append() {
+        let Ok(Some(Request::Load(r))) = parse_request("load id=1 dataset=d path=/s/store") else {
+            panic!();
+        };
+        assert_eq!(r.format, LoadFormat::Text);
+        assert!(!r.append);
+        let Ok(Some(Request::Load(r))) =
+            parse_request("load id=2 dataset=d path=/s/store format=packed append=true")
+        else {
+            panic!();
+        };
+        assert_eq!(r.format, LoadFormat::Packed);
+        assert!(r.append);
+        assert!(parse_request("load id=3 dataset=d path=x format=csv").is_err());
+        assert!(parse_request("load id=4 dataset=d path=x append=maybe").is_err());
+        assert!(parse_request("load id=5 dataset=d gen=aids count=5 format=packed").is_err());
     }
 
     #[test]

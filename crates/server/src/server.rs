@@ -43,12 +43,12 @@ use graphsig_core::{
 };
 use graphsig_fsg::{Fsg, FsgConfig};
 use graphsig_graph::control::Outcome;
-use graphsig_graph::{parse_transactions, Completion, GraphDb, LabelPairIndex, MatcherKind};
+use graphsig_graph::{parse_transactions_into, Completion, GraphDb, LabelPairIndex, MatcherKind};
 use graphsig_gspan::{GSpan, MinerConfig, Pattern};
 
 use crate::protocol::{
-    parse_request, BackendKind, BudgetParams, FreqRequest, LoadRequest, LoadSource, MineRequest,
-    ProtocolError, Request, Response, Status, SweepRequest,
+    parse_request, BackendKind, BudgetParams, FreqRequest, LoadFormat, LoadRequest, LoadSource,
+    MineRequest, ProtocolError, Request, Response, Status, SweepRequest,
 };
 
 /// Tunables for one [`Server`].
@@ -100,22 +100,82 @@ pub fn shared_writer(w: impl Write + Send + 'static) -> SharedWriter {
     Arc::new(Mutex::new(Box::new(w)))
 }
 
+/// One contiguous ingest segment of a dataset (a store shard, or one
+/// text/generator load batch) with its lazily built slice of the
+/// label-pair index. Slots are `Arc`-shared across `load append=`
+/// versions: appending keeps every already-built segment index and only
+/// the new graphs are ever indexed — per-shard, not wholesale,
+/// invalidation.
+struct IndexSlot {
+    /// Graph index range within the dataset's db.
+    range: std::ops::Range<usize>,
+    index: OnceLock<Arc<LabelPairIndex>>,
+}
+
+impl IndexSlot {
+    fn get(&self, db: &GraphDb) -> Arc<LabelPairIndex> {
+        self.index
+            .get_or_init(|| Arc::new(LabelPairIndex::build_range(db, self.range.clone())))
+            .clone()
+    }
+}
+
+/// Provenance of a dataset loaded from a packed store (`format=packed`).
+struct StoreInfo {
+    /// Shards listed by the manifest.
+    manifest_shards: usize,
+    /// Shards quarantined by the lenient open (degraded when > 0).
+    quarantined: usize,
+    /// Bytes on disk across manifest and surviving shards.
+    disk_bytes: u64,
+    /// The store's ingest counter.
+    store_version: u64,
+}
+
 /// One resident dataset version: the graphs plus every cache keyed to
-/// exactly this data. Replaced wholesale on `load`.
+/// exactly this data. Replaced on `load`; `append=true` carries the old
+/// segment index slots into the new version.
 struct Dataset {
     name: String,
     version: u64,
     db: Arc<GraphDb>,
     prepared: PreparedCache,
+    /// Merged whole-dataset index, assembled from the slots on first use.
     index: OnceLock<Arc<LabelPairIndex>>,
+    /// Per-segment lazy indexes, in deterministic segment (gid) order.
+    slots: Vec<Arc<IndexSlot>>,
+    /// Set when the dataset came from a packed store.
+    store: Option<StoreInfo>,
 }
 
 impl Dataset {
-    /// The shared label-pair index, built on first use.
+    /// The shared label-pair index, built on first use by merging the
+    /// per-segment indexes in segment order. Because segment ranges tile
+    /// the db contiguously, the merge is exactly equal to a full build
+    /// (unit-tested in `graphsig_graph::index`).
     fn index(&self) -> Arc<LabelPairIndex> {
         self.index
-            .get_or_init(|| Arc::new(LabelPairIndex::build(&self.db)))
+            .get_or_init(|| match self.slots.as_slice() {
+                [] => Arc::new(LabelPairIndex::build(&self.db)),
+                [only] => only.get(&self.db),
+                slots => {
+                    let parts: Vec<Arc<LabelPairIndex>> =
+                        slots.iter().map(|s| s.get(&self.db)).collect();
+                    let refs: Vec<&LabelPairIndex> = parts.iter().map(Arc::as_ref).collect();
+                    Arc::new(LabelPairIndex::merge(&refs))
+                }
+            })
             .clone()
+    }
+
+    /// `quarantined/total` when the backing store lost shards, else None.
+    fn degraded(&self) -> Option<String> {
+        match &self.store {
+            Some(info) if info.quarantined > 0 => {
+                Some(format!("{}/{}", info.quarantined, info.manifest_shards))
+            }
+            _ => None,
+        }
     }
 }
 
@@ -545,22 +605,110 @@ impl ServerInner {
     }
 
     fn exec_load(&self, r: &LoadRequest) -> Response {
-        let db = match &r.source {
-            LoadSource::Path(path) => {
+        let started = Instant::now();
+        // Appends extend the prior version's graphs and keep its built
+        // segment indexes; a plain load starts from nothing.
+        let prior = if r.append {
+            match self.dataset(&r.dataset) {
+                Ok(d) => Some(d),
+                Err(e) => return Response::error(&r.id, "load", format!("append failed: {e}")),
+            }
+        } else {
+            None
+        };
+        let mut db = match &prior {
+            Some(d) => (*d.db).clone(),
+            None => GraphDb::new(),
+        };
+        let base_len = db.len();
+        let mut store = None;
+        // Shard boundaries of a fresh packed load, for per-shard slots.
+        let mut shard_ranges: Option<Vec<std::ops::Range<usize>>> = None;
+        match (&r.source, r.format) {
+            (LoadSource::Path(path), LoadFormat::Text) => {
                 let text = match std::fs::read_to_string(path) {
                     Ok(t) => t,
                     Err(e) => {
                         return Response::error(&r.id, "load", format!("cannot read {path}: {e}"))
                     }
                 };
-                match parse_transactions(&text) {
-                    Ok(db) => db,
-                    Err(e) => return Response::error(&r.id, "load", format!("{path}: {e}")),
+                if let Err(e) = parse_transactions_into(&mut db, &text) {
+                    return Response::error(&r.id, "load", format!("{path}: {e}"));
                 }
             }
-            LoadSource::AidsLike { count, seed } => graphsig_datagen::aids_like(*count, *seed).db,
-        };
+            (LoadSource::Path(path), LoadFormat::Packed) => {
+                // Lenient open: damaged shards are quarantined (moved
+                // aside, reported) and the dataset serves the survivors in
+                // an explicitly degraded state.
+                let opened = match graphsig_store::open_lenient(std::path::Path::new(path)) {
+                    Ok(o) => o,
+                    Err(e) => return Response::error(&r.id, "load", e.to_string()),
+                };
+                store = Some(StoreInfo {
+                    manifest_shards: opened.manifest.shards.len(),
+                    quarantined: opened.report.quarantined.len(),
+                    disk_bytes: opened.disk_bytes(),
+                    store_version: opened.manifest.store_version,
+                });
+                if prior.is_some() {
+                    db.absorb(&opened.db);
+                } else {
+                    shard_ranges = Some(
+                        opened
+                            .shards
+                            .iter()
+                            .map(|s| s.db_start..s.db_start + s.graph_count)
+                            .collect(),
+                    );
+                    db = opened.db;
+                }
+            }
+            (LoadSource::AidsLike { count, seed }, _) => {
+                let gen = graphsig_datagen::aids_like(*count, *seed).db;
+                if prior.is_some() {
+                    db.absorb(&gen);
+                } else {
+                    db = gen;
+                }
+            }
+        }
         let graphs = db.len();
+        let loaded = graphs - base_len;
+        // Segment slots: appended datasets keep the prior version's slots
+        // (their built indexes stay valid — old graphs and label ids are
+        // untouched) and gain one slot for the new graphs. A fresh packed
+        // load gets one slot per surviving shard so a later append
+        // invalidates nothing shard-grained.
+        let mut slots: Vec<Arc<IndexSlot>> =
+            prior.as_ref().map_or_else(Vec::new, |d| d.slots.clone());
+        if let Some(ranges) = shard_ranges {
+            slots = ranges
+                .into_iter()
+                .map(|range| {
+                    Arc::new(IndexSlot {
+                        range,
+                        index: OnceLock::new(),
+                    })
+                })
+                .collect();
+        } else if loaded > 0 || slots.is_empty() {
+            slots.push(Arc::new(IndexSlot {
+                range: base_len..graphs,
+                index: OnceLock::new(),
+            }));
+        }
+        let store_fields = store.as_ref().map(|s| {
+            (
+                s.manifest_shards - s.quarantined,
+                s.quarantined,
+                s.disk_bytes,
+                s.store_version,
+            )
+        });
+        let degraded = store
+            .as_ref()
+            .filter(|s| s.quarantined > 0)
+            .map(|s| format!("{}/{}", s.quarantined, s.manifest_shards));
         let version = {
             let mut datasets = lock(&self.datasets);
             let version = datasets.get(&r.dataset).map_or(1, |d| d.version + 1);
@@ -575,14 +723,29 @@ impl ServerInner {
                     db: Arc::new(db),
                     prepared: PreparedCache::new(),
                     index: OnceLock::new(),
+                    slots,
+                    store,
                 }),
             );
             version
         };
-        Response::new(&r.id, "load", Status::Ok)
+        let mut resp = Response::new(&r.id, "load", Status::Ok)
             .with_field("dataset", &r.dataset)
             .with_field("version", version)
             .with_field("graphs", graphs)
+            .with_field("loaded", loaded)
+            .with_field("parse_ms", started.elapsed().as_millis());
+        if let Some((shards, quarantined, disk_bytes, store_version)) = store_fields {
+            resp = resp
+                .with_field("shards", shards)
+                .with_field("quarantined", quarantined)
+                .with_field("disk_bytes", disk_bytes)
+                .with_field("store_version", store_version);
+        }
+        if let Some(d) = degraded {
+            resp = resp.with_field("degraded", d);
+        }
+        resp
     }
 
     fn exec_mine(&self, r: &MineRequest, token: &CancelToken, submitted: Instant) -> Response {
@@ -637,13 +800,16 @@ impl ServerInner {
         let (outcome, disposition) = dataset.prepared.mine_outcome(&cfg, &dataset.db);
         let top = r.top.unwrap_or(usize::MAX);
         let payload = render_subgraphs(&dataset.db, &outcome.result, top);
-        Response::new(&r.id, "mine", Status::Ok)
-            .with_field("dataset", &dataset.name)
-            .with_field("version", dataset.version)
-            .with_field("completion", outcome.completion)
-            .with_field("cached", disposition)
-            .with_field("subgraphs", outcome.result.subgraphs.len())
-            .with_payload(payload)
+        with_degraded(
+            Response::new(&r.id, "mine", Status::Ok)
+                .with_field("dataset", &dataset.name)
+                .with_field("version", dataset.version),
+            &dataset,
+        )
+        .with_field("completion", outcome.completion)
+        .with_field("cached", disposition)
+        .with_field("subgraphs", outcome.result.subgraphs.len())
+        .with_payload(payload)
     }
 
     fn exec_freq(&self, r: &FreqRequest, token: &CancelToken, submitted: Instant) -> Response {
@@ -665,13 +831,16 @@ impl ServerInner {
         };
         let outcome = run_freq(&dataset.db, &index, r.min_support, &params, budget);
         let payload = render_patterns(&dataset.db, &outcome.result);
-        Response::new(&r.id, "freq", Status::Ok)
-            .with_field("dataset", &dataset.name)
-            .with_field("version", dataset.version)
-            .with_field("completion", outcome.completion)
-            .with_field("patterns", outcome.result.len())
-            .with_field("index_types", index.len())
-            .with_payload(payload)
+        with_degraded(
+            Response::new(&r.id, "freq", Status::Ok)
+                .with_field("dataset", &dataset.name)
+                .with_field("version", dataset.version),
+            &dataset,
+        )
+        .with_field("completion", outcome.completion)
+        .with_field("patterns", outcome.result.len())
+        .with_field("index_types", index.len())
+        .with_payload(payload)
     }
 
     fn exec_sweep(&self, r: &SweepRequest, token: &CancelToken, submitted: Instant) -> Response {
@@ -717,14 +886,17 @@ impl ServerInner {
             );
             payload.push_str(&render_patterns(&dataset.db, &outcome.result));
         }
-        Response::new(&r.id, "sweep", Status::Ok)
-            .with_field("dataset", &dataset.name)
-            .with_field("version", dataset.version)
-            .with_field("completion", completion)
-            .with_field("supports", r.supports.len())
-            .with_field("patterns", total)
-            .with_field("index_types", index.len())
-            .with_payload(payload)
+        with_degraded(
+            Response::new(&r.id, "sweep", Status::Ok)
+                .with_field("dataset", &dataset.name)
+                .with_field("version", dataset.version),
+            &dataset,
+        )
+        .with_field("completion", completion)
+        .with_field("supports", r.supports.len())
+        .with_field("patterns", total)
+        .with_field("index_types", index.len())
+        .with_payload(payload)
     }
 
     fn exec_stats(&self, id: &str, dataset: Option<&str>) -> Response {
@@ -754,10 +926,25 @@ impl ServerInner {
                         .with_field("graphs", s.graph_count)
                         .with_field("nodes", s.total_nodes)
                         .with_field("edges", s.total_edges)
+                        .with_field("segments", d.slots.len())
+                        .with_field(
+                            "segments_indexed",
+                            d.slots.iter().filter(|s| s.index.get().is_some()).count(),
+                        )
                         .with_field("prepared_hits", cache.hits)
                         .with_field("prepared_misses", cache.misses)
                         .with_field("prepared_bypasses", cache.bypasses)
                         .with_field("prepared_entries", cache.entries);
+                    if let Some(info) = &d.store {
+                        resp = resp
+                            .with_field("shards", info.manifest_shards - info.quarantined)
+                            .with_field("quarantined", info.quarantined)
+                            .with_field("disk_bytes", info.disk_bytes)
+                            .with_field("store_version", info.store_version);
+                    }
+                    if let Some(flag) = d.degraded() {
+                        resp = resp.with_field("degraded", flag);
+                    }
                     // The shared index is only reported once built — its
                     // presence is itself the observability signal that
                     // `freq` requests are reusing one build.
@@ -770,6 +957,15 @@ impl ServerInner {
                 }
             },
         }
+    }
+}
+
+/// Tack the `degraded=K/N` flag onto a response when the dataset's backing
+/// store lost shards — every answer over partial data says so explicitly.
+fn with_degraded(resp: Response, dataset: &Dataset) -> Response {
+    match dataset.degraded() {
+        Some(flag) => resp.with_field("degraded", flag),
+        None => resp,
     }
 }
 

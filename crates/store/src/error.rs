@@ -1,0 +1,191 @@
+//! Structured store errors.
+//!
+//! The readers in this crate are *total*: any byte sequence fed to a shard
+//! or manifest decoder, and any on-disk state found by the openers, resolves
+//! to exactly one [`StoreError`] or a valid value — never a panic. Every
+//! variant names the file it arose from where one exists, so a failed
+//! `graphsig verify` can point at the damaged shard.
+
+use std::fmt;
+use std::path::PathBuf;
+
+/// Why a store (or one of its files) could not be read or written.
+#[derive(Debug)]
+pub enum StoreError {
+    /// Underlying filesystem failure (open/read/write/rename/fsync).
+    Io {
+        /// File or directory involved.
+        path: PathBuf,
+        /// What was being attempted.
+        action: &'static str,
+        /// The OS error.
+        source: std::io::Error,
+    },
+    /// The file does not start with the expected magic bytes.
+    BadMagic {
+        /// Offending file.
+        path: PathBuf,
+        /// First bytes actually found (up to 8).
+        found: Vec<u8>,
+    },
+    /// The format version is newer than this build understands.
+    UnsupportedVersion {
+        /// Offending file.
+        path: PathBuf,
+        /// Version stamped in the file.
+        version: u32,
+        /// Highest version this build reads.
+        supported: u32,
+    },
+    /// The file ends before a fixed-size field or the declared payload.
+    Truncated {
+        /// Offending file.
+        path: PathBuf,
+        /// Which field or region was cut short.
+        what: &'static str,
+        /// Bytes needed to finish reading it.
+        needed: usize,
+        /// Bytes actually available.
+        available: usize,
+    },
+    /// The payload checksum does not match the header (bit rot, torn
+    /// write, or tampering).
+    ChecksumMismatch {
+        /// Offending file.
+        path: PathBuf,
+        /// Checksum the header (or manifest) promised.
+        expected: u64,
+        /// Checksum of the bytes actually on disk.
+        actual: u64,
+    },
+    /// The payload decoded but describes an impossible value: an
+    /// out-of-range edge endpoint, a self-loop, a duplicate edge, a length
+    /// that cannot fit the remaining bytes, a label id past the table.
+    Corrupt {
+        /// Offending file.
+        path: PathBuf,
+        /// Human-readable description of the impossibility.
+        detail: String,
+    },
+    /// A shard's metadata disagrees with the manifest that lists it
+    /// (graph count, gid range, length, or checksum).
+    ManifestMismatch {
+        /// Offending shard file.
+        path: PathBuf,
+        /// Which field disagrees and how.
+        detail: String,
+    },
+    /// The manifest lists shards whose gid ranges are not contiguous
+    /// ascending coverage (duplicate or overlapping ranges).
+    GidRangeConflict {
+        /// Manifest file.
+        path: PathBuf,
+        /// Which ranges collide.
+        detail: String,
+    },
+    /// The directory has no manifest — not a store (or never committed).
+    NoManifest {
+        /// Directory that was opened.
+        dir: PathBuf,
+    },
+}
+
+impl StoreError {
+    /// The file (or directory) the error is about, if any.
+    pub fn path(&self) -> &std::path::Path {
+        match self {
+            StoreError::Io { path, .. }
+            | StoreError::BadMagic { path, .. }
+            | StoreError::UnsupportedVersion { path, .. }
+            | StoreError::Truncated { path, .. }
+            | StoreError::ChecksumMismatch { path, .. }
+            | StoreError::Corrupt { path, .. }
+            | StoreError::ManifestMismatch { path, .. }
+            | StoreError::GidRangeConflict { path, .. } => path,
+            StoreError::NoManifest { dir } => dir,
+        }
+    }
+
+    pub(crate) fn io(
+        path: impl Into<PathBuf>,
+        action: &'static str,
+        source: std::io::Error,
+    ) -> Self {
+        StoreError::Io {
+            path: path.into(),
+            action,
+            source,
+        }
+    }
+
+    pub(crate) fn corrupt(path: impl Into<PathBuf>, detail: impl Into<String>) -> Self {
+        StoreError::Corrupt {
+            path: path.into(),
+            detail: detail.into(),
+        }
+    }
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io {
+                path,
+                action,
+                source,
+            } => write!(f, "{}: cannot {action}: {source}", path.display()),
+            StoreError::BadMagic { path, found } => {
+                write!(f, "{}: bad magic {found:02x?}", path.display())
+            }
+            StoreError::UnsupportedVersion {
+                path,
+                version,
+                supported,
+            } => write!(
+                f,
+                "{}: format version {version} is newer than supported {supported}",
+                path.display()
+            ),
+            StoreError::Truncated {
+                path,
+                what,
+                needed,
+                available,
+            } => write!(
+                f,
+                "{}: truncated at {what} (need {needed} bytes, have {available})",
+                path.display()
+            ),
+            StoreError::ChecksumMismatch {
+                path,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "{}: checksum mismatch (expected {expected:016x}, got {actual:016x})",
+                path.display()
+            ),
+            StoreError::Corrupt { path, detail } => {
+                write!(f, "{}: corrupt payload: {detail}", path.display())
+            }
+            StoreError::ManifestMismatch { path, detail } => {
+                write!(f, "{}: disagrees with manifest: {detail}", path.display())
+            }
+            StoreError::GidRangeConflict { path, detail } => {
+                write!(f, "{}: gid range conflict: {detail}", path.display())
+            }
+            StoreError::NoManifest { dir } => {
+                write!(f, "{}: no manifest (not a graphsig store)", dir.display())
+            }
+        }
+    }
+}
+
+impl std::error::Error for StoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StoreError::Io { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}

@@ -1,0 +1,229 @@
+//! Low-level binary encoding: little-endian scalar I/O over byte slices
+//! and the CRC-64 checksum sealing every payload.
+//!
+//! The readers operate on a [`Cursor`] that tracks its position and the
+//! file it came from so every failure becomes a precise
+//! [`StoreError::Truncated`] — no slicing panics anywhere in the crate.
+
+use std::path::Path;
+
+use crate::error::StoreError;
+
+/// CRC-64/XZ (ECMA-182 polynomial, reflected, init/xorout all-ones) —
+/// the same parameters `xz` uses, strong enough to catch multi-bit rot
+/// within a shard payload.
+pub fn crc64(bytes: &[u8]) -> u64 {
+    crc64_parts(&[bytes])
+}
+
+/// [`crc64`] over the concatenation of `parts` without materializing it —
+/// used to seal a header prefix together with its payload.
+pub fn crc64_parts(parts: &[&[u8]]) -> u64 {
+    const TABLE: [u64; 256] = crc64_table();
+    let mut crc = !0u64;
+    for part in parts {
+        for &b in *part {
+            crc = (crc >> 8) ^ TABLE[((crc ^ b as u64) & 0xff) as usize];
+        }
+    }
+    !crc
+}
+
+const fn crc64_table() -> [u64; 256] {
+    // Reflected form of the ECMA-182 polynomial 0x42F0E1EBA9EA3693.
+    const POLY: u64 = 0xC96C_5795_D787_0F42;
+    let mut table = [0u64; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u64;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ POLY
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+/// Append a `u16` little-endian.
+pub fn put_u16(out: &mut Vec<u8>, v: u16) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Append a `u32` little-endian.
+pub fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Append a `u64` little-endian.
+pub fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Append a length-prefixed (`u16`) byte string.
+pub fn put_str(out: &mut Vec<u8>, s: &str) {
+    debug_assert!(s.len() <= u16::MAX as usize, "label name too long");
+    put_u16(out, s.len() as u16);
+    out.extend_from_slice(s.as_bytes());
+}
+
+/// A bounds-checked reader over a byte slice. Every read names the field
+/// it was after, so truncation errors say exactly where the file ran out.
+pub struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    path: &'a Path,
+}
+
+impl<'a> Cursor<'a> {
+    /// Read from `bytes`, attributing errors to `path`.
+    pub fn new(bytes: &'a [u8], path: &'a Path) -> Self {
+        Cursor {
+            bytes,
+            pos: 0,
+            path,
+        }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.bytes.len() - self.pos
+    }
+
+    fn truncated(&self, what: &'static str, needed: usize) -> StoreError {
+        StoreError::Truncated {
+            path: self.path.to_path_buf(),
+            what,
+            needed,
+            available: self.remaining(),
+        }
+    }
+
+    /// Take `n` raw bytes.
+    pub fn take(&mut self, n: usize, what: &'static str) -> Result<&'a [u8], StoreError> {
+        if self.remaining() < n {
+            return Err(self.truncated(what, n));
+        }
+        let out = &self.bytes[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    /// Read a little-endian `u16`.
+    pub fn u16(&mut self, what: &'static str) -> Result<u16, StoreError> {
+        let b = self.take(2, what)?;
+        Ok(u16::from_le_bytes([b[0], b[1]]))
+    }
+
+    /// Read a little-endian `u32`.
+    pub fn u32(&mut self, what: &'static str) -> Result<u32, StoreError> {
+        let b = self.take(4, what)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    /// Read a little-endian `u64`.
+    pub fn u64(&mut self, what: &'static str) -> Result<u64, StoreError> {
+        let b = self.take(8, what)?;
+        Ok(u64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
+    }
+
+    /// Read a `u16`-length-prefixed UTF-8 string.
+    pub fn str(&mut self, what: &'static str) -> Result<&'a str, StoreError> {
+        let len = self.u16(what)? as usize;
+        let bytes = self.take(len, what)?;
+        std::str::from_utf8(bytes)
+            .map_err(|_| StoreError::corrupt(self.path, format!("{what} is not valid UTF-8")))
+    }
+
+    /// Require that every byte has been consumed (trailing garbage is
+    /// corruption, not padding).
+    pub fn finish(&self, what: &'static str) -> Result<(), StoreError> {
+        if self.remaining() != 0 {
+            return Err(StoreError::corrupt(
+                self.path,
+                format!("{} trailing bytes after {what}", self.remaining()),
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc64_known_vectors() {
+        // CRC-64/XZ check value for "123456789".
+        assert_eq!(crc64(b"123456789"), 0x995D_C9BB_DF19_39FA);
+        assert_eq!(crc64(b""), 0);
+        assert_ne!(crc64(b"a"), crc64(b"b"));
+    }
+
+    #[test]
+    fn crc64_catches_single_bit_flips() {
+        let data = b"the quick brown fox jumps over the lazy dog".to_vec();
+        let clean = crc64(&data);
+        for byte in 0..data.len() {
+            for bit in 0..8 {
+                let mut flipped = data.clone();
+                flipped[byte] ^= 1 << bit;
+                assert_ne!(crc64(&flipped), clean, "missed flip at {byte}.{bit}");
+            }
+        }
+    }
+
+    #[test]
+    fn cursor_reads_back_writes() {
+        let mut buf = Vec::new();
+        put_u16(&mut buf, 0xBEEF);
+        put_u32(&mut buf, 0xDEAD_1234);
+        put_u64(&mut buf, 42);
+        put_str(&mut buf, "carbon");
+        let path = Path::new("x");
+        let mut c = Cursor::new(&buf, path);
+        assert_eq!(c.u16("a").unwrap(), 0xBEEF);
+        assert_eq!(c.u32("b").unwrap(), 0xDEAD_1234);
+        assert_eq!(c.u64("c").unwrap(), 42);
+        assert_eq!(c.str("d").unwrap(), "carbon");
+        assert!(c.finish("record").is_ok());
+    }
+
+    #[test]
+    fn cursor_truncation_is_structured() {
+        let path = Path::new("short.bin");
+        let mut c = Cursor::new(&[1, 2, 3], path);
+        let e = c.u32("graph count").unwrap_err();
+        match e {
+            StoreError::Truncated {
+                what,
+                needed,
+                available,
+                ..
+            } => {
+                assert_eq!(what, "graph count");
+                assert_eq!(needed, 4);
+                assert_eq!(available, 3);
+            }
+            other => panic!("wrong error: {other}"),
+        }
+    }
+
+    #[test]
+    fn cursor_rejects_trailing_garbage() {
+        let path = Path::new("x");
+        let c = Cursor::new(&[0, 0], path);
+        assert!(matches!(
+            c.finish("header").unwrap_err(),
+            StoreError::Corrupt { .. }
+        ));
+    }
+}

@@ -1,0 +1,44 @@
+//! Durable sharded on-disk store for GraphSig transaction databases.
+//!
+//! A store is a directory holding fixed-size binary shards
+//! (`shard-NNNNN.gss`, each with a checksummed payload of graphs) and a
+//! versioned manifest (`MANIFEST.gsm`) that carries the global label table
+//! and lists every shard with its gid range, length, and checksum.
+//!
+//! The crate makes three promises:
+//!
+//! 1. **Crash-safe ingestion.** [`pack`] and [`append`] write every file to
+//!    a temp sibling, fsync, and atomically rename — shards first, manifest
+//!    last. A crash at any instant recovers to the last committed manifest;
+//!    torn temps are swept and orphaned shards reported on the next open.
+//! 2. **Total readers.** Arbitrary bytes fed to [`decode_shard`] or
+//!    [`Manifest::decode`], and arbitrary directory states fed to the
+//!    openers, produce exactly one structured [`StoreError`] or a valid
+//!    value. No code path panics on untrusted input.
+//! 3. **Degraded-mode serving.** [`open_lenient`] quarantines damaged
+//!    shards (renamed aside, reasons recorded in [`StoreReport`]) and
+//!    returns the surviving graphs, so a resident server keeps answering
+//!    queries while an operator restores the rest.
+//!
+//! Because the manifest preserves the label table in interned-id order,
+//! mining over an opened store is byte-identical to mining the original
+//! text input. See DESIGN.md §5f for the full format grammar and protocol.
+
+mod error;
+mod format;
+mod manifest;
+mod shard;
+mod store;
+
+pub use error::StoreError;
+pub use format::crc64;
+pub use manifest::{Manifest, ShardMeta, MANIFEST_MAGIC, MANIFEST_NAME, MANIFEST_VERSION};
+pub use shard::{
+    decode_shard, encode_shard, DecodedShard, LabelLimits, SHARD_HEADER_LEN, SHARD_MAGIC,
+    SHARD_VERSION,
+};
+pub use store::{
+    append, open_lenient, open_strict, pack, read_manifest, verify, LoadedShard, OpenedStore,
+    PackSummary, QuarantinedShard, ShardStatus, StoreReport, VerifyReport, DEFAULT_SHARD_SIZE,
+    QUARANTINE_SUFFIX, SHARD_EXT, TMP_SUFFIX,
+};

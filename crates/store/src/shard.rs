@@ -1,0 +1,322 @@
+//! The shard file: a fixed-size run of graphs, independently verifiable.
+//!
+//! ```text
+//! shard    := magic version graph_count gid_start payload_len crc payload
+//! magic    := "GSIGSHRD"                      ; 8 bytes
+//! version  := u32                             ; format version, currently 1
+//! graph_count := u32                          ; graphs in the payload
+//! gid_start   := u64                          ; database gid of the first graph
+//! payload_len := u64                          ; bytes of payload that follow
+//! crc      := u64                             ; CRC-64/XZ of the 32 header
+//!                                             ; bytes before it + the payload
+//! payload  := graph*
+//! graph    := node_count:u32 edge_count:u32 node_label:u16* edge*
+//! edge     := u:u32 v:u32 label:u16
+//! ```
+//!
+//! All integers little-endian. Labels are numeric ids into the store
+//! manifest's label table (shards never carry strings). The decoder is
+//! total: truncation, impossible lengths, dangling endpoints, self-loops,
+//! duplicate edges, and label ids past the declared table all come back as
+//! structured [`StoreError`]s.
+
+use std::path::Path;
+
+use graphsig_graph::{Graph, GraphBuilder};
+
+use crate::error::StoreError;
+use crate::format::{crc64_parts, put_u16, put_u32, put_u64, Cursor};
+
+/// The 8 magic bytes opening every shard file.
+pub const SHARD_MAGIC: &[u8; 8] = b"GSIGSHRD";
+/// Highest shard format version this build reads and the one it writes.
+pub const SHARD_VERSION: u32 = 1;
+/// Fixed header size: magic + version + graph_count + gid_start +
+/// payload_len + payload_crc.
+pub const SHARD_HEADER_LEN: usize = 8 + 4 + 4 + 8 + 8 + 8;
+
+/// Label-id ceilings from the manifest's table; decoding rejects ids at or
+/// past them. Use [`LabelLimits::unchecked`] when no manifest is in play
+/// (fuzzing, standalone inspection).
+#[derive(Debug, Clone, Copy)]
+pub struct LabelLimits {
+    /// Number of node labels in the table (valid ids are `0..node`).
+    pub node: u16,
+    /// Number of edge labels in the table (valid ids are `0..edge`).
+    pub edge: u16,
+}
+
+impl LabelLimits {
+    /// Accept any label id (structure-only validation).
+    pub fn unchecked() -> Self {
+        LabelLimits {
+            node: u16::MAX,
+            edge: u16::MAX,
+        }
+    }
+}
+
+/// A decoded shard: header fields plus the validated graphs.
+#[derive(Debug)]
+pub struct DecodedShard {
+    /// Database gid of the first graph in this shard.
+    pub gid_start: u64,
+    /// The graphs, shard-local order.
+    pub graphs: Vec<Graph>,
+}
+
+/// Encode `graphs` as a complete shard file (header + payload).
+pub fn encode_shard(graphs: &[Graph], gid_start: u64) -> Vec<u8> {
+    let mut payload = Vec::new();
+    for g in graphs {
+        put_u32(&mut payload, g.node_count() as u32);
+        put_u32(&mut payload, g.edge_count() as u32);
+        for &l in g.node_labels() {
+            put_u16(&mut payload, l);
+        }
+        for e in g.edges() {
+            put_u32(&mut payload, e.u);
+            put_u32(&mut payload, e.v);
+            put_u16(&mut payload, e.label);
+        }
+    }
+    let mut out = Vec::with_capacity(SHARD_HEADER_LEN + payload.len());
+    out.extend_from_slice(SHARD_MAGIC);
+    put_u32(&mut out, SHARD_VERSION);
+    put_u32(&mut out, graphs.len() as u32);
+    put_u64(&mut out, gid_start);
+    put_u64(&mut out, payload.len() as u64);
+    // Seal the header fields together with the payload so a flip anywhere
+    // in the file (a version downgrade, a moved gid range) is caught.
+    let crc = crc64_parts(&[&out, &payload]);
+    put_u64(&mut out, crc);
+    out.extend_from_slice(&payload);
+    out
+}
+
+/// Decode and fully validate one shard file. Total over arbitrary bytes.
+pub fn decode_shard(
+    bytes: &[u8],
+    path: &Path,
+    limits: LabelLimits,
+) -> Result<DecodedShard, StoreError> {
+    let mut c = Cursor::new(bytes, path);
+    let magic = c.take(8, "magic")?;
+    if magic != SHARD_MAGIC {
+        return Err(StoreError::BadMagic {
+            path: path.to_path_buf(),
+            found: magic.to_vec(),
+        });
+    }
+    let version = c.u32("format version")?;
+    if version > SHARD_VERSION {
+        return Err(StoreError::UnsupportedVersion {
+            path: path.to_path_buf(),
+            version,
+            supported: SHARD_VERSION,
+        });
+    }
+    let graph_count = c.u32("graph count")? as usize;
+    let gid_start = c.u64("gid start")?;
+    let payload_len = c.u64("payload length")?;
+    let shard_crc = c.u64("checksum")?;
+    if payload_len != c.remaining() as u64 {
+        // Too short is a torn write; too long is an impossible length —
+        // either way the declared payload does not match the file.
+        return Err(StoreError::Truncated {
+            path: path.to_path_buf(),
+            what: "payload",
+            needed: payload_len as usize,
+            available: c.remaining(),
+        });
+    }
+    let payload = c.take(payload_len as usize, "payload")?;
+    let actual = crc64_parts(&[&bytes[..SHARD_HEADER_LEN - 8], payload]);
+    if actual != shard_crc {
+        return Err(StoreError::ChecksumMismatch {
+            path: path.to_path_buf(),
+            expected: shard_crc,
+            actual,
+        });
+    }
+    // Each graph record is at least 8 bytes; a count promising more is an
+    // impossible length caught before any allocation.
+    if graph_count > payload.len() / 8 + 1 {
+        return Err(StoreError::corrupt(
+            path,
+            format!(
+                "graph count {graph_count} cannot fit in {} payload bytes",
+                payload.len()
+            ),
+        ));
+    }
+    let mut p = Cursor::new(payload, path);
+    let mut graphs = Vec::with_capacity(graph_count);
+    for gi in 0..graph_count {
+        graphs.push(decode_graph(&mut p, path, limits, gi)?);
+    }
+    p.finish("graphs")?;
+    Ok(DecodedShard { gid_start, graphs })
+}
+
+fn decode_graph(
+    p: &mut Cursor<'_>,
+    path: &Path,
+    limits: LabelLimits,
+    gi: usize,
+) -> Result<Graph, StoreError> {
+    let node_count = p.u32("node count")? as usize;
+    let edge_count = p.u32("edge count")? as usize;
+    // Reject impossible lengths before allocating or reading.
+    if node_count * 2 > p.remaining() {
+        return Err(StoreError::corrupt(
+            path,
+            format!(
+                "graph {gi}: node count {node_count} cannot fit in {} remaining bytes",
+                p.remaining()
+            ),
+        ));
+    }
+    if edge_count * 10 > p.remaining().saturating_sub(node_count * 2) {
+        return Err(StoreError::corrupt(
+            path,
+            format!(
+                "graph {gi}: edge count {edge_count} cannot fit in {} remaining bytes",
+                p.remaining()
+            ),
+        ));
+    }
+    let mut b = GraphBuilder::with_capacity(node_count, edge_count);
+    for n in 0..node_count {
+        let l = p.u16("node label")?;
+        if l >= limits.node {
+            return Err(StoreError::corrupt(
+                path,
+                format!(
+                    "graph {gi} node {n}: label {l} past table of {}",
+                    limits.node
+                ),
+            ));
+        }
+        b.add_node(l);
+    }
+    let mut seen = std::collections::HashSet::with_capacity(edge_count);
+    for ei in 0..edge_count {
+        let u = p.u32("edge endpoint")?;
+        let v = p.u32("edge endpoint")?;
+        let l = p.u16("edge label")?;
+        if (u as usize) >= node_count || (v as usize) >= node_count {
+            return Err(StoreError::corrupt(
+                path,
+                format!("graph {gi} edge {ei}: endpoint out of range ({u}, {v})"),
+            ));
+        }
+        if u == v {
+            return Err(StoreError::corrupt(
+                path,
+                format!("graph {gi} edge {ei}: self-loop on node {u}"),
+            ));
+        }
+        if !seen.insert((u.min(v), u.max(v))) {
+            return Err(StoreError::corrupt(
+                path,
+                format!("graph {gi} edge {ei}: duplicate edge ({u}, {v})"),
+            ));
+        }
+        if l >= limits.edge {
+            return Err(StoreError::corrupt(
+                path,
+                format!(
+                    "graph {gi} edge {ei}: label {l} past table of {}",
+                    limits.edge
+                ),
+            ));
+        }
+        b.add_edge(u, v, l);
+    }
+    Ok(b.build())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphsig_graph::parse_transactions;
+
+    fn sample_graphs() -> Vec<Graph> {
+        parse_transactions(
+            "t # 0\nv 0 C\nv 1 O\ne 0 1 s\n\
+             t # 1\nv 0 C\nv 1 C\nv 2 N\ne 0 1 s\ne 1 2 d\n",
+        )
+        .unwrap()
+        .graphs()
+        .to_vec()
+    }
+
+    #[test]
+    fn roundtrip() {
+        let graphs = sample_graphs();
+        let bytes = encode_shard(&graphs, 7);
+        let d = decode_shard(&bytes, Path::new("s"), LabelLimits { node: 3, edge: 2 }).unwrap();
+        assert_eq!(d.gid_start, 7);
+        assert_eq!(d.graphs, graphs);
+    }
+
+    #[test]
+    fn empty_shard_roundtrips() {
+        let bytes = encode_shard(&[], 0);
+        assert_eq!(bytes.len(), SHARD_HEADER_LEN);
+        let d = decode_shard(&bytes, Path::new("s"), LabelLimits::unchecked()).unwrap();
+        assert!(d.graphs.is_empty());
+    }
+
+    #[test]
+    fn truncation_at_every_length_is_structured() {
+        let bytes = encode_shard(&sample_graphs(), 0);
+        for len in 0..bytes.len() {
+            let e = decode_shard(&bytes[..len], Path::new("s"), LabelLimits::unchecked())
+                .expect_err("truncated shard must not decode");
+            assert!(!e.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn every_single_bit_flip_is_caught() {
+        let bytes = encode_shard(&sample_graphs(), 3);
+        for byte in 0..bytes.len() {
+            for bit in 0..8 {
+                let mut bad = bytes.clone();
+                bad[byte] ^= 1 << bit;
+                // The checksum covers header and payload alike, so every
+                // flip — including version downgrades and gid moves — is
+                // one structured error.
+                let e = decode_shard(&bad, Path::new("s"), LabelLimits::unchecked())
+                    .expect_err(&format!("undetected flip at {byte}.{bit}"));
+                assert!(!e.to_string().is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn label_limits_are_enforced() {
+        let bytes = encode_shard(&sample_graphs(), 0);
+        let e = decode_shard(&bytes, Path::new("s"), LabelLimits { node: 1, edge: 2 }).unwrap_err();
+        assert!(matches!(e, StoreError::Corrupt { .. }), "{e}");
+        assert!(e.to_string().contains("past table"), "{e}");
+    }
+
+    #[test]
+    fn bad_magic_and_future_version() {
+        let mut bytes = encode_shard(&[], 0);
+        bytes[0] = b'X';
+        assert!(matches!(
+            decode_shard(&bytes, Path::new("s"), LabelLimits::unchecked()).unwrap_err(),
+            StoreError::BadMagic { .. }
+        ));
+        let mut bytes = encode_shard(&[], 0);
+        bytes[8..12].copy_from_slice(&99u32.to_le_bytes());
+        assert!(matches!(
+            decode_shard(&bytes, Path::new("s"), LabelLimits::unchecked()).unwrap_err(),
+            StoreError::UnsupportedVersion { version: 99, .. }
+        ));
+    }
+}

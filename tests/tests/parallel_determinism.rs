@@ -251,6 +251,46 @@ fn injected_panic_yields_structured_error_at_every_thread_count() {
 }
 
 #[test]
+fn packed_store_mines_byte_identical_to_text_at_any_thread_count() {
+    // The durable store must be invisible too: mining a database loaded
+    // from a packed+sharded store must render the exact bytes of mining
+    // the same database loaded from text — at every thread count. This is
+    // the end-to-end guarantee that the manifest's global label table
+    // reproduces the text parse's interning order.
+    use graphsig_graph::{parse_transactions, write_transactions};
+
+    let db = aids_like(120, 77).db;
+    let text = write_transactions(&db);
+    let db_text = parse_transactions(&text).expect("text roundtrip parses");
+
+    let dir = std::env::temp_dir().join(format!(
+        "graphsig_parallel_det_store_{}",
+        std::process::id()
+    ));
+    std::fs::remove_dir_all(&dir).ok();
+    graphsig_store::pack(&dir, &db_text, 16).expect("pack");
+    let opened = graphsig_store::open_strict(&dir).expect("open");
+    std::fs::remove_dir_all(&dir).ok();
+    assert!(opened.shards.len() > 1, "test needs a sharded store");
+
+    let baseline = GraphSig::new(cfg(1, FsmBackend::Fsg)).mine(&db_text);
+    let baseline_bytes = graphsig_core::render_subgraphs(&db_text, &baseline, usize::MAX);
+    assert!(
+        !baseline.subgraphs.is_empty(),
+        "workload must actually mine something for the test to mean anything"
+    );
+    for threads in [1, 2, 4, 8] {
+        let r = GraphSig::new(cfg(threads, FsmBackend::Fsg)).mine(&opened.db);
+        assert_identical(&baseline, &r, &format!("packed threads={threads}"));
+        assert_eq!(
+            graphsig_core::render_subgraphs(&opened.db, &r, usize::MAX),
+            baseline_bytes,
+            "packed-store mine output differs from text at threads={threads}"
+        );
+    }
+}
+
+#[test]
 fn prepared_reuse_is_identical_across_thread_counts() {
     // The RWR pass is computed once under one thread count and the rest of
     // the pipeline re-run under others — mixing `prepare` and
