@@ -24,7 +24,9 @@ use std::time::{Duration, Instant};
 use graphsig_bench::{secs, Cli};
 use graphsig_core::resolve_threads;
 use graphsig_server::protocol::parse_response_stream;
-use graphsig_server::{shared_writer, ResponseHeader, Server, ServerConfig, SharedWriter, Status};
+use graphsig_server::{
+    shared_writer, ResponseHeader, Server, ServerConfig, SharedWriter, Status, TransportConfig,
+};
 
 /// Response sink shared with the server's workers.
 #[derive(Clone, Default)]
@@ -66,6 +68,72 @@ fn roundtrip(
     server.dispatch_line(line, out);
     let (h, body) = wait_response(sink, id);
     (h, body, start.elapsed())
+}
+
+/// A blocking line-protocol client over TCP for the transport phase.
+struct TcpClient {
+    stream: std::net::TcpStream,
+    buf: Vec<u8>,
+}
+
+impl TcpClient {
+    fn connect(addr: std::net::SocketAddr) -> Self {
+        let stream = std::net::TcpStream::connect(addr).expect("connect");
+        stream
+            .set_read_timeout(Some(Duration::from_millis(50)))
+            .expect("read timeout");
+        Self {
+            stream,
+            buf: Vec::new(),
+        }
+    }
+
+    /// Send one request line and block until the response with `id`
+    /// arrives on this connection.
+    fn roundtrip(&mut self, line: &str, id: &str) -> (ResponseHeader, Vec<u8>) {
+        use std::io::{Read as _, Write as _};
+        self.stream.write_all(line.as_bytes()).expect("send");
+        self.stream.write_all(b"\n").expect("send newline");
+        let deadline = Instant::now() + Duration::from_secs(600);
+        let mut chunk = [0u8; 16 * 1024];
+        loop {
+            if let Ok(responses) = parse_response_stream(&self.buf) {
+                if let Some(found) = responses.into_iter().find(|(h, _)| h.id == id) {
+                    return found;
+                }
+            }
+            assert!(Instant::now() < deadline, "no tcp response for {id}");
+            match self.stream.read(&mut chunk) {
+                Ok(0) => std::thread::sleep(Duration::from_millis(1)),
+                Ok(n) => self.buf.extend_from_slice(&chunk[..n]),
+                Err(e)
+                    if e.kind() == std::io::ErrorKind::WouldBlock
+                        || e.kind() == std::io::ErrorKind::TimedOut => {}
+                Err(e) => panic!("tcp read failed: {e}"),
+            }
+        }
+    }
+}
+
+/// OS threads in this process (`/proc/self/status`), or 0 off-linux.
+fn os_threads() -> usize {
+    std::fs::read_to_string("/proc/self/status")
+        .ok()
+        .and_then(|s| {
+            s.lines()
+                .find(|l| l.starts_with("Threads:"))
+                .and_then(|l| l.split_whitespace().nth(1))
+                .and_then(|v| v.parse().ok())
+        })
+        .unwrap_or(0)
+}
+
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((p / 100.0) * (sorted.len() - 1) as f64).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
 }
 
 fn main() -> ExitCode {
@@ -170,6 +238,111 @@ fn main() -> ExitCode {
     wait_response(&sink, "bye");
     server.join();
 
+    // Event-driven TCP transport phase: one readiness loop, a fixed
+    // worker pool, and 100+ real socket clients. Idle connections must
+    // cost no thread, identical concurrent mines must coalesce, and the
+    // byte contract must hold end-to-end through the transport.
+    let tcp_clients = if cli.smoke { 12 } else { 110 };
+    let tcp_per_client = if cli.smoke { 2 } else { 3 };
+    let idle_conns = 110;
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().expect("local addr");
+    let tcp_server = Server::new(ServerConfig {
+        workers: 4,
+        queue_capacity: 1024,
+        ..ServerConfig::default()
+    });
+    let transport = std::thread::spawn(move || {
+        graphsig_server::transport::serve(listener, &tcp_server, TransportConfig::default())
+            .expect("transport loop");
+        tcp_server.join();
+    });
+
+    let mut c0 = TcpClient::connect(addr);
+    let (h, _) = c0.roundtrip(
+        &format!(
+            "load id=load dataset=d gen=aids count={n} seed={}",
+            cli.seed
+        ),
+        "load",
+    );
+    assert_eq!(h.status, Status::Ok, "tcp load failed: {h:?}");
+    let (h, tcp_solo_body) = c0.roundtrip(&format!("{mine} id=tsolo"), "tsolo");
+    assert_eq!(h.status, Status::Ok, "tcp solo mine failed: {h:?}");
+
+    // Idle connections: open them, give the readiness loop a beat to
+    // accept, and confirm the process grew no threads for them.
+    let threads_before = os_threads();
+    let idle: Vec<TcpClient> = (0..idle_conns).map(|_| TcpClient::connect(addr)).collect();
+    let mut ping = TcpClient::connect(addr);
+    ping.roundtrip("ping id=settle", "settle"); // all earlier accepts done
+    let threads_after = os_threads();
+    let idle_thread_delta = threads_after.saturating_sub(threads_before);
+    println!(
+        "tcp: {idle_conns} idle connections cost {idle_thread_delta} thread(s) \
+         ({threads_before} -> {threads_after})"
+    );
+    assert_eq!(
+        idle_thread_delta, 0,
+        "idle connections must not spawn threads"
+    );
+
+    // Active clients: each its own socket, identical warm mines — the
+    // latency distribution is the price of admission (queueing + framing),
+    // not mining.
+    let latencies: Mutex<Vec<f64>> = Mutex::new(Vec::new());
+    let tcp_start = Instant::now();
+    std::thread::scope(|s| {
+        for c in 0..tcp_clients {
+            let latencies = &latencies;
+            let tcp_solo_body = &tcp_solo_body;
+            s.spawn(move || {
+                let mut client = TcpClient::connect(addr);
+                let mut local = Vec::with_capacity(tcp_per_client);
+                for r in 0..tcp_per_client {
+                    let id = format!("t{c}r{r}");
+                    let start = Instant::now();
+                    let (h, body) = client.roundtrip(&format!("{mine} id={id}"), &id);
+                    local.push(secs(start.elapsed()) * 1e3);
+                    assert_eq!(h.status, Status::Ok, "tcp {id} failed: {h:?}");
+                    assert!(
+                        &body == tcp_solo_body,
+                        "tcp {id}: concurrent mine differs from solo bytes"
+                    );
+                }
+                latencies.lock().expect("latencies").extend(local);
+            });
+        }
+    });
+    let tcp_t = tcp_start.elapsed();
+    let tcp_total = tcp_clients * tcp_per_client;
+    let tcp_throughput = tcp_total as f64 / secs(tcp_t).max(1e-9);
+    let mut sorted = latencies.into_inner().expect("latencies");
+    sorted.sort_by(|a, b| a.total_cmp(b));
+    let (tcp_p50, tcp_p99) = (percentile(&sorted, 50.0), percentile(&sorted, 99.0));
+    println!(
+        "tcp: {tcp_total} requests from {tcp_clients} clients in {}s \
+         ({tcp_throughput:.1} req/s, p50 {tcp_p50:.2}ms, p99 {tcp_p99:.2}ms)",
+        secs(tcp_t)
+    );
+
+    let (h, _) = c0.roundtrip("stats id=tstats", "tstats");
+    let stat = |k: &str| -> u64 { h.field(k).and_then(|v| v.parse().ok()).unwrap_or(0) };
+    let (tcp_leads, tcp_riders) = (stat("coalesce_leads"), stat("coalesce_riders"));
+    println!(
+        "tcp: coalesce {tcp_leads} lead(s) / {tcp_riders} rider(s), \
+         {} served, {} busy-rejected",
+        stat("served"),
+        stat("busy_rejected")
+    );
+    assert_eq!(stat("busy_rejected"), 0, "tcp bench should never see busy");
+
+    let (h, _) = c0.roundtrip("shutdown id=tbye", "tbye");
+    assert_eq!(h.status, Status::Ok, "tcp shutdown failed: {h:?}");
+    drop(ping);
+    drop(idle);
+    transport.join().expect("transport thread");
+
     // Durable-store path on the same dataset: pack it, then time the two
     // operations a restarting server actually pays — open and verify.
     let db = graphsig_datagen::aids_like(n, cli.seed).db;
@@ -202,8 +375,9 @@ fn main() -> ExitCode {
 
     if cli.smoke {
         println!(
-            "smoke: OK (warm bytes identical, all requests answered, store round-trips, \
-             nothing written)"
+            "smoke: OK (warm bytes identical, all requests answered, {idle_conns} idle \
+             connections threadless, {tcp_total} tcp requests byte-identical, store \
+             round-trips, nothing written)"
         );
         return ExitCode::SUCCESS;
     }
@@ -226,6 +400,16 @@ fn main() -> ExitCode {
     let _ = writeln!(json, "  \"sweep_requests\": {total},");
     let _ = writeln!(json, "  \"sweep_s\": {},", secs(sweep_t));
     let _ = writeln!(json, "  \"sweep_req_per_s\": {throughput:.3},");
+    let _ = writeln!(json, "  \"tcp_clients\": {tcp_clients},");
+    let _ = writeln!(json, "  \"tcp_requests\": {tcp_total},");
+    let _ = writeln!(json, "  \"tcp_s\": {},", secs(tcp_t));
+    let _ = writeln!(json, "  \"tcp_req_per_s\": {tcp_throughput:.3},");
+    let _ = writeln!(json, "  \"tcp_p50_ms\": {tcp_p50:.3},");
+    let _ = writeln!(json, "  \"tcp_p99_ms\": {tcp_p99:.3},");
+    let _ = writeln!(json, "  \"tcp_coalesce_leads\": {tcp_leads},");
+    let _ = writeln!(json, "  \"tcp_coalesce_riders\": {tcp_riders},");
+    let _ = writeln!(json, "  \"idle_conns\": {idle_conns},");
+    let _ = writeln!(json, "  \"idle_thread_delta\": {idle_thread_delta},");
     let _ = writeln!(json, "  \"store_shards\": {},", packed.shards_written);
     let _ = writeln!(json, "  \"store_bytes\": {},", packed.bytes_written);
     let _ = writeln!(json, "  \"store_pack_s\": {},", secs(store_pack_t));

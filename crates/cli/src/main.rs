@@ -22,7 +22,7 @@ use std::time::Duration;
 use graphsig_classify::{GraphSigClassifier, KnnConfig};
 use graphsig_core::{Budget, GraphSig, GraphSigConfig};
 use graphsig_graph::{parse_transactions, parse_transactions_into, write_transactions, GraphDb};
-use graphsig_server::{Server, ServerConfig};
+use graphsig_server::{Server, ServerConfig, TransportConfig};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -70,9 +70,14 @@ fn print_usage() {
          \x20                      P388 PC-3 SF-295 SN12C SW-620 UACC-257 Yeast)\n\
          \x20 graphsig serve [--tcp ADDR] [--workers N] [--queue N] [--default-timeout-ms MS]\n\
          \x20                      [--max-timeout-ms MS] [--max-steps-ceiling N]\n\
-         \x20                      [--drain-ms MS] [--allow-inject] [--smoke]\n\
+         \x20                      [--drain-ms MS] [--max-conns N] [--max-write-buf BYTES]\n\
+         \x20                      [--allow-inject] [--smoke]\n\
          \x20                      (keeps datasets resident; line protocol on stdio, or TCP\n\
-         \x20                       with --tcp; --smoke runs the fault-injection self-test)\n\
+         \x20                       with --tcp — one event loop serves every connection, so\n\
+         \x20                       identical concurrent mines coalesce into one run;\n\
+         \x20                       --max-conns caps accepted connections, --max-write-buf\n\
+         \x20                       bounds per-client response buffering before disconnect;\n\
+         \x20                       --smoke runs the fault-injection self-test)\n\
          \x20 graphsig pack <file> <dir> [--shard-size N] [--append]\n\
          \x20                      (write a checksummed sharded binary store; --append adds\n\
          \x20                       the file's graphs to an existing store atomically)\n\
@@ -242,7 +247,7 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         .collect();
     let (mut tcp, mut workers, mut queue) = (None, None, None);
     let (mut default_timeout_ms, mut max_timeout_ms, mut max_steps_ceiling) = (None, None, None);
-    let mut drain_ms = None;
+    let (mut drain_ms, mut max_conns, mut max_write_buf) = (None, None, None);
     let positional = take_flags(
         &rest,
         &mut [
@@ -253,6 +258,8 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
             ("--max-timeout-ms", &mut max_timeout_ms),
             ("--max-steps-ceiling", &mut max_steps_ceiling),
             ("--drain-ms", &mut drain_ms),
+            ("--max-conns", &mut max_conns),
+            ("--max-write-buf", &mut max_write_buf),
         ],
     )?;
     if !positional.is_empty() {
@@ -275,8 +282,22 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         drain_ms: parse_or(&drain_ms, defaults.drain_ms, "--drain-ms")?,
         allow_inject,
     };
+    let transport_defaults = TransportConfig::default();
+    let transport = TransportConfig {
+        max_connections: parse_or(
+            &max_conns,
+            transport_defaults.max_connections,
+            "--max-conns",
+        )?,
+        max_write_buf: parse_or(
+            &max_write_buf,
+            transport_defaults.max_write_buf,
+            "--max-write-buf",
+        )?,
+        ..transport_defaults
+    };
     match tcp {
-        Some(addr) => serve_tcp(&addr, cfg),
+        Some(addr) => serve_tcp(&addr, cfg, transport),
         None => {
             // stdio transport: requests on stdin, responses on stdout,
             // diagnostics on stderr. EOF without a `shutdown` request
@@ -293,47 +314,23 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     }
 }
 
-/// TCP transport: one reader thread per connection against the shared
-/// server. The accept loop polls so a `shutdown` request (from any
-/// connection) stops it.
-fn serve_tcp(addr: &str, cfg: ServerConfig) -> Result<(), String> {
+/// TCP transport: one event-driven readiness loop multiplexes every
+/// connection against the shared server (no thread per connection — idle
+/// clients cost a file descriptor, not a stack). See
+/// `graphsig_server::transport` for the state machine and the
+/// per-connection backpressure policy.
+fn serve_tcp(addr: &str, cfg: ServerConfig, transport: TransportConfig) -> Result<(), String> {
     let listener =
         std::net::TcpListener::bind(addr).map_err(|e| format!("cannot bind {addr}: {e}"))?;
-    listener
-        .set_nonblocking(true)
-        .map_err(|e| format!("cannot poll {addr}: {e}"))?;
     let local = listener
         .local_addr()
         .map(|a| a.to_string())
         .unwrap_or_else(|_| addr.to_string());
     eprintln!("graphsig serve: listening on {local}");
-    let server = Arc::new(Server::new(cfg));
-    while !server.is_terminated() {
-        match listener.accept() {
-            Ok((stream, peer)) => {
-                eprintln!("graphsig serve: connection from {peer}");
-                let reader = stream
-                    .try_clone()
-                    .map_err(|e| format!("cannot clone connection: {e}"))?;
-                let server = Arc::clone(&server);
-                // Detached: an idle connection held open past shutdown
-                // must not keep the process alive. Once the server is
-                // terminated every request it sends is rejected anyway.
-                std::thread::spawn(move || {
-                    let out = graphsig_server::shared_writer(stream);
-                    server.serve_connection(std::io::BufReader::new(reader), out);
-                });
-            }
-            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                std::thread::sleep(Duration::from_millis(25));
-            }
-            Err(e) => return Err(format!("accept on {local} failed: {e}")),
-        }
-    }
-    drop(listener);
-    if let Ok(server) = Arc::try_unwrap(server) {
-        server.join();
-    }
+    let server = Server::new(cfg);
+    graphsig_server::transport::serve(listener, &server, transport)
+        .map_err(|e| format!("transport on {local} failed: {e}"))?;
+    server.join();
     Ok(())
 }
 

@@ -2,7 +2,7 @@
 //! stdio: mine responses must be byte-identical to the one-shot CLI,
 //! warm requests must hit the shared cache, and EOF must drain cleanly.
 
-use std::io::{Read, Write};
+use std::io::{BufRead, Read, Write};
 use std::process::{Command, Stdio};
 
 use graphsig_server::protocol::parse_response_stream;
@@ -268,6 +268,275 @@ fn degraded_store_still_serves_and_says_so() {
     let (s, _) = response(&responses, "S");
     assert_eq!(s.field("degraded"), Some("1/4"), "{s:?}");
     assert_eq!(s.field("quarantined"), Some("1"));
+}
+
+/// Pack `n` aids-like graphs (seed `seed`) into `store` with 16-graph
+/// shards, returning the path of the text file that fed the pack.
+fn pack_store(dir: &std::path::Path, name: &str, n: u32, seed: u32) -> std::path::PathBuf {
+    let gen = graphsig()
+        .args([
+            "generate",
+            "aids",
+            &n.to_string(),
+            "--seed",
+            &seed.to_string(),
+        ])
+        .output()
+        .expect("generate");
+    assert!(gen.status.success());
+    let txt = dir.join(format!("{name}.txt"));
+    std::fs::write(&txt, &gen.stdout).expect("write text");
+    let store = dir.join(name);
+    let pack = graphsig()
+        .args([
+            "pack",
+            txt.to_str().expect("utf-8"),
+            store.to_str().expect("utf-8"),
+            "--shard-size",
+            "16",
+        ])
+        .output()
+        .expect("pack");
+    assert!(
+        pack.status.success(),
+        "pack failed: {}",
+        String::from_utf8_lossy(&pack.stderr)
+    );
+    store
+}
+
+#[test]
+fn append_preserves_degraded_state() {
+    // Regression: appending to a degraded packed dataset used to rebuild
+    // the store summary from the *append* request alone, silently clearing
+    // `degraded=K/N` (and quarantine counts) from every later response.
+    let dir = std::env::temp_dir().join(format!("graphsig-serve-appdeg-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let store = pack_store(&dir, "store", 64, 3);
+    let victim = store.join("shard-00002.gss");
+    let mut bytes = std::fs::read(&victim).expect("read shard");
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x10;
+    std::fs::write(&victim, &bytes).expect("corrupt shard");
+    let extra = graphsig()
+        .args(["generate", "aids", "20", "--seed", "9"])
+        .output()
+        .expect("generate extra");
+    assert!(extra.status.success());
+    let extra_txt = dir.join("extra.txt");
+    std::fs::write(&extra_txt, &extra.stdout).expect("write extra");
+
+    let script = format!(
+        "load id=L1 dataset=d path={} format=packed\n\
+         load id=L2 dataset=d path={} append=true\n\
+         mine id=m dataset=d min_freq=0.05 max_pvalue=0.05 radius=3\n\
+         stats id=S dataset=d\n",
+        store.to_str().expect("utf-8"),
+        extra_txt.to_str().expect("utf-8"),
+    );
+    let responses = serve_script(&[], &script);
+    std::fs::remove_dir_all(&dir).ok();
+
+    let (l1, _) = response(&responses, "L1");
+    assert_eq!(l1.field("degraded"), Some("1/4"), "{l1:?}");
+    // The append itself, and everything after it, must still say 1/4.
+    let (l2, _) = response(&responses, "L2");
+    assert_eq!(l2.status, Status::Ok, "{l2:?}");
+    assert_eq!(l2.field("graphs"), Some("68"), "48 survivors + 20 appended");
+    assert_eq!(
+        l2.field("degraded"),
+        Some("1/4"),
+        "append cleared the degraded flag: {l2:?}"
+    );
+    assert_eq!(l2.field("quarantined"), Some("1"), "{l2:?}");
+    let (m, _) = response(&responses, "m");
+    assert_eq!(m.field("degraded"), Some("1/4"), "{m:?}");
+    let (s, _) = response(&responses, "S");
+    assert_eq!(s.field("degraded"), Some("1/4"), "{s:?}");
+    assert_eq!(s.field("quarantined"), Some("1"));
+}
+
+#[test]
+fn packed_append_keeps_per_shard_segments() {
+    // Regression: a packed append used to collapse the appended store's
+    // shards into a single index slot, so lazy per-segment index builds
+    // lost their shard granularity (and `segments` undercounted).
+    let dir = std::env::temp_dir().join(format!("graphsig-serve-appseg-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let store_a = pack_store(&dir, "store-a", 60, 7); // 60/16 -> 4 shards
+    let store_b = pack_store(&dir, "store-b", 40, 8); // 40/16 -> 3 shards
+
+    let script = format!(
+        "load id=L1 dataset=d path={} format=packed\n\
+         load id=L2 dataset=d path={} format=packed append=true\n\
+         freq id=f dataset=d min_support=10 max_edges=4\n\
+         stats id=S dataset=d\n",
+        store_a.to_str().expect("utf-8"),
+        store_b.to_str().expect("utf-8"),
+    );
+    let responses = serve_script(&[], &script);
+    std::fs::remove_dir_all(&dir).ok();
+
+    let (l2, _) = response(&responses, "L2");
+    assert_eq!(l2.status, Status::Ok, "{l2:?}");
+    assert_eq!(l2.field("graphs"), Some("100"), "{l2:?}");
+    assert_eq!(l2.field("loaded"), Some("40"), "{l2:?}");
+    assert_eq!(l2.field("shards"), Some("7"), "4 + 3 manifest shards");
+    let (f, _) = response(&responses, "f");
+    assert_eq!(f.status, Status::Ok, "{f:?}");
+    let (s, _) = response(&responses, "S");
+    assert_eq!(s.field("graphs"), Some("100"), "{s:?}");
+    assert_eq!(
+        s.field("segments"),
+        Some("7"),
+        "appended shards must keep their own index slots: {s:?}"
+    );
+    assert_eq!(s.field("shards"), Some("7"), "{s:?}");
+}
+
+/// A line-protocol client over TCP: send request lines, collect framed
+/// responses until every expected id has answered.
+struct Client {
+    stream: std::net::TcpStream,
+    buf: Vec<u8>,
+}
+
+impl Client {
+    fn connect(addr: &str) -> Self {
+        let stream = std::net::TcpStream::connect(addr).expect("connect");
+        stream
+            .set_read_timeout(Some(std::time::Duration::from_millis(100)))
+            .expect("read timeout");
+        Self {
+            stream,
+            buf: Vec::new(),
+        }
+    }
+
+    fn send(&mut self, lines: &str) {
+        self.stream.write_all(lines.as_bytes()).expect("send");
+    }
+
+    fn wait(&mut self, ids: &[&str]) -> Vec<(ResponseHeader, Vec<u8>)> {
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(120);
+        let mut chunk = [0u8; 16 * 1024];
+        loop {
+            if let Ok(responses) = parse_response_stream(&self.buf) {
+                if ids
+                    .iter()
+                    .all(|id| responses.iter().any(|(h, _)| &h.id == id))
+                {
+                    return responses;
+                }
+            }
+            assert!(
+                std::time::Instant::now() < deadline,
+                "timed out waiting for {ids:?}; stream so far:\n{}",
+                String::from_utf8_lossy(&self.buf)
+            );
+            match self.stream.read(&mut chunk) {
+                Ok(0) => std::thread::sleep(std::time::Duration::from_millis(5)),
+                Ok(n) => self.buf.extend_from_slice(&chunk[..n]),
+                Err(e)
+                    if e.kind() == std::io::ErrorKind::WouldBlock
+                        || e.kind() == std::io::ErrorKind::TimedOut => {}
+                Err(e) => panic!("read failed: {e}"),
+            }
+        }
+    }
+}
+
+#[test]
+fn tcp_transport_serves_many_clients_with_exactly_one_response_each() {
+    // End-to-end over the event-driven TCP transport: one process, many
+    // concurrent client connections, mixed operations. Every request gets
+    // exactly one response on its own connection; identical concurrent
+    // mines (coalesced or not) are byte-identical to a solo mine; control
+    // requests stay responsive while a sweep occupies the workers.
+    let mut child = graphsig()
+        .args([
+            "serve",
+            "--tcp",
+            "127.0.0.1:0",
+            "--workers",
+            "4",
+            "--queue",
+            "64",
+        ])
+        .stdin(Stdio::null())
+        .stdout(Stdio::null())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn graphsig serve --tcp");
+    let mut banner = String::new();
+    std::io::BufReader::new(child.stderr.take().expect("piped stderr"))
+        .read_line(&mut banner)
+        .expect("read listen banner");
+    let addr = banner
+        .trim()
+        .rsplit("listening on ")
+        .next()
+        .expect("address in banner")
+        .to_string();
+
+    let mut c0 = Client::connect(&addr);
+    c0.send("load id=L dataset=d gen=aids count=80 seed=7\n");
+    let responses = c0.wait(&["L"]);
+    assert_eq!(response(&responses, "L").0.status, Status::Ok);
+    let mine = "mine dataset=d min_freq=0.05 max_pvalue=0.05 radius=3";
+    c0.send(&format!("{mine} id=solo\n"));
+    let responses = c0.wait(&["solo"]);
+    let (h, solo_body) = response(&responses, "solo");
+    assert_eq!(h.status, Status::Ok);
+    let solo_body = solo_body.clone();
+
+    // 8 concurrent clients, each on its own connection, each sending a
+    // ping, an identical mine, and a freq in one burst.
+    std::thread::scope(|s| {
+        for i in 0..8 {
+            let addr = &addr;
+            let solo_body = &solo_body;
+            s.spawn(move || {
+                let mut c = Client::connect(addr);
+                c.send(&format!(
+                    "ping id=p{i}\n{mine} id=w{i}\nfreq id=f{i} dataset=d min_support=20 max_edges=4\n"
+                ));
+                let (p, w, f) = (format!("p{i}"), format!("w{i}"), format!("f{i}"));
+                let responses = c.wait(&[&p, &w, &f]);
+                for id in [&p, &w, &f] {
+                    assert_eq!(
+                        responses.iter().filter(|(h, _)| &h.id == id).count(),
+                        1,
+                        "exactly one response for {id}"
+                    );
+                }
+                let (h, body) = response(&responses, &w);
+                assert_eq!(h.status, Status::Ok, "{h:?}");
+                assert_eq!(
+                    body, solo_body,
+                    "concurrent mine on client {i} differs from solo run"
+                );
+                assert_eq!(response(&responses, &f).0.status, Status::Ok);
+            });
+        }
+    });
+
+    // A sweep and a ping submitted back-to-back on one connection: the
+    // pong must arrive first — sweeps execute on workers, control
+    // requests answer inline from the transport loop.
+    c0.send("sweep id=s dataset=d supports=40,30,20,10 max_edges=5\nping id=pz\n");
+    let responses = c0.wait(&["s", "pz"]);
+    let pos = |id: &str| responses.iter().position(|(h, _)| h.id == id).expect(id);
+    assert!(pos("pz") < pos("s"), "ping starved behind a sweep");
+    assert_eq!(response(&responses, "s").0.status, Status::Ok);
+
+    c0.send("shutdown id=bye\n");
+    let responses = c0.wait(&["bye"]);
+    assert_eq!(response(&responses, "bye").0.status, Status::Ok);
+    let status = child.wait().expect("child exits");
+    assert!(status.success(), "serve must exit 0 after shutdown");
 }
 
 #[test]

@@ -58,6 +58,24 @@ impl PreparedKey {
     }
 }
 
+/// An opaque fingerprint of the window-pass parameters a config maps to —
+/// exactly the key [`PreparedCache`] memoizes on. Two configs with equal
+/// `WindowKey`s share one cached window pass, so a caller coalescing
+/// concurrent requests (see `graphsig-server`) can key its single-flight
+/// table on this and stay provably aligned with the cache: whatever
+/// coalesces would also have hit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct WindowKey(PreparedKey);
+
+impl WindowKey {
+    /// The window fingerprint of `cfg`. Threshold parameters (`max_pvalue`,
+    /// `min_freq`, `fsm_freq`) and thread count are deliberately absent,
+    /// same as the cache key itself.
+    pub fn of(cfg: &GraphSigConfig) -> Self {
+        WindowKey(PreparedKey::of(cfg))
+    }
+}
+
 /// How a request interacted with the cache.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum CacheDisposition {

@@ -19,7 +19,7 @@ pub enum WindowKind {
 
 /// Which frequent-subgraph miner runs on the region sets (Alg. 2 line 13).
 /// The paper uses FSG; gSpan is provided as a drop-in alternative.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum FsmBackend {
     /// Level-wise apriori miner (`graphsig-fsg`) — the paper's choice.
     Fsg,

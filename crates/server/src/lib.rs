@@ -6,7 +6,7 @@
 //! pipelines, `std::net::TcpListener` for network mode — see the
 //! `graphsig serve` subcommand).
 //!
-//! The two halves:
+//! The pieces:
 //!
 //! * [`protocol`] — the wire format: whitespace-separated `key=value`
 //!   request lines, `bytes=`-framed responses, percent escaping. Total
@@ -14,10 +14,16 @@
 //! * [`server`] — the engine: a bounded work queue with `busy`
 //!   load-shedding, per-request [`Budget`](graphsig_core::Budget)s and
 //!   [`CancelToken`](graphsig_core::CancelToken)s under server-enforced
-//!   ceilings, panic isolation per request, a shared
+//!   ceilings, panic isolation per request, single-flight coalescing of
+//!   identical concurrent `mine` runs (see `batch`), sweep segmentation
+//!   for scheduling fairness, a shared
 //!   [`PreparedCache`](graphsig_core::PreparedCache) +
 //!   [`LabelPairIndex`](graphsig_graph::LabelPairIndex) per dataset with
 //!   versioned invalidation on `load`, and graceful drain on shutdown.
+//! * [`transport`] — the event-driven TCP front end: one readiness loop
+//!   (`poll(2)`) multiplexes every connection, so idle connections cost a
+//!   file descriptor and a buffer, not a thread, and slow consumers are
+//!   bounded by per-connection write buffers instead of blocking workers.
 //!
 //! [`smoke::run`] is the fault-injection self-test CI gates on: mixed
 //! budgets under concurrency, an injected panic, a mid-flight
@@ -25,12 +31,15 @@
 //! request must resolve to a structured response with the server alive
 //! until the drain completes.
 
+pub(crate) mod batch;
 pub mod protocol;
 pub mod server;
 pub mod smoke;
+pub mod transport;
 
 pub use protocol::{
     escape, parse_request, parse_response_header, unescape, ProtocolError, Request, Response,
     ResponseHeader, Status,
 };
 pub use server::{shared_writer, Server, ServerConfig, ServerSnapshot, SharedWriter};
+pub use transport::TransportConfig;

@@ -1,5 +1,5 @@
 //! The resident mining service: bounded queue, worker pool, shared
-//! dataset cache, and graceful degradation.
+//! dataset cache, request coalescing, and graceful degradation.
 //!
 //! # Robustness policy
 //!
@@ -9,28 +9,61 @@
 //!   current depth, so a client can back off. Control messages (`ping`,
 //!   `cancel`, `shutdown`) never queue — they are handled on the reader
 //!   thread, so a saturated server can still be probed, cancelled into
-//!   headroom, or shut down.
+//!   headroom, or shut down. A busy-rejected request is never visible to
+//!   `cancel`: its token is registered only after the capacity check
+//!   admits it, so `found=true` always means "the server accepted this id".
 //! * **Per-request governance.** Every queued request carries its own
 //!   [`CancelToken`] and a [`Budget`] assembled from the request's
 //!   `timeout_ms`/`max_steps`, clamped by the server's ceilings. Deadlines
 //!   run from *submission*, so time spent queued counts — a request that
 //!   waited out its deadline returns `truncated (deadline exceeded)`
 //!   instead of silently mining stale work.
-//! * **Panic isolation.** The request handler runs under
+//! * **Request coalescing.** Concurrent `mine` requests over the same
+//!   dataset version with the same resolved config share one governed run
+//!   (single-flight, keyed on the [`WindowKey`](graphsig_core::WindowKey)
+//!   the `PreparedCache` memoizes on plus the threshold/backend knobs —
+//!   see [`crate::batch`]). The first request to reach a worker leads;
+//!   later identical requests attach as riders and *do not occupy a
+//!   worker*. Responses are byte-identical to solo runs (the pipeline is
+//!   deterministic for a fixed config; only the per-rider `top=` render
+//!   cap differs). Cancelling a rider detaches it immediately; the run is
+//!   cancelled only when its last rider cancels. Explicitly budgeted
+//!   requests (`timeout_ms`/`max_steps`) never coalesce — a step budget
+//!   is a determinism contract and a deadline anchors to its own
+//!   submission. `freq`/`sweep` requests over one dataset already
+//!   coalesce their index and compiled-database builds structurally: both
+//!   hang off `OnceLock`s in the shared [`Dataset`], so concurrent first
+//!   uses perform exactly one build.
+//! * **Sweep-aware scheduling.** A `sweep` fans out into one queued
+//!   segment per threshold instead of looping inside a single worker.
+//!   Segments run at *lower* priority than whole requests, so a long
+//!   sweep cannot pin the pool: a `mine` submitted mid-sweep runs as soon
+//!   as the current segments finish, not after the whole sweep. The last
+//!   segment to finish assembles the response in threshold order —
+//!   byte-identical to the old inline loop.
+//! * **Panic isolation.** Request handlers and sweep segments run under
 //!   [`try_par_map`](graphsig_core::try_par_map): a poisoned request
 //!   (malformed data tripping a bug, injected faults in tests) produces a
 //!   `status=error` response carrying the panic message; the worker and
-//!   the server keep serving.
+//!   the server keep serving. A panicking coalesced leader fails every
+//!   rider with that error — riders are never left waiting on a run that
+//!   no longer exists.
 //! * **Graceful shutdown.** `shutdown` stops intake, waits for queued and
 //!   in-flight work under a drain deadline, cancels whatever outlives the
-//!   deadline (those requests respond `truncated (cancelled)` — still a
-//!   structured response, never a silent drop), and only then confirms.
+//!   deadline — individual tokens *and* coalesced group tokens (those
+//!   requests respond `truncated (cancelled)` — still a structured
+//!   response, never a silent drop) — and only then confirms.
 //! * **Shared state with versioned invalidation.** Each resident dataset
 //!   owns a [`PreparedCache`] (window passes) and a lazily built
 //!   [`LabelPairIndex`] shared by `freq` requests. `load` replaces the
 //!   whole entry under a bumped version: in-flight requests keep mining
 //!   their pinned `Arc` snapshot, new requests see the new version, and
 //!   the old caches die with their last reference.
+//! * **Observability.** `stats` (no dataset) reports per-op acceptance
+//!   counters, cumulative queue-wait and execute times, coalesce
+//!   lead/rider counts, and queued segment depth alongside the original
+//!   counters, so a load test can attribute latency to queueing vs work
+//!   and prove coalescing happened.
 
 use std::collections::{HashMap, VecDeque};
 use std::io::Write;
@@ -39,13 +72,16 @@ use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock};
 use std::time::{Duration, Instant};
 
 use graphsig_core::{
-    render_subgraphs, Budget, CancelToken, FsmBackend, GraphSigConfig, PreparedCache,
+    render_subgraphs, Budget, CacheDisposition, CancelToken, FsmBackend, GraphSigConfig,
+    GraphSigResult, Outcome, PreparedCache,
 };
 use graphsig_fsg::{Fsg, FsgConfig};
-use graphsig_graph::control::Outcome;
-use graphsig_graph::{parse_transactions_into, Completion, GraphDb, LabelPairIndex, MatcherKind};
+use graphsig_graph::{parse_transactions_into, GraphDb, LabelPairIndex, MatcherKind};
 use graphsig_gspan::{GSpan, MinerConfig, Pattern};
 
+use crate::batch::{
+    cancelled_mine_response, Coalescer, FlightCtx, Joined, MineKey, Rider, SweepFlight,
+};
 use crate::protocol::{
     parse_request, BackendKind, BudgetParams, FreqRequest, LoadFormat, LoadRequest, LoadSource,
     MineRequest, ProtocolError, Request, Response, Status, SweepRequest,
@@ -121,30 +157,33 @@ impl IndexSlot {
 }
 
 /// Provenance of a dataset loaded from a packed store (`format=packed`).
+/// Appends *merge* rather than replace this (see `exec_load`), so a
+/// degraded store's quarantine disclosure survives later ingests.
+#[derive(Clone)]
 struct StoreInfo {
-    /// Shards listed by the manifest.
+    /// Shards listed by the manifest(s) this dataset was assembled from.
     manifest_shards: usize,
     /// Shards quarantined by the lenient open (degraded when > 0).
     quarantined: usize,
     /// Bytes on disk across manifest and surviving shards.
     disk_bytes: u64,
-    /// The store's ingest counter.
+    /// The (latest) store's ingest counter.
     store_version: u64,
 }
 
 /// One resident dataset version: the graphs plus every cache keyed to
 /// exactly this data. Replaced on `load`; `append=true` carries the old
 /// segment index slots into the new version.
-struct Dataset {
-    name: String,
-    version: u64,
-    db: Arc<GraphDb>,
+pub(crate) struct Dataset {
+    pub(crate) name: String,
+    pub(crate) version: u64,
+    pub(crate) db: Arc<GraphDb>,
     prepared: PreparedCache,
     /// Merged whole-dataset index, assembled from the slots on first use.
     index: OnceLock<Arc<LabelPairIndex>>,
     /// Per-segment lazy indexes, in deterministic segment (gid) order.
     slots: Vec<Arc<IndexSlot>>,
-    /// Set when the dataset came from a packed store.
+    /// Set when the dataset came (in part) from a packed store.
     store: Option<StoreInfo>,
 }
 
@@ -152,7 +191,10 @@ impl Dataset {
     /// The shared label-pair index, built on first use by merging the
     /// per-segment indexes in segment order. Because segment ranges tile
     /// the db contiguously, the merge is exactly equal to a full build
-    /// (unit-tested in `graphsig_graph::index`).
+    /// (unit-tested in `graphsig_graph::index`). The `OnceLock` is also
+    /// the coalescing point for concurrent `freq`/`sweep` requests: the
+    /// first builder runs alone, everyone else blocks briefly and shares
+    /// the one build.
     fn index(&self) -> Arc<LabelPairIndex> {
         self.index
             .get_or_init(|| match self.slots.as_slice() {
@@ -169,7 +211,7 @@ impl Dataset {
     }
 
     /// `quarantined/total` when the backing store lost shards, else None.
-    fn degraded(&self) -> Option<String> {
+    pub(crate) fn degraded(&self) -> Option<String> {
         match &self.store {
             Some(info) if info.quarantined > 0 => {
                 Some(format!("{}/{}", info.quarantined, info.manifest_shards))
@@ -187,9 +229,31 @@ struct Job {
     submitted: Instant,
 }
 
+/// One queued sweep threshold: everything needed to run `supports[idx]`
+/// and, if last to finish, assemble the sweep response.
+struct SegmentJob {
+    flight: Arc<SweepFlight>,
+    dataset: Arc<Dataset>,
+    index: Arc<LabelPairIndex>,
+    params: Arc<FreqParams>,
+    budget: Budget,
+    idx: usize,
+}
+
+/// What a worker can pick up. Whole requests outrank sweep segments so a
+/// fanned-out sweep never starves fresh work (scheduling fairness).
+enum Work {
+    Request(Job),
+    Segment(SegmentJob),
+}
+
 #[derive(Default)]
 struct QueueState {
     jobs: VecDeque<Job>,
+    /// Sweep segments, drained only when `jobs` is empty. Bounded by the
+    /// threshold counts of accepted sweeps, not by `queue_capacity` — the
+    /// capacity check already admitted the sweep as one request.
+    segments: VecDeque<SegmentJob>,
     active: usize,
 }
 
@@ -201,6 +265,17 @@ struct Counters {
     errors: AtomicU64,
     panics: AtomicU64,
     cancel_requests: AtomicU64,
+    // Accepted (queued) submissions by op.
+    op_load: AtomicU64,
+    op_mine: AtomicU64,
+    op_freq: AtomicU64,
+    op_sweep: AtomicU64,
+    op_stats: AtomicU64,
+    /// Total microseconds requests spent queued before a worker picked
+    /// them up (latency attribution: waiting vs working).
+    queue_wait_us: AtomicU64,
+    /// Total microseconds workers spent executing handlers and segments.
+    exec_us: AtomicU64,
 }
 
 /// A point-in-time view of the server counters (smoke assertions, stats).
@@ -220,18 +295,32 @@ pub struct ServerSnapshot {
     pub queued: usize,
     /// Jobs currently executing.
     pub active: usize,
+    /// Sweep segments currently queued.
+    pub segments: usize,
+    /// Coalesced mine flights created (each ran the pipeline once).
+    pub coalesce_leads: u64,
+    /// Mine requests that attached to an in-flight run instead of
+    /// executing (each is one whole pipeline run saved).
+    pub coalesce_riders: u64,
+    /// Cumulative queue wait across picked-up requests (µs).
+    pub queue_wait_us: u64,
+    /// Cumulative handler execution time (µs).
+    pub exec_us: u64,
 }
 
 struct ServerInner {
     cfg: ServerConfig,
     datasets: Mutex<HashMap<String, Arc<Dataset>>>,
     queue: Mutex<QueueState>,
-    /// Wakes workers when a job is queued (or termination is flagged).
+    /// Wakes workers when work is queued (or termination is flagged).
     work_cv: Condvar,
     /// Wakes the drain loop when the queue goes empty-and-idle.
     idle_cv: Condvar,
     /// Cancel tokens of every queued or executing request, by id.
+    /// Lock order: `queue` before `inflight` when both are held.
     inflight: Mutex<HashMap<String, CancelToken>>,
+    /// Single-flight registry for coalesced mine runs.
+    coalescer: Coalescer,
     /// Intake closed (shutdown requested).
     shutting_down: AtomicBool,
     /// Workers may exit once the queue is empty.
@@ -241,7 +330,8 @@ struct ServerInner {
 
 /// A running mining service. Workers start on construction; requests are
 /// fed in as protocol lines via [`Server::dispatch_line`] or one of the
-/// transport loops ([`Server::serve_connection`], `serve_tcp` in the CLI).
+/// transport loops ([`Server::serve_connection`], the event-driven
+/// [`crate::transport::serve`] behind `serve --tcp`).
 pub struct Server {
     inner: Arc<ServerInner>,
     workers: Vec<std::thread::JoinHandle<()>>,
@@ -265,6 +355,7 @@ impl Server {
             work_cv: Condvar::new(),
             idle_cv: Condvar::new(),
             inflight: Mutex::new(HashMap::new()),
+            coalescer: Coalescer::default(),
             shutting_down: AtomicBool::new(false),
             terminated: AtomicBool::new(false),
             counters: Counters::default(),
@@ -344,6 +435,7 @@ impl Drop for Server {
 impl ServerInner {
     fn snapshot(&self) -> ServerSnapshot {
         let q = lock(&self.queue);
+        let (leads, riders) = self.coalescer.counters();
         ServerSnapshot {
             received: self.counters.received.load(Ordering::Relaxed),
             served: self.counters.served.load(Ordering::Relaxed),
@@ -352,6 +444,11 @@ impl ServerInner {
             panics: self.counters.panics.load(Ordering::Relaxed),
             queued: q.jobs.len(),
             active: q.active,
+            segments: q.segments.len(),
+            coalesce_leads: leads,
+            coalesce_riders: riders,
+            queue_wait_us: self.counters.queue_wait_us.load(Ordering::Relaxed),
+            exec_us: self.counters.exec_us.load(Ordering::Relaxed),
         }
     }
 
@@ -362,6 +459,20 @@ impl ServerInner {
         let mut w = lock(out);
         let _ = w.write_all(resp.render().as_bytes());
         let _ = w.flush();
+    }
+
+    /// Complete one accepted request: release its id, count it, respond.
+    /// The single completion path for solo requests, coalesced riders, and
+    /// assembled sweeps. Removing the inflight entry is the claim — if the
+    /// id is already gone (a cancel-detached rider whose leader then
+    /// panicked, say), the exactly-one-response invariant holds by
+    /// no-opping here rather than by every caller reasoning about races.
+    fn finish(&self, id: &str, out: &SharedWriter, resp: &Response) {
+        if lock(&self.inflight).remove(id).is_none() {
+            return;
+        }
+        self.counters.served.fetch_add(1, Ordering::Relaxed);
+        self.write_response(out, resp);
     }
 
     fn dispatch_line(&self, line: &str, out: &SharedWriter) -> bool {
@@ -392,6 +503,21 @@ impl ServerInner {
                     }
                     None => false,
                 };
+                if found {
+                    // If the target rides a coalesced flight, detach it so
+                    // it responds `truncated (cancelled)` right now; the
+                    // shared run keeps going for the remaining riders (and
+                    // is cancelled outright when none remain).
+                    if let Some((rider, ctx)) = self.coalescer.on_cancel(target) {
+                        let resp = cancelled_mine_response(
+                            &rider.id,
+                            &ctx.dataset,
+                            ctx.version,
+                            ctx.degraded.as_deref(),
+                        );
+                        self.finish(&rider.id, &rider.out, &resp);
+                    }
+                }
                 self.write_response(
                     out,
                     &Response::new(id, "cancel", Status::Ok)
@@ -429,53 +555,76 @@ impl ServerInner {
             self.write_response(out, &Response::error(&id, op, "server is shutting down"));
             return;
         }
+        let mut q = lock(&self.queue);
+        if q.jobs.len() >= self.cfg.queue_capacity {
+            // Rejected before the id is ever registered: a racing `cancel`
+            // for a busy-rejected request always reports found=false.
+            let depth = q.jobs.len();
+            drop(q);
+            self.counters.busy_rejected.fetch_add(1, Ordering::Relaxed);
+            self.write_response(
+                out,
+                &Response::new(&id, op, Status::Busy)
+                    .with_field("queue", depth)
+                    .with_field("capacity", self.cfg.queue_capacity),
+            );
+            return;
+        }
         let token = CancelToken::new();
         {
+            // Nested under `queue` (the one place both are held — same
+            // order as `shutdown`) so the admitted id is registered before
+            // any worker could possibly complete it.
             let mut inflight = lock(&self.inflight);
             if inflight.contains_key(&id) {
                 drop(inflight);
+                drop(q);
                 self.write_response(
                     out,
                     &Response::error(&id, op, format!("request id '{id}' already in flight")),
                 );
                 return;
             }
-            // Reserve the id before queueing so a racing duplicate loses.
             inflight.insert(id.clone(), token.clone());
         }
-        {
-            let mut q = lock(&self.queue);
-            if q.jobs.len() >= self.cfg.queue_capacity {
-                let depth = q.jobs.len();
-                drop(q);
-                lock(&self.inflight).remove(&id);
-                self.counters.busy_rejected.fetch_add(1, Ordering::Relaxed);
-                self.write_response(
-                    out,
-                    &Response::new(&id, op, Status::Busy)
-                        .with_field("queue", depth)
-                        .with_field("capacity", self.cfg.queue_capacity),
-                );
-                return;
-            }
-            q.jobs.push_back(Job {
-                request,
-                out: Arc::clone(out),
-                token,
-                submitted: Instant::now(),
-            });
-        }
+        self.count_op(op);
+        q.jobs.push_back(Job {
+            request,
+            out: Arc::clone(out),
+            token,
+            submitted: Instant::now(),
+        });
+        drop(q);
         self.work_cv.notify_one();
+    }
+
+    fn count_op(&self, op: &str) {
+        let counter = match op {
+            "load" => &self.counters.op_load,
+            "mine" => &self.counters.op_mine,
+            "freq" => &self.counters.op_freq,
+            "sweep" => &self.counters.op_sweep,
+            "stats" => &self.counters.op_stats,
+            _ => return,
+        };
+        counter.fetch_add(1, Ordering::Relaxed);
     }
 
     fn worker_loop(&self) {
         loop {
-            let job = {
+            let work = {
                 let mut q = lock(&self.queue);
                 loop {
+                    // Whole requests first: sweep segments are the one kind
+                    // of work that arrives in bulk, so they yield to fresh
+                    // requests (fairness under fan-out).
                     if let Some(job) = q.jobs.pop_front() {
                         q.active += 1;
-                        break job;
+                        break Work::Request(job);
+                    }
+                    if let Some(seg) = q.segments.pop_front() {
+                        q.active += 1;
+                        break Work::Segment(seg);
                     }
                     if self.terminated.load(Ordering::Relaxed) {
                         return;
@@ -483,16 +632,21 @@ impl ServerInner {
                     q = self.work_cv.wait(q).unwrap_or_else(|e| e.into_inner());
                 }
             };
-            self.process(job);
+            match work {
+                Work::Request(job) => self.process(job),
+                Work::Segment(seg) => self.process_segment(seg),
+            }
             let mut q = lock(&self.queue);
             q.active -= 1;
-            if q.active == 0 && q.jobs.is_empty() {
+            if q.active == 0 && q.jobs.is_empty() && q.segments.is_empty() {
                 self.idle_cv.notify_all();
             }
         }
     }
 
-    /// Execute one job with panic isolation and always respond.
+    /// Execute one job with panic isolation and always respond — directly,
+    /// or through whichever deferred path (`finish` by a coalescing leader
+    /// or a last sweep segment) the handler armed.
     fn process(&self, job: Job) {
         let Job {
             request,
@@ -501,26 +655,98 @@ impl ServerInner {
             submitted,
         } = job;
         let (id, op) = (request.id().to_string(), request.op());
+        self.counters
+            .queue_wait_us
+            .fetch_add(submitted.elapsed().as_micros() as u64, Ordering::Relaxed);
+        let exec_started = Instant::now();
         // try_par_map with a single item runs inline under catch_unwind:
         // a panicking handler yields a structured error, not a dead worker.
-        let response = match graphsig_core::try_par_map(1, std::slice::from_ref(&request), |req| {
-            self.execute(req, &token, submitted)
-        }) {
-            Ok(mut v) => v.pop().unwrap_or_else(|| {
-                Response::error(&id, op, "internal: handler produced no response")
-            }),
+        let result = graphsig_core::try_par_map(1, std::slice::from_ref(&request), |req| {
+            self.execute(req, &token, submitted, &out)
+        });
+        self.counters
+            .exec_us
+            .fetch_add(exec_started.elapsed().as_micros() as u64, Ordering::Relaxed);
+        match result {
+            // `None` means deferred: this request attached to a coalesced
+            // run, led one (and already finished every rider), or fanned
+            // out into sweep segments. Someone else owns the response.
+            Ok(mut v) => {
+                if let Some(resp) = v.pop().flatten() {
+                    self.finish(&id, &out, &resp);
+                }
+            }
             Err(panicked) => {
                 self.counters.panics.fetch_add(1, Ordering::Relaxed);
-                Response::error(
-                    &id,
-                    op,
-                    format!("request handler panicked: {}", panicked.message),
-                )
+                let msg = format!("request handler panicked: {}", panicked.message);
+                // A panicking leader takes its whole flight down: every
+                // rider gets the error, none is left waiting forever.
+                match self.coalescer.fail_leader(&id) {
+                    Some(riders) => {
+                        for rider in riders {
+                            let resp = Response::error(&rider.id, op, msg.clone());
+                            self.finish(&rider.id, &rider.out, &resp);
+                        }
+                    }
+                    None => self.finish(&id, &out, &Response::error(&id, op, msg)),
+                }
+            }
+        }
+    }
+
+    /// Run one sweep segment; the last segment to finish assembles and
+    /// writes the sweep response.
+    fn process_segment(&self, seg: SegmentJob) {
+        let exec_started = Instant::now();
+        let result = graphsig_core::try_par_map(1, std::slice::from_ref(&seg), |s| {
+            run_freq(
+                &s.dataset.db,
+                &s.index,
+                s.flight.supports[s.idx],
+                &s.params,
+                s.budget.clone(),
+            )
+        });
+        self.counters
+            .exec_us
+            .fetch_add(exec_started.elapsed().as_micros() as u64, Ordering::Relaxed);
+        let last = match result {
+            Ok(mut v) => {
+                let outcome = v.pop().expect("one segment in, one outcome out");
+                seg.flight.record(seg.idx, outcome)
+            }
+            Err(panicked) => {
+                self.counters.panics.fetch_add(1, Ordering::Relaxed);
+                seg.flight.record_panic(panicked.message)
             }
         };
-        lock(&self.inflight).remove(&id);
-        self.counters.served.fetch_add(1, Ordering::Relaxed);
-        self.write_response(&out, &response);
+        if !last {
+            return;
+        }
+        let flight = &seg.flight;
+        let resp = match flight.panicked() {
+            Some(msg) => Response::error(
+                &flight.id,
+                "sweep",
+                format!("request handler panicked: {msg}"),
+            ),
+            None => {
+                let (completion, total, payload) =
+                    flight.assemble(|patterns| render_patterns(&seg.dataset.db, patterns));
+                with_degraded(
+                    Response::new(&flight.id, "sweep", Status::Ok)
+                        .with_field("dataset", &seg.dataset.name)
+                        .with_field("version", seg.dataset.version),
+                    &seg.dataset,
+                )
+                .with_field("completion", completion)
+                .with_field("supports", flight.supports.len())
+                .with_field("patterns", total)
+                .with_field("index_types", seg.index.len())
+                .with_payload(payload)
+            }
+        };
+        self.finish(&flight.id, &flight.out, &resp);
     }
 
     /// Stop intake and drain. Returns whether the drain deadline forced
@@ -530,7 +756,7 @@ impl ServerInner {
         let deadline = Instant::now() + Duration::from_millis(drain_ms);
         let mut forced = false;
         let mut q = lock(&self.queue);
-        while q.active > 0 || !q.jobs.is_empty() {
+        while q.active > 0 || !q.jobs.is_empty() || !q.segments.is_empty() {
             if !forced && Instant::now() >= deadline {
                 // Drain deadline passed: cancel everything still in
                 // flight. Each cancelled request still gets a structured
@@ -539,6 +765,10 @@ impl ServerInner {
                 for token in lock(&self.inflight).values() {
                     token.cancel();
                 }
+                // Coalesced runs listen to their *group* token, which only
+                // falls when every rider cancels through `cancel`; a
+                // forced drain fells them all directly.
+                self.coalescer.cancel_all();
                 forced = true;
             }
             let wait = if forced {
@@ -563,7 +793,7 @@ impl ServerInner {
 
     /// Build the effective budget for a request: request limits clamped by
     /// server ceilings, deadline measured from submission, and always the
-    /// request's cancel token.
+    /// given cancel token (a request's own, or a coalesced group's).
     fn budget_for(&self, params: &BudgetParams, token: &CancelToken, submitted: Instant) -> Budget {
         let mut budget = Budget::unlimited().with_cancel(token.clone());
         let timeout_ms = params.timeout_ms.or(self.cfg.default_timeout_ms);
@@ -592,15 +822,29 @@ impl ServerInner {
             .ok_or_else(|| format!("unknown dataset '{name}' (load it first)"))
     }
 
-    fn execute(&self, request: &Request, token: &CancelToken, submitted: Instant) -> Response {
+    /// Run one request. `Some` is the response for *this* request id;
+    /// `None` means the handler deferred — it attached to a coalesced run,
+    /// led one and already responded to every rider via `finish`, or
+    /// queued sweep segments that will.
+    fn execute(
+        &self,
+        request: &Request,
+        token: &CancelToken,
+        submitted: Instant,
+        out: &SharedWriter,
+    ) -> Option<Response> {
         match request {
-            Request::Load(r) => self.exec_load(r),
-            Request::Mine(r) => self.exec_mine(r, token, submitted),
-            Request::Freq(r) => self.exec_freq(r, token, submitted),
-            Request::Sweep(r) => self.exec_sweep(r, token, submitted),
-            Request::Stats { id, dataset } => self.exec_stats(id, dataset.as_deref()),
+            Request::Load(r) => Some(self.exec_load(r)),
+            Request::Mine(r) => self.exec_mine(r, token, submitted, out),
+            Request::Freq(r) => Some(self.exec_freq(r, token, submitted)),
+            Request::Sweep(r) => self.exec_sweep(r, token, submitted, out),
+            Request::Stats { id, dataset } => Some(self.exec_stats(id, dataset.as_deref())),
             // Control ops never reach the queue.
-            other => Response::error(other.id(), other.op(), "internal: control op queued"),
+            other => Some(Response::error(
+                other.id(),
+                other.op(),
+                "internal: control op queued",
+            )),
         }
     }
 
@@ -622,7 +866,8 @@ impl ServerInner {
         };
         let base_len = db.len();
         let mut store = None;
-        // Shard boundaries of a fresh packed load, for per-shard slots.
+        // Shard boundaries of this load's packed ingest (absolute gids),
+        // so appended shards get per-shard slots exactly like fresh ones.
         let mut shard_ranges: Option<Vec<std::ops::Range<usize>>> = None;
         match (&r.source, r.format) {
             (LoadSource::Path(path), LoadFormat::Text) => {
@@ -650,16 +895,18 @@ impl ServerInner {
                     disk_bytes: opened.disk_bytes(),
                     store_version: opened.manifest.store_version,
                 });
+                // Surviving shards tile the opened db contiguously; offset
+                // by base_len they tile the tail of the combined db.
+                shard_ranges = Some(
+                    opened
+                        .shards
+                        .iter()
+                        .map(|s| base_len + s.db_start..base_len + s.db_start + s.graph_count)
+                        .collect(),
+                );
                 if prior.is_some() {
                     db.absorb(&opened.db);
                 } else {
-                    shard_ranges = Some(
-                        opened
-                            .shards
-                            .iter()
-                            .map(|s| s.db_start..s.db_start + s.graph_count)
-                            .collect(),
-                    );
                     db = opened.db;
                 }
             }
@@ -674,23 +921,34 @@ impl ServerInner {
         }
         let graphs = db.len();
         let loaded = graphs - base_len;
+        // Store provenance survives appends: a text/generator append onto
+        // a packed dataset keeps the prior quarantine disclosure, and a
+        // packed append merges shard/quarantine counts — `degraded=` never
+        // silently disappears while quarantined data is still being served.
+        let store = match (prior.as_ref().and_then(|d| d.store.as_ref()), store) {
+            (None, current) => current,
+            (Some(prior_info), None) => Some(prior_info.clone()),
+            (Some(prior_info), Some(current)) => Some(StoreInfo {
+                manifest_shards: prior_info.manifest_shards + current.manifest_shards,
+                quarantined: prior_info.quarantined + current.quarantined,
+                disk_bytes: prior_info.disk_bytes + current.disk_bytes,
+                store_version: current.store_version,
+            }),
+        };
         // Segment slots: appended datasets keep the prior version's slots
         // (their built indexes stay valid — old graphs and label ids are
-        // untouched) and gain one slot for the new graphs. A fresh packed
-        // load gets one slot per surviving shard so a later append
-        // invalidates nothing shard-grained.
+        // untouched) and gain one slot per new shard (packed) or one slot
+        // for the new batch (text/generator), so later invalidation stays
+        // shard-grained no matter how the dataset was assembled.
         let mut slots: Vec<Arc<IndexSlot>> =
             prior.as_ref().map_or_else(Vec::new, |d| d.slots.clone());
         if let Some(ranges) = shard_ranges {
-            slots = ranges
-                .into_iter()
-                .map(|range| {
-                    Arc::new(IndexSlot {
-                        range,
-                        index: OnceLock::new(),
-                    })
+            slots.extend(ranges.into_iter().map(|range| {
+                Arc::new(IndexSlot {
+                    range,
+                    index: OnceLock::new(),
                 })
-                .collect();
+            }));
         } else if loaded > 0 || slots.is_empty() {
             slots.push(Arc::new(IndexSlot {
                 range: base_len..graphs,
@@ -748,26 +1006,25 @@ impl ServerInner {
         resp
     }
 
-    fn exec_mine(&self, r: &MineRequest, token: &CancelToken, submitted: Instant) -> Response {
-        if r.inject_panic || r.sleep_ms.is_some() {
-            if !self.cfg.allow_inject {
-                return Response::error(&r.id, "mine", "fault-injection keys are disabled");
-            }
-            if let Some(ms) = r.sleep_ms {
-                if !sleep_cancellable(ms, token) {
-                    return Response::new(&r.id, "mine", Status::Ok)
-                        .with_field("completion", "truncated (cancelled)")
-                        .with_field("cached", "none")
-                        .with_field("subgraphs", 0);
-                }
-            }
-            if r.inject_panic {
-                panic!("injected fault (inject=panic)");
-            }
+    /// `mine`: coalescing entry point. Unbudgeted requests single-flight
+    /// on [`MineKey`]; the leader runs once and responds to every rider.
+    fn exec_mine(
+        &self,
+        r: &MineRequest,
+        token: &CancelToken,
+        submitted: Instant,
+        out: &SharedWriter,
+    ) -> Option<Response> {
+        if (r.inject_panic || r.sleep_ms.is_some()) && !self.cfg.allow_inject {
+            return Some(Response::error(
+                &r.id,
+                "mine",
+                "fault-injection keys are disabled",
+            ));
         }
         let dataset = match self.dataset(&r.dataset) {
             Ok(d) => d,
-            Err(e) => return Response::error(&r.id, "mine", e),
+            Err(e) => return Some(Response::error(&r.id, "mine", e)),
         };
         let defaults = GraphSigConfig::default();
         let cfg = GraphSigConfig {
@@ -781,7 +1038,6 @@ impl ServerInner {
                 Some(BackendKind::GSpan) => FsmBackend::GSpan,
             },
             matcher: r.matcher.unwrap_or_default(),
-            budget: Some(self.budget_for(&r.budget, token, submitted)),
             ..defaults
         };
         let in_range = (0.0..=1.0).contains(&cfg.max_pvalue)
@@ -791,25 +1047,123 @@ impl ServerInner {
             && cfg.fsm_freq <= 1.0;
         if !in_range {
             // GraphSig::new asserts on these; reject structured instead.
-            return Response::error(
+            return Some(Response::error(
                 &r.id,
                 "mine",
                 "thresholds out of range: need max_pvalue in [0,1], min_freq and fsm_freq in (0,1]",
-            );
+            ));
         }
-        let (outcome, disposition) = dataset.prepared.mine_outcome(&cfg, &dataset.db);
         let top = r.top.unwrap_or(usize::MAX);
-        let payload = render_subgraphs(&dataset.db, &outcome.result, top);
-        with_degraded(
-            Response::new(&r.id, "mine", Status::Ok)
-                .with_field("dataset", &dataset.name)
-                .with_field("version", dataset.version),
-            &dataset,
-        )
-        .with_field("completion", outcome.completion)
-        .with_field("cached", disposition)
-        .with_field("subgraphs", outcome.result.subgraphs.len())
-        .with_payload(payload)
+        let degraded = dataset.degraded();
+        // Cancelled while queued: respond now. Without this, a cancelled
+        // request could still lead a flight under a fresh group token and
+        // mine to completion as if the cancel never happened.
+        if token.is_cancelled() {
+            return Some(cancelled_mine_response(
+                &r.id,
+                &dataset.name,
+                dataset.version,
+                degraded.as_deref(),
+            ));
+        }
+        if r.budget.timeout_ms.is_some() || r.budget.max_steps.is_some() {
+            // Explicit budgets run solo: a step budget is a determinism
+            // contract with this request, and a deadline anchors to this
+            // request's own submission instant.
+            let budget = self.budget_for(&r.budget, token, submitted);
+            return Some(match self.run_mine(r, &cfg, budget, token, &dataset) {
+                MineRun::Cancelled => cancelled_mine_response(
+                    &r.id,
+                    &dataset.name,
+                    dataset.version,
+                    degraded.as_deref(),
+                ),
+                MineRun::Done(outcome, disposition) => {
+                    mine_response(&r.id, &dataset, &outcome, disposition, top)
+                }
+            });
+        }
+        let key = MineKey::of(&dataset.name, dataset.version, &cfg, r);
+        let rider = Rider {
+            id: r.id.clone(),
+            out: Arc::clone(out),
+            top,
+        };
+        let ctx = FlightCtx {
+            dataset: dataset.name.clone(),
+            version: dataset.version,
+            degraded: degraded.clone(),
+        };
+        match self.coalescer.join(&key, rider, ctx) {
+            // An identical run is in flight; its leader answers for us.
+            // This worker is free immediately — riders cost no execution.
+            Joined::Attached => None,
+            Joined::Lead { group } => {
+                // Run under the *group* token (falls only when every rider
+                // cancels, or on forced drain). Server default ceilings
+                // still apply, anchored to the leader's submission.
+                let budget = self.budget_for(&r.budget, &group, submitted);
+                let run = self.run_mine(r, &cfg, budget, &group, &dataset);
+                // Closing the flight is the linearization point: riders
+                // collected here get their response below; a cancel racing
+                // past it finds no flight and the rider responds normally.
+                let riders = self.coalescer.finish(&key);
+                match run {
+                    MineRun::Cancelled => {
+                        for rider in riders {
+                            let resp = cancelled_mine_response(
+                                &rider.id,
+                                &dataset.name,
+                                dataset.version,
+                                degraded.as_deref(),
+                            );
+                            self.finish(&rider.id, &rider.out, &resp);
+                        }
+                    }
+                    MineRun::Done(outcome, disposition) => {
+                        for rider in riders {
+                            let resp = mine_response(
+                                &rider.id,
+                                &dataset,
+                                &outcome,
+                                disposition,
+                                rider.top,
+                            );
+                            self.finish(&rider.id, &rider.out, &resp);
+                        }
+                    }
+                }
+                None
+            }
+        }
+    }
+
+    /// The governed pipeline run shared by solo and coalesced mines.
+    /// Fault injection happens here, under the run's own token, so an
+    /// injected sleep is cancellable exactly like real work — and its
+    /// cancelled response carries the same dataset fields as any other.
+    fn run_mine(
+        &self,
+        r: &MineRequest,
+        cfg: &GraphSigConfig,
+        budget: Budget,
+        token: &CancelToken,
+        dataset: &Dataset,
+    ) -> MineRun {
+        if let Some(ms) = r.sleep_ms {
+            if !sleep_cancellable(ms, token) {
+                return MineRun::Cancelled;
+            }
+        }
+        if r.inject_panic {
+            panic!("injected fault (inject=panic)");
+        }
+        let cfg = GraphSigConfig {
+            budget: Some(budget),
+            ..cfg.clone()
+        };
+        let (outcome, disposition) = dataset.prepared.mine_outcome(&cfg, &dataset.db);
+        MineRun::Done(outcome, disposition)
     }
 
     fn exec_freq(&self, r: &FreqRequest, token: &CancelToken, submitted: Instant) -> Response {
@@ -843,60 +1197,69 @@ impl ServerInner {
         .with_payload(payload)
     }
 
-    fn exec_sweep(&self, r: &SweepRequest, token: &CancelToken, submitted: Instant) -> Response {
+    /// `sweep`: validate, then fan the thresholds out as individually
+    /// queued segments (lower priority than whole requests) and return.
+    /// The last segment to finish assembles and writes the response.
+    fn exec_sweep(
+        &self,
+        r: &SweepRequest,
+        token: &CancelToken,
+        submitted: Instant,
+        out: &SharedWriter,
+    ) -> Option<Response> {
         let dataset = match self.dataset(&r.dataset) {
             Ok(d) => d,
-            Err(e) => return Response::error(&r.id, "sweep", e),
+            Err(e) => return Some(Response::error(&r.id, "sweep", e)),
         };
         if r.supports.is_empty() {
-            return Response::error(&r.id, "sweep", "supports must name at least one threshold");
+            return Some(Response::error(
+                &r.id,
+                "sweep",
+                "supports must name at least one threshold",
+            ));
         }
         if r.supports.contains(&0) {
-            return Response::error(&r.id, "sweep", "every support must be >= 1");
+            return Some(Response::error(
+                &r.id,
+                "sweep",
+                "every support must be >= 1",
+            ));
         }
         // One budget governs the whole sweep: the deadline spans every
-        // threshold, cancellation stops mid-sweep, and step allowances stay
-        // per-work-unit (so unbudgeted sweeps match individual calls).
+        // threshold, cancelling the sweep's token stops every segment, and
+        // step allowances stay per-work-unit (each segment clones the
+        // budget, so unbudgeted sweeps match individual calls).
         let budget = self.budget_for(&r.budget, token, submitted);
         // One index build (and one lazily compiled bitset database hanging
         // off it) shared by every threshold — the whole point of the op.
         let index = dataset.index();
-        let params = FreqParams {
+        let params = Arc::new(FreqParams {
             backend: r.backend,
             matcher: r.matcher.unwrap_or_default(),
             max_edges: r.max_edges.unwrap_or(8),
             max_patterns: r.max_patterns.unwrap_or(10_000),
             threads: r.threads.unwrap_or(0),
-        };
-        let mut payload = String::new();
-        let mut completion = Completion::Complete;
-        let mut total = 0usize;
-        for &support in &r.supports {
-            let outcome = run_freq(&dataset.db, &index, support, &params, budget.clone());
-            completion = completion.merge(outcome.completion);
-            total += outcome.result.len();
-            // Marker line, then the exact bytes an individual `freq` call
-            // at this threshold would have produced as its payload.
-            use std::fmt::Write as _;
-            let _ = writeln!(
-                payload,
-                "# sweep support {support}: {} patterns ({})",
-                outcome.result.len(),
-                outcome.completion
-            );
-            payload.push_str(&render_patterns(&dataset.db, &outcome.result));
+        });
+        let flight = Arc::new(SweepFlight::new(
+            r.id.clone(),
+            Arc::clone(out),
+            r.supports.clone(),
+        ));
+        {
+            let mut q = lock(&self.queue);
+            for idx in 0..flight.supports.len() {
+                q.segments.push_back(SegmentJob {
+                    flight: Arc::clone(&flight),
+                    dataset: Arc::clone(&dataset),
+                    index: Arc::clone(&index),
+                    params: Arc::clone(&params),
+                    budget: budget.clone(),
+                    idx,
+                });
+            }
         }
-        with_degraded(
-            Response::new(&r.id, "sweep", Status::Ok)
-                .with_field("dataset", &dataset.name)
-                .with_field("version", dataset.version),
-            &dataset,
-        )
-        .with_field("completion", completion)
-        .with_field("supports", r.supports.len())
-        .with_field("patterns", total)
-        .with_field("index_types", index.len())
-        .with_payload(payload)
+        self.work_cv.notify_all();
+        None
     }
 
     fn exec_stats(&self, id: &str, dataset: Option<&str>) -> Response {
@@ -914,6 +1277,16 @@ impl ServerInner {
                     .with_field("active", snap.active)
                     .with_field("queue_capacity", self.cfg.queue_capacity)
                     .with_field("workers", graphsig_core::resolve_threads(self.cfg.workers))
+                    .with_field("segments_queued", snap.segments)
+                    .with_field("coalesce_leads", snap.coalesce_leads)
+                    .with_field("coalesce_riders", snap.coalesce_riders)
+                    .with_field("queue_wait_us", snap.queue_wait_us)
+                    .with_field("exec_us", snap.exec_us)
+                    .with_field("op_load", self.counters.op_load.load(Ordering::Relaxed))
+                    .with_field("op_mine", self.counters.op_mine.load(Ordering::Relaxed))
+                    .with_field("op_freq", self.counters.op_freq.load(Ordering::Relaxed))
+                    .with_field("op_sweep", self.counters.op_sweep.load(Ordering::Relaxed))
+                    .with_field("op_stats", self.counters.op_stats.load(Ordering::Relaxed))
             }
             Some(name) => match self.dataset(name) {
                 Err(e) => Response::error(id, "stats", e),
@@ -958,6 +1331,37 @@ impl ServerInner {
             },
         }
     }
+}
+
+/// How one governed pipeline run ended.
+enum MineRun {
+    /// The run's token fell before (injected sleep) or during the work.
+    Cancelled,
+    /// The pipeline produced an outcome (complete or truncated).
+    Done(Outcome<GraphSigResult>, CacheDisposition),
+}
+
+/// Render one mine response from a (possibly shared) outcome. Rendering is
+/// the only per-rider step of a coalesced run — `top` caps the payload —
+/// so identical `top`s produce byte-identical responses up to the id.
+fn mine_response(
+    id: &str,
+    dataset: &Dataset,
+    outcome: &Outcome<GraphSigResult>,
+    disposition: CacheDisposition,
+    top: usize,
+) -> Response {
+    let payload = render_subgraphs(&dataset.db, &outcome.result, top);
+    with_degraded(
+        Response::new(id, "mine", Status::Ok)
+            .with_field("dataset", &dataset.name)
+            .with_field("version", dataset.version),
+        dataset,
+    )
+    .with_field("completion", outcome.completion)
+    .with_field("cached", disposition)
+    .with_field("subgraphs", outcome.result.subgraphs.len())
+    .with_payload(payload)
 }
 
 /// Tack the `degraded=K/N` flag onto a response when the dataset's backing

@@ -153,8 +153,11 @@ pub fn run() -> Result<(), String> {
     )?;
 
     // -- Pin both workers, then exercise backpressure --------------------
+    // Distinct sleep_ms: identical injected mines would *coalesce* (the
+    // single-flight key includes the fault-injection knobs), and a rider
+    // costs no worker — this scenario needs both workers genuinely pinned.
     h.send(&format!("mine id=sleepA sleep_ms=60000 {mine}"));
-    h.send(&format!("mine id=sleepB sleep_ms=60000 {mine}"));
+    h.send(&format!("mine id=sleepB sleep_ms=59000 {mine}"));
     h.wait_state("both workers pinned", WAIT, |s| s.active == 2)?;
     h.send(&format!("mine id=q1 {mine}"));
     h.send(&format!("mine id=q2 {mine}"));
@@ -186,6 +189,12 @@ pub fn run() -> Result<(), String> {
     check(
         resp.status == Status::Ok && resp.field("completion") == Some("truncated (cancelled)"),
         "cancelled request resolves structured",
+    )?;
+    // Response shape is uniform across outcomes: even a request cancelled
+    // inside the injected sleep names the dataset it was resolved against.
+    check(
+        resp.field("dataset") == Some("d") && resp.field("version") == Some("1"),
+        "cancelled mine response carries dataset identity",
     )?;
     // Cancelling an unknown id is a structured no-op.
     h.send("cancel id=c2 target=nonexistent");

@@ -1,0 +1,434 @@
+//! Event-driven TCP transport: one readiness loop for every connection.
+//!
+//! The first TCP front end spawned a thread per connection, which caps
+//! concurrent clients at the thread budget and spends a stack on every
+//! idle connection. This module replaces it with the classic single-loop
+//! design:
+//!
+//! * the listener and every connection socket are **non-blocking**;
+//! * one loop `poll(2)`s the whole fd set (hand-declared FFI on Linux —
+//!   no external crates; elsewhere a sleep-scan fallback polls the same
+//!   non-blocking sockets on a timer);
+//! * readable sockets are drained into a per-connection buffer and split
+//!   into protocol lines, which are dispatched inline — control ops
+//!   (`ping`, `cancel`, `shutdown`) answer immediately from this thread,
+//!   exactly as they did from per-connection reader threads, so a busy
+//!   server stays probeable;
+//! * responses go through a per-connection [`ConnOut`]: workers write
+//!   directly to the socket when it is writable and spill the remainder
+//!   into the connection's own buffer otherwise, which the loop flushes
+//!   on `POLLOUT`. Connections never share a write lock, so one slow
+//!   client delays nobody else.
+//!
+//! # Backpressure policy
+//!
+//! A worker must never block on a client's socket (that would turn a slow
+//! reader into a stalled mining pool), and the server must not buffer
+//! unboundedly (that would turn a slow reader into an OOM). The policy:
+//! writes beyond the socket buffer accumulate in the connection's write
+//! buffer up to [`TransportConfig::max_write_buf`]; a connection that
+//! exceeds it is marked failed and dropped. Slowness costs the slow
+//! client its connection, never the server its memory or its workers.
+//!
+//! # Connection lifecycle
+//!
+//! ```text
+//! accept -> reading <-> dispatch -> (responses buffered per conn)
+//!    reading: EOF or oversized line  -> draining (no more reads)
+//!    draining: write buffer empty AND no in-flight response pending -> closed
+//!    any state: write failure / overflow -> closed (failed)
+//! ```
+//!
+//! "No in-flight response pending" is tracked by `Arc` strong counts on
+//! the connection's [`SharedWriter`]: every queued job, coalesced rider,
+//! and sweep flight holds a clone until its response is written, so a
+//! count of one means every accepted request has answered and the
+//! connection can close without dropping a response.
+
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use crate::protocol::{Response, MAX_LINE_BYTES};
+use crate::server::{Server, SharedWriter};
+
+/// Tunables for the event loop.
+#[derive(Debug, Clone)]
+pub struct TransportConfig {
+    /// Accepted connections beyond this wait in the listen backlog.
+    pub max_connections: usize,
+    /// Per-connection write buffer cap (bytes); a connection that falls
+    /// further behind than this is dropped (see the backpressure policy).
+    pub max_write_buf: usize,
+    /// Poll timeout (ms): the latency floor for noticing server
+    /// termination; also the scan period of the non-Linux fallback.
+    pub poll_timeout_ms: u64,
+}
+
+impl Default for TransportConfig {
+    fn default() -> Self {
+        Self {
+            max_connections: 1024,
+            max_write_buf: 8 * 1024 * 1024,
+            poll_timeout_ms: 20,
+        }
+    }
+}
+
+/// The write half of one connection, shared between the event loop and
+/// every worker holding the connection's [`SharedWriter`]. Never blocks.
+struct ConnOut {
+    stream: TcpStream,
+    buf: Mutex<Vec<u8>>,
+    failed: AtomicBool,
+    max_buf: usize,
+}
+
+impl ConnOut {
+    /// Queue `data` for this connection: straight to the socket while it
+    /// accepts bytes, the remainder into the buffer. Marks the connection
+    /// failed (to be dropped by the loop) on write errors or overflow.
+    fn enqueue(&self, data: &[u8]) {
+        if self.failed.load(Ordering::Relaxed) {
+            return;
+        }
+        let mut buf = lock(&self.buf);
+        let mut off = 0;
+        if buf.is_empty() {
+            // Fast path: the socket usually has room for a whole response.
+            off = match write_some(&self.stream, data) {
+                Some(n) => n,
+                None => {
+                    self.failed.store(true, Ordering::Relaxed);
+                    return;
+                }
+            };
+        }
+        if off < data.len() {
+            buf.extend_from_slice(&data[off..]);
+            if buf.len() > self.max_buf {
+                // Slow consumer: shed the connection, not server memory.
+                self.failed.store(true, Ordering::Relaxed);
+                buf.clear();
+            }
+        }
+    }
+
+    /// Push buffered bytes to the socket (called on writability).
+    fn try_flush(&self) {
+        if self.failed.load(Ordering::Relaxed) {
+            return;
+        }
+        let mut buf = lock(&self.buf);
+        if buf.is_empty() {
+            return;
+        }
+        match write_some(&self.stream, &buf) {
+            Some(n) => {
+                buf.drain(..n);
+            }
+            None => {
+                self.failed.store(true, Ordering::Relaxed);
+                buf.clear();
+            }
+        }
+    }
+
+    fn pending(&self) -> bool {
+        !lock(&self.buf).is_empty()
+    }
+}
+
+/// Write as much of `data` as the non-blocking socket takes right now.
+/// `Some(n)` = first n bytes written; `None` = the connection is dead.
+fn write_some(mut stream: &TcpStream, data: &[u8]) -> Option<usize> {
+    let mut off = 0;
+    while off < data.len() {
+        match stream.write(&data[off..]) {
+            Ok(0) => return None,
+            Ok(n) => off += n,
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(_) => return None,
+        }
+    }
+    Some(off)
+}
+
+/// The [`SharedWriter`] face of a [`ConnOut`]: workers "write" responses,
+/// the transport delivers them. Infallible by design — delivery problems
+/// surface as the connection failing, never as worker errors.
+struct ConnWriter(Arc<ConnOut>);
+
+impl Write for ConnWriter {
+    fn write(&mut self, data: &[u8]) -> std::io::Result<usize> {
+        self.0.enqueue(data);
+        Ok(data.len())
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        self.0.try_flush();
+        Ok(())
+    }
+}
+
+struct Conn {
+    stream: TcpStream,
+    out: Arc<ConnOut>,
+    writer: SharedWriter,
+    /// Partial-line reassembly buffer.
+    rd: Vec<u8>,
+    /// No more reads (client EOF or protocol violation); the connection
+    /// drains its remaining responses and closes.
+    eof: bool,
+}
+
+impl Conn {
+    fn new(stream: TcpStream, max_write_buf: usize) -> std::io::Result<Self> {
+        stream.set_nonblocking(true)?;
+        let out = Arc::new(ConnOut {
+            stream: stream.try_clone()?,
+            buf: Mutex::new(Vec::new()),
+            failed: AtomicBool::new(false),
+            max_buf: max_write_buf,
+        });
+        let writer: SharedWriter = Arc::new(Mutex::new(Box::new(ConnWriter(Arc::clone(&out)))));
+        Ok(Conn {
+            stream,
+            out,
+            writer,
+            rd: Vec::new(),
+            eof: false,
+        })
+    }
+
+    /// Drain readable bytes; returns `false` when the connection hit EOF
+    /// or a fatal read error (reads stop; writes may still drain).
+    fn fill(&mut self) -> bool {
+        let mut chunk = [0u8; 16 * 1024];
+        loop {
+            match (&self.stream).read(&mut chunk) {
+                Ok(0) => return false,
+                Ok(n) => self.rd.extend_from_slice(&chunk[..n]),
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return true,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(_) => return false,
+            }
+        }
+    }
+
+    /// Pop the next complete line out of the reassembly buffer.
+    fn next_line(&mut self) -> Option<String> {
+        let nl = self.rd.iter().position(|&b| b == b'\n')?;
+        let mut line: Vec<u8> = self.rd.drain(..=nl).collect();
+        line.pop(); // the \n
+        if line.last() == Some(&b'\r') {
+            line.pop();
+        }
+        Some(String::from_utf8_lossy(&line).into_owned())
+    }
+
+    /// Whether every response this connection is owed has been written
+    /// and delivered. The loop-owned handle plus the `ConnOut`'s own ref
+    /// account for... nothing: `writer` clones are held only by in-flight
+    /// work, so strong_count == 1 means no response is outstanding.
+    fn drained(&self) -> bool {
+        Arc::strong_count(&self.writer) == 1 && !self.out.pending()
+    }
+}
+
+/// Run the event loop until the server terminates (a `shutdown` request on
+/// any connection, or [`Server::shutdown_now`] from another thread).
+/// Call from a dedicated thread; the loop itself is single-threaded.
+pub fn serve(listener: TcpListener, server: &Server, cfg: TransportConfig) -> std::io::Result<()> {
+    listener.set_nonblocking(true)?;
+    let mut conns: Vec<Conn> = Vec::new();
+    loop {
+        if server.is_terminated() {
+            final_flush(&mut conns);
+            return Ok(());
+        }
+        let accept_slot = conns.len() < cfg.max_connections;
+        let ready = wait_ready(&listener, &conns, accept_slot, cfg.poll_timeout_ms);
+        if ready.accept {
+            accept_burst(&listener, &mut conns, &cfg);
+        }
+        let mut shutdown = false;
+        for (i, conn) in conns.iter_mut().enumerate() {
+            if conn.eof || !ready.read.contains(&i) {
+                continue;
+            }
+            if !conn.fill() {
+                conn.eof = true;
+            }
+            while let Some(line) = conn.next_line() {
+                if server.dispatch_line(&line, &conn.writer) {
+                    shutdown = true;
+                    conn.eof = true;
+                    break;
+                }
+            }
+            if !conn.eof && conn.rd.len() > MAX_LINE_BYTES {
+                // A line longer than the protocol allows, still without a
+                // newline: answer structured and stop reading this client
+                // rather than buffering without bound.
+                let resp = Response::error(
+                    "-",
+                    "?",
+                    format!("request line exceeds {MAX_LINE_BYTES} bytes"),
+                );
+                conn.out.enqueue(resp.render().as_bytes());
+                conn.rd.clear();
+                conn.eof = true;
+            }
+        }
+        for conn in &conns {
+            if conn.out.pending() {
+                conn.out.try_flush();
+            }
+        }
+        conns.retain(|c| !(c.out.failed.load(Ordering::Relaxed) || c.eof && c.drained()));
+        if shutdown {
+            final_flush(&mut conns);
+            return Ok(());
+        }
+    }
+}
+
+fn accept_burst(listener: &TcpListener, conns: &mut Vec<Conn>, cfg: &TransportConfig) {
+    while conns.len() < cfg.max_connections {
+        match listener.accept() {
+            Ok((stream, _addr)) => {
+                if let Ok(conn) = Conn::new(stream, cfg.max_write_buf) {
+                    conns.push(conn);
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(_) => break,
+        }
+    }
+}
+
+/// Deliver whatever responses are still buffered before closing (bounded:
+/// a client that stopped reading cannot wedge shutdown).
+fn final_flush(conns: &mut [Conn]) {
+    let deadline = Instant::now() + Duration::from_secs(3);
+    loop {
+        let mut pending = false;
+        for conn in conns.iter() {
+            if conn.out.failed.load(Ordering::Relaxed) {
+                continue;
+            }
+            conn.out.try_flush();
+            pending |= conn.out.pending();
+        }
+        if !pending || Instant::now() >= deadline {
+            return;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+}
+
+/// Which fds came back ready.
+struct Ready {
+    accept: bool,
+    /// Indices into the connection list with readable data (or EOF/error,
+    /// which a read will surface).
+    read: std::collections::HashSet<usize>,
+}
+
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+#[cfg(target_os = "linux")]
+mod sys {
+    //! Minimal hand-declared `poll(2)` binding — the repo's no-new-deps
+    //! rule rules out libc/mio, and the three types involved are ABI-firm.
+
+    #[repr(C)]
+    pub struct Pollfd {
+        pub fd: i32,
+        pub events: i16,
+        pub revents: i16,
+    }
+
+    pub const POLLIN: i16 = 0x001;
+    pub const POLLOUT: i16 = 0x004;
+    pub const POLLERR: i16 = 0x008;
+    pub const POLLHUP: i16 = 0x010;
+
+    extern "C" {
+        pub fn poll(fds: *mut Pollfd, nfds: u64, timeout: i32) -> i32;
+    }
+}
+
+#[cfg(target_os = "linux")]
+fn wait_ready(listener: &TcpListener, conns: &[Conn], accept_slot: bool, timeout_ms: u64) -> Ready {
+    use std::os::fd::AsRawFd;
+
+    let mut fds = Vec::with_capacity(conns.len() + 1);
+    // Slot 0 is the listener when we have room for another connection.
+    if accept_slot {
+        fds.push(sys::Pollfd {
+            fd: listener.as_raw_fd(),
+            events: sys::POLLIN,
+            revents: 0,
+        });
+    }
+    let base = fds.len();
+    for conn in conns {
+        let mut events = 0i16;
+        if !conn.eof {
+            events |= sys::POLLIN;
+        }
+        if conn.out.pending() {
+            events |= sys::POLLOUT;
+        }
+        fds.push(sys::Pollfd {
+            fd: conn.stream.as_raw_fd(),
+            events,
+            revents: 0,
+        });
+    }
+    let rc = unsafe { sys::poll(fds.as_mut_ptr(), fds.len() as u64, timeout_ms as i32) };
+    let mut ready = Ready {
+        accept: false,
+        read: std::collections::HashSet::new(),
+    };
+    if rc <= 0 {
+        // Timeout, or EINTR/transient error — either way, just poll again.
+        return ready;
+    }
+    if accept_slot && fds[0].revents & (sys::POLLIN | sys::POLLERR) != 0 {
+        ready.accept = true;
+    }
+    for (i, pfd) in fds[base..].iter().enumerate() {
+        // ERR/HUP count as readable: the read path surfaces the close.
+        if pfd.revents & (sys::POLLIN | sys::POLLERR | sys::POLLHUP) != 0 {
+            ready.read.insert(i);
+        }
+        // POLLOUT needs no flag: the loop flushes every pending conn.
+    }
+    ready
+}
+
+#[cfg(not(target_os = "linux"))]
+fn wait_ready(
+    _listener: &TcpListener,
+    conns: &[Conn],
+    accept_slot: bool,
+    timeout_ms: u64,
+) -> Ready {
+    // Portable fallback: no readiness signal, so pace with a sleep and
+    // optimistically try every socket — all are non-blocking, so a
+    // not-ready socket costs one WouldBlock.
+    std::thread::sleep(Duration::from_millis(timeout_ms.max(1)));
+    Ready {
+        accept: accept_slot,
+        read: (0..conns.len()).collect(),
+    }
+}

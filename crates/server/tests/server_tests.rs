@@ -38,7 +38,11 @@ fn wait_all(sink: &Sink, ids: &[String]) -> Vec<(graphsig_server::ResponseHeader
                 return responses;
             }
         }
-        assert!(Instant::now() < deadline, "timed out waiting for responses");
+        assert!(
+            Instant::now() < deadline,
+            "timed out waiting for responses; stream so far:\n{}",
+            String::from_utf8_lossy(&buf)
+        );
         std::thread::sleep(Duration::from_millis(10));
     }
 }
@@ -195,6 +199,233 @@ fn sweep_payload_segments_match_individual_freq_calls() {
     let responses = wait_all(&sink, &["z".to_string()]);
     let (h, _) = responses.iter().find(|(h, _)| h.id == "z").unwrap();
     assert_eq!(h.status, Status::Error);
+    server.join();
+}
+
+/// Poll the server snapshot until `pred` holds (or panic after 30s).
+fn wait_snapshot(
+    server: &Server,
+    what: &str,
+    pred: impl Fn(&graphsig_server::ServerSnapshot) -> bool,
+) {
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while !pred(&server.snapshot()) {
+        assert!(Instant::now() < deadline, "timed out waiting for {what}");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+}
+
+#[test]
+fn identical_concurrent_mines_coalesce_to_one_run() {
+    let server = Server::new(ServerConfig {
+        workers: 4,
+        queue_capacity: 64,
+        allow_inject: true,
+        ..ServerConfig::default()
+    });
+    let sink = Sink::default();
+    let out = writer(&sink);
+    server.dispatch_line("load id=L dataset=d gen=aids count=80 seed=7", &out);
+    wait_all(&sink, &["L".to_string()]);
+
+    // A slow leader holds the flight open; two byte-identical requests
+    // arrive while it sleeps and must attach as riders rather than
+    // running (or even preparing) anything themselves.
+    let mine = "mine dataset=d min_freq=0.05 max_pvalue=0.05 radius=3 sleep_ms=1500";
+    server.dispatch_line(&format!("{mine} id=lead"), &out);
+    wait_snapshot(&server, "leader to start", |s| s.active >= 1);
+    server.dispatch_line(&format!("{mine} id=ride1"), &out);
+    server.dispatch_line(&format!("{mine} id=ride2"), &out);
+    // The coalesce counter proves both attached to the in-flight run
+    // *before* it completed — not that they merely ran the same job.
+    wait_snapshot(&server, "riders to attach", |s| s.coalesce_riders == 2);
+
+    let ids: Vec<String> = ["lead", "ride1", "ride2"]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    let responses = wait_all(&sink, &ids);
+    let body = |id: &str| -> &[u8] {
+        let (h, b) = responses.iter().find(|(h, _)| h.id == id).expect(id);
+        assert_eq!(h.status, Status::Ok, "{id}");
+        assert_eq!(h.field("completion"), Some("complete"), "{id}");
+        b
+    };
+    assert_eq!(body("lead"), body("ride1"), "rider payload differs");
+    assert_eq!(body("lead"), body("ride2"), "rider payload differs");
+
+    let snap = server.snapshot();
+    assert_eq!(snap.coalesce_leads, 1, "exactly one flight led");
+    assert_eq!(snap.coalesce_riders, 2, "both followers attached");
+    // One prepare across three requests: the window pass ran once.
+    server.dispatch_line("stats id=S dataset=d", &out);
+    let responses = wait_all(&sink, &["S".to_string()]);
+    let (h, _) = responses.iter().find(|(h, _)| h.id == "S").unwrap();
+    assert_eq!(h.field("prepared_misses"), Some("1"));
+    assert_eq!(h.field("prepared_hits"), Some("0"));
+    server.join();
+}
+
+#[test]
+fn rider_cancel_detaches_without_cancelling_the_shared_run() {
+    let server = Server::new(ServerConfig {
+        workers: 4,
+        allow_inject: true,
+        ..ServerConfig::default()
+    });
+    let sink = Sink::default();
+    let out = writer(&sink);
+    server.dispatch_line("load id=L dataset=d gen=aids count=40 seed=2", &out);
+    wait_all(&sink, &["L".to_string()]);
+
+    let mine = "mine dataset=d min_freq=0.05 max_pvalue=0.05 radius=3 sleep_ms=60000";
+    server.dispatch_line(&format!("{mine} id=lead"), &out);
+    wait_snapshot(&server, "leader to start", |s| s.active >= 1);
+    server.dispatch_line(&format!("{mine} id=ride"), &out);
+    wait_snapshot(&server, "rider to attach", |s| s.coalesce_riders == 1);
+
+    // Cancelling the rider detaches it immediately: it answers
+    // `truncated (cancelled)` with full dataset identity while the
+    // shared run keeps going for the leader.
+    server.dispatch_line("cancel id=c1 target=ride", &out);
+    let responses = wait_all(&sink, &["c1".to_string(), "ride".to_string()]);
+    let (h, _) = responses.iter().find(|(h, _)| h.id == "c1").unwrap();
+    assert_eq!(h.field("found"), Some("true"));
+    let (h, _) = responses.iter().find(|(h, _)| h.id == "ride").unwrap();
+    assert_eq!(h.status, Status::Ok);
+    assert_eq!(h.field("completion"), Some("truncated (cancelled)"));
+    assert_eq!(h.field("dataset"), Some("d"));
+    assert_eq!(h.field("version"), Some("1"));
+    let snap = server.snapshot();
+    assert_eq!(snap.active, 1, "shared run must survive a rider cancel");
+
+    // Cancelling the last participant cancels the group token: the
+    // 60s sleep wakes immediately instead of running out the clock.
+    server.dispatch_line("cancel id=c2 target=lead", &out);
+    let responses = wait_all(&sink, &["c2".to_string(), "lead".to_string()]);
+    let (h, _) = responses.iter().find(|(h, _)| h.id == "lead").unwrap();
+    assert_eq!(h.field("completion"), Some("truncated (cancelled)"));
+    wait_snapshot(&server, "workers to idle", |s| s.active == 0);
+    server.join();
+}
+
+#[test]
+fn leader_panic_fails_every_rider() {
+    let server = Server::new(ServerConfig {
+        workers: 4,
+        allow_inject: true,
+        ..ServerConfig::default()
+    });
+    let sink = Sink::default();
+    let out = writer(&sink);
+    server.dispatch_line("load id=L dataset=d gen=aids count=40 seed=2", &out);
+    wait_all(&sink, &["L".to_string()]);
+
+    let mine = "mine dataset=d min_freq=0.05 max_pvalue=0.05 radius=3 sleep_ms=1500 inject=panic";
+    server.dispatch_line(&format!("{mine} id=lead"), &out);
+    wait_snapshot(&server, "leader to start", |s| s.active >= 1);
+    server.dispatch_line(&format!("{mine} id=ride"), &out);
+    wait_snapshot(&server, "rider to attach", |s| s.coalesce_riders == 1);
+
+    let responses = wait_all(&sink, &["lead".to_string(), "ride".to_string()]);
+    for id in ["lead", "ride"] {
+        let (h, _) = responses.iter().find(|(h, _)| h.id == id).expect(id);
+        assert_eq!(h.status, Status::Error, "{id}");
+        assert!(h.field("error").unwrap().contains("panicked"), "{id}");
+    }
+    // One panic isolated — the rider's failure is the same panic, not a
+    // second one — and the server keeps serving.
+    assert_eq!(server.snapshot().panics, 1);
+    server.dispatch_line("ping id=alive", &out);
+    wait_all(&sink, &["alive".to_string()]);
+    server.join();
+}
+
+#[test]
+fn sweep_segments_do_not_starve_other_requests() {
+    // One worker, one long sweep: per-threshold segments queue behind
+    // regular requests, so a freq submitted mid-sweep completes before
+    // the sweep does instead of waiting out every threshold.
+    let server = Server::new(ServerConfig {
+        workers: 1,
+        ..ServerConfig::default()
+    });
+    let sink = Sink::default();
+    let out = writer(&sink);
+    server.dispatch_line("load id=L dataset=d gen=aids count=200 seed=9", &out);
+    wait_all(&sink, &["L".to_string()]);
+    server.dispatch_line(
+        "sweep id=s dataset=d supports=80,60,40,30,20,10 max_edges=5",
+        &out,
+    );
+    // Catch the sweep mid-flight with segments still queued.
+    wait_snapshot(&server, "sweep segments to queue", |s| s.segments >= 3);
+    server.dispatch_line("freq id=m dataset=d min_support=100 max_edges=3", &out);
+    let responses = wait_all(&sink, &["m".to_string(), "s".to_string()]);
+    let pos = |id: &str| responses.iter().position(|(h, _)| h.id == id).expect(id);
+    assert!(
+        pos("m") < pos("s"),
+        "freq response must precede the sweep's: segments hogged the worker"
+    );
+    let (h, _) = &responses[pos("s")];
+    assert_eq!(h.status, Status::Ok);
+    assert_eq!(h.field("completion"), Some("complete"));
+    server.join();
+}
+
+#[test]
+fn busy_rejected_request_is_never_cancellable() {
+    // Regression: `submit` used to register the request id in the
+    // inflight table *before* the capacity check, so a cancel racing a
+    // busy rejection could observe (and report found=true for) a request
+    // the server never accepted.
+    let server = Server::new(ServerConfig {
+        workers: 1,
+        queue_capacity: 1,
+        allow_inject: true,
+        ..ServerConfig::default()
+    });
+    let sink = Sink::default();
+    let out = writer(&sink);
+    server.dispatch_line("load id=L dataset=d gen=aids count=30 seed=1", &out);
+    wait_all(&sink, &["L".to_string()]);
+    // Pin the only worker, then fill the only queue slot.
+    let cheap = "min_freq=0.05 max_pvalue=0.05 radius=3";
+    server.dispatch_line(
+        &format!("mine id=pin dataset=d {cheap} sleep_ms=60000"),
+        &out,
+    );
+    wait_snapshot(&server, "pin to start", |s| s.active == 1);
+    server.dispatch_line(&format!("mine id=fill dataset=d {cheap}"), &out);
+    wait_snapshot(&server, "queue to fill", |s| s.queued == 1);
+
+    for i in 0..8 {
+        server.dispatch_line(&format!("mine id=race{i} dataset=d {cheap}"), &out);
+        server.dispatch_line(&format!("cancel id=c{i} target=race{i}"), &out);
+    }
+    let ids: Vec<String> = (0..8)
+        .flat_map(|i| [format!("race{i}"), format!("c{i}")])
+        .collect();
+    let responses = wait_all(&sink, &ids);
+    for i in 0..8 {
+        let (h, _) = responses
+            .iter()
+            .find(|(h, _)| h.id == format!("race{i}"))
+            .unwrap();
+        assert_eq!(h.status, Status::Busy, "race{i} must be busy-rejected");
+        let (h, _) = responses
+            .iter()
+            .find(|(h, _)| h.id == format!("c{i}"))
+            .unwrap();
+        assert_eq!(
+            h.field("found"),
+            Some("false"),
+            "cancel c{i} observed a token for a request the server rejected"
+        );
+    }
+    assert_eq!(server.snapshot().busy_rejected, 8);
+    server.dispatch_line("cancel id=cp target=pin", &out);
+    wait_all(&sink, &["pin".to_string(), "fill".to_string()]);
     server.join();
 }
 
