@@ -1,0 +1,122 @@
+//! Chaos soak: seeded randomized fault schedules against the whole
+//! serving stack — the store fault plane (transient I/O, short reads,
+//! stalls, permanent faults, mid-ingest kills), the server engine
+//! (cancellation, coalescing, panics isolated per request), the memory
+//! admission governor (spike loads past the ceiling), and the TCP
+//! connection lifecycle deadlines (dead / idle / active / slow clients).
+//!
+//! Every schedule asserts the hard invariants from the inside
+//! ([`graphsig_server::chaos::run`] returns `Err` on the first
+//! violation): zero panics, exactly one response per accepted request,
+//! mine payloads byte-identical to an unfaulted oracle, mid-ingest kills
+//! recovering to a consistent `store_version`, and structured
+//! `resource_exhausted` rejections with the server still up.
+//!
+//! `--smoke` runs the CI gate: at least 8 schedules and at least 500
+//! injected fault events in total, writing nothing. The full run writes
+//! `BENCH_chaos.json`.
+//!
+//! Usage: `bench_chaos [--seed u] [--schedules n] [--out path] [--smoke]`
+
+use std::process::ExitCode;
+
+use graphsig_server::chaos::{render_json, run, ChaosConfig};
+
+const SMOKE_MIN_SCHEDULES: usize = 8;
+const SMOKE_MIN_FAULT_EVENTS: u64 = 500;
+
+fn main() -> ExitCode {
+    let mut cfg = ChaosConfig::default();
+    let mut smoke = false;
+    let mut out = String::from("BENCH_chaos.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--smoke" => smoke = true,
+            "--seed" => cfg.seed = parse(args.next(), "--seed"),
+            "--schedules" => cfg.schedules = parse(args.next(), "--schedules"),
+            "--out" => out = args.next().unwrap_or_else(|| usage("--out needs a path")),
+            other => usage(&format!("unknown argument '{other}'")),
+        }
+    }
+    if smoke && cfg.schedules < SMOKE_MIN_SCHEDULES {
+        cfg.schedules = SMOKE_MIN_SCHEDULES;
+    }
+
+    println!(
+        "# chaos soak: {} schedules from seed {:#x}",
+        cfg.schedules, cfg.seed
+    );
+    let report = match run(&cfg) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("chaos invariant violated: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    for s in &report.schedules {
+        println!(
+            "schedule {:#x}: {} requests, {} fault events, {} retries, kill_recovered={} \
+             spike_rejected={} oracle_identical={}",
+            s.seed,
+            s.requests,
+            s.fault_events,
+            s.retries,
+            s.kill_recovered,
+            s.spike_rejected,
+            s.oracle_identical
+        );
+    }
+    println!(
+        "total: {} fault events, {} requests, {} retries, lifecycle_ok={} ({} ms)",
+        report.total_fault_events,
+        report.total_requests,
+        report.total_retries,
+        report.lifecycle_ok,
+        report.elapsed_ms
+    );
+
+    if smoke {
+        // The CI gate: enough schedules, enough injected faults, and every
+        // in-schedule invariant already held (run() returned Ok).
+        if report.schedules.len() < SMOKE_MIN_SCHEDULES {
+            eprintln!(
+                "smoke: only {} schedules ran (need >= {SMOKE_MIN_SCHEDULES})",
+                report.schedules.len()
+            );
+            return ExitCode::FAILURE;
+        }
+        if report.total_fault_events < SMOKE_MIN_FAULT_EVENTS {
+            eprintln!(
+                "smoke: only {} fault events injected (need >= {SMOKE_MIN_FAULT_EVENTS})",
+                report.total_fault_events
+            );
+            return ExitCode::FAILURE;
+        }
+        if !report.lifecycle_ok {
+            eprintln!("smoke: connection lifecycle phase failed");
+            return ExitCode::FAILURE;
+        }
+        println!("smoke OK");
+        return ExitCode::SUCCESS;
+    }
+
+    let json = render_json(&report, cfg.seed);
+    if let Err(e) = std::fs::write(&out, json) {
+        eprintln!("writing {out}: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!("wrote {out}");
+    ExitCode::SUCCESS
+}
+
+fn parse<T: std::str::FromStr>(v: Option<String>, flag: &str) -> T {
+    v.and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| usage(&format!("{flag} needs a numeric value")))
+}
+
+fn usage(err: &str) -> ! {
+    eprintln!("bench_chaos: {err}");
+    eprintln!("usage: bench_chaos [--seed u] [--schedules n] [--out path] [--smoke]");
+    std::process::exit(2);
+}

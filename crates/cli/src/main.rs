@@ -71,13 +71,22 @@ fn print_usage() {
          \x20 graphsig serve [--tcp ADDR] [--workers N] [--queue N] [--default-timeout-ms MS]\n\
          \x20                      [--max-timeout-ms MS] [--max-steps-ceiling N]\n\
          \x20                      [--drain-ms MS] [--max-conns N] [--max-write-buf BYTES]\n\
-         \x20                      [--allow-inject] [--smoke]\n\
+         \x20                      [--auth-token TOKEN] [--max-resident-bytes BYTES]\n\
+         \x20                      [--idle-timeout-ms MS] [--handshake-timeout-ms MS]\n\
+         \x20                      [--log] [--allow-inject] [--smoke] [--chaos]\n\
          \x20                      (keeps datasets resident; line protocol on stdio, or TCP\n\
          \x20                       with --tcp — one event loop serves every connection, so\n\
          \x20                       identical concurrent mines coalesce into one run;\n\
          \x20                       --max-conns caps accepted connections, --max-write-buf\n\
          \x20                       bounds per-client response buffering before disconnect;\n\
-         \x20                       --smoke runs the fault-injection self-test)\n\
+         \x20                       --auth-token requires `auth token=...` first on TCP;\n\
+         \x20                       --max-resident-bytes rejects loads past the memory\n\
+         \x20                       ceiling with code=resource_exhausted after LRU-evicting\n\
+         \x20                       cold caches; --idle/--handshake-timeout-ms reap silent\n\
+         \x20                       connections while in-flight requests proceed; --log\n\
+         \x20                       emits one line per completed request on stderr;\n\
+         \x20                       --smoke runs the fault-injection self-test, --chaos the\n\
+         \x20                       seeded chaos soak)\n\
          \x20 graphsig pack <file> <dir> [--shard-size N] [--append]\n\
          \x20                      (write a checksummed sharded binary store; --append adds\n\
          \x20                       the file's graphs to an existing store atomically)\n\
@@ -229,7 +238,7 @@ fn cmd_mine(args: &[String]) -> Result<(), String> {
 
 fn cmd_serve(args: &[String]) -> Result<(), String> {
     // Boolean flags first; take_flags only understands `--flag value`.
-    let (mut smoke, mut allow_inject) = (false, false);
+    let (mut smoke, mut allow_inject, mut chaos, mut log) = (false, false, false, false);
     let rest: Vec<String> = args
         .iter()
         .filter(|a| match a.as_str() {
@@ -241,6 +250,14 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
                 allow_inject = true;
                 false
             }
+            "--chaos" => {
+                chaos = true;
+                false
+            }
+            "--log" => {
+                log = true;
+                false
+            }
             _ => true,
         })
         .cloned()
@@ -248,6 +265,8 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     let (mut tcp, mut workers, mut queue) = (None, None, None);
     let (mut default_timeout_ms, mut max_timeout_ms, mut max_steps_ceiling) = (None, None, None);
     let (mut drain_ms, mut max_conns, mut max_write_buf) = (None, None, None);
+    let (mut auth_token, mut max_resident_bytes) = (None, None);
+    let (mut idle_timeout_ms, mut handshake_timeout_ms) = (None, None);
     let positional = take_flags(
         &rest,
         &mut [
@@ -260,6 +279,10 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
             ("--drain-ms", &mut drain_ms),
             ("--max-conns", &mut max_conns),
             ("--max-write-buf", &mut max_write_buf),
+            ("--auth-token", &mut auth_token),
+            ("--max-resident-bytes", &mut max_resident_bytes),
+            ("--idle-timeout-ms", &mut idle_timeout_ms),
+            ("--handshake-timeout-ms", &mut handshake_timeout_ms),
         ],
     )?;
     if !positional.is_empty() {
@@ -272,6 +295,18 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         eprintln!("serve --smoke: all checks passed");
         return Ok(());
     }
+    if chaos {
+        let report = graphsig_server::chaos::run(&graphsig_server::chaos::ChaosConfig::default())?;
+        eprintln!(
+            "serve --chaos: {} schedules, {} requests, {} injected fault events, \
+             {} retries — every invariant held",
+            report.schedules.len(),
+            report.total_requests,
+            report.total_fault_events,
+            report.total_retries,
+        );
+        return Ok(());
+    }
     let defaults = ServerConfig::default();
     let cfg = ServerConfig {
         workers: parse_or(&workers, defaults.workers, "--workers")?,
@@ -281,6 +316,10 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         max_steps_ceiling: parse_opt(&max_steps_ceiling, "--max-steps-ceiling")?,
         drain_ms: parse_or(&drain_ms, defaults.drain_ms, "--drain-ms")?,
         allow_inject,
+        max_resident_bytes: parse_opt(&max_resident_bytes, "--max-resident-bytes")?,
+        auth_token,
+        log,
+        ..defaults
     };
     let transport_defaults = TransportConfig::default();
     let transport = TransportConfig {
@@ -294,6 +333,8 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
             transport_defaults.max_write_buf,
             "--max-write-buf",
         )?,
+        idle_timeout_ms: parse_opt(&idle_timeout_ms, "--idle-timeout-ms")?,
+        handshake_timeout_ms: parse_opt(&handshake_timeout_ms, "--handshake-timeout-ms")?,
         ..transport_defaults
     };
     match tcp {
@@ -414,6 +455,21 @@ fn cmd_verify(args: &[String]) -> Result<(), String> {
         return Err("verify needs exactly one store directory".into());
     };
     let dir = std::path::Path::new(dir.as_str());
+    // Distinguish "no store here" from "store here, but damaged": a
+    // missing or storeless directory gets one clear line instead of a
+    // shard-by-shard corruption report for a store that never existed.
+    if !dir.exists() {
+        return Err(format!(
+            "not a graphsig store: {} does not exist (no MANIFEST.gsm manifest)",
+            dir.display()
+        ));
+    }
+    if !dir.join(graphsig_store::MANIFEST_NAME).is_file() {
+        return Err(format!(
+            "not a graphsig store: no MANIFEST.gsm manifest in {}",
+            dir.display()
+        ));
+    }
     let started = std::time::Instant::now();
     if lenient {
         let opened = graphsig_store::open_lenient(dir).map_err(|e| e.to_string())?;

@@ -156,6 +156,30 @@ fn verify_on_missing_store_is_a_clean_error() {
 }
 
 #[test]
+fn verify_on_empty_dir_names_the_missing_manifest() {
+    // A directory with no MANIFEST.gsm is "not a store", and the
+    // diagnostic must say so in one line — distinct from the
+    // nonexistent-directory case and from a damaged-store report.
+    let dir = std::env::temp_dir().join(format!("graphsig-neg-emptydir-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    let dir_s = dir.to_string_lossy().into_owned();
+    let (_, err, ok) = run(&["verify", &dir_s]);
+    assert!(!ok, "verify must fail on a storeless directory");
+    assert!(err.contains("not a graphsig store"), "{err}");
+    assert!(err.contains("no MANIFEST.gsm"), "{err}");
+    assert!(!err.contains("does not exist"), "{err}");
+    // Lenient mode takes the same gate.
+    let (_, err, ok) = run(&["verify", &dir_s, "--lenient"]);
+    assert!(!ok, "lenient verify must also fail with no manifest");
+    assert!(err.contains("not a graphsig store"), "{err}");
+    // The nonexistent case stays distinct.
+    std::fs::remove_dir_all(&dir).ok();
+    let (_, err, ok) = run(&["verify", &dir_s]);
+    assert!(!ok);
+    assert!(err.contains("does not exist"), "{err}");
+}
+
+#[test]
 fn classify_requires_three_files() {
     let (_, err, ok) = run(&["classify", "only.txt"]);
     assert!(!ok);

@@ -568,3 +568,193 @@ fn serve_answers_control_requests_and_reports_errors() {
     let (bye, _) = response(&responses, "bye");
     assert_eq!(bye.status, Status::Ok);
 }
+
+/// Spawn `graphsig serve --tcp 127.0.0.1:0 <extra>` and return the child
+/// plus the address it reported on stderr.
+fn spawn_tcp(extra_args: &[&str]) -> (std::process::Child, String) {
+    let mut child = graphsig()
+        .args(["serve", "--tcp", "127.0.0.1:0"])
+        .args(extra_args)
+        .stdin(Stdio::null())
+        .stdout(Stdio::null())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn graphsig serve --tcp");
+    let mut banner = String::new();
+    std::io::BufReader::new(child.stderr.take().expect("piped stderr"))
+        .read_line(&mut banner)
+        .expect("read listen banner");
+    let addr = banner
+        .trim()
+        .rsplit("listening on ")
+        .next()
+        .expect("address in banner")
+        .to_string();
+    (child, addr)
+}
+
+/// Read from `stream` until EOF or `deadline`; returns the bytes and
+/// whether EOF was observed.
+fn drain(stream: &mut std::net::TcpStream, deadline: std::time::Instant) -> (Vec<u8>, bool) {
+    stream
+        .set_read_timeout(Some(std::time::Duration::from_millis(100)))
+        .expect("read timeout");
+    let mut buf = Vec::new();
+    let mut chunk = [0u8; 16 * 1024];
+    while std::time::Instant::now() < deadline {
+        match stream.read(&mut chunk) {
+            Ok(0) => return (buf, true),
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut => {}
+            Err(_) => return (buf, true),
+        }
+    }
+    (buf, false)
+}
+
+#[test]
+fn tcp_auth_token_gates_every_op_until_authenticated() {
+    let (mut child, addr) = spawn_tcp(&["--auth-token", "s3cret", "--workers", "2"]);
+
+    // Unauthenticated requests are rejected structured, connection open.
+    let mut c = Client::connect(&addr);
+    c.send("ping id=p1\nauth id=bad token=wrong\nauth id=good token=s3cret\nping id=p2\n");
+    let responses = c.wait(&["p1", "bad", "good", "p2"]);
+    let (p1, _) = response(&responses, "p1");
+    assert_eq!(p1.status, Status::Error);
+    assert_eq!(p1.field("code"), Some("unauthorized"));
+    let (bad, _) = response(&responses, "bad");
+    assert_eq!(bad.status, Status::Error);
+    let (good, _) = response(&responses, "good");
+    assert_eq!(good.status, Status::Ok, "{good:?}");
+    let (p2, _) = response(&responses, "p2");
+    assert_eq!(p2.status, Status::Ok, "authenticated ping must pass");
+
+    // A second connection starts unauthenticated again.
+    let mut c2 = Client::connect(&addr);
+    c2.send("stats id=s\n");
+    let responses = c2.wait(&["s"]);
+    assert_eq!(response(&responses, "s").0.status, Status::Error);
+
+    c.send("shutdown id=bye\n");
+    c.wait(&["bye"]);
+    assert!(child.wait().expect("child exits").success());
+}
+
+#[test]
+fn stdio_transport_is_exempt_from_auth() {
+    // Local stdin/stdout is trusted: no auth handshake required even
+    // with --auth-token configured.
+    let responses = serve_script(
+        &["--auth-token", "s3cret", "--workers", "2"],
+        "ping id=p\nshutdown id=bye\n",
+    );
+    assert_eq!(response(&responses, "p").0.status, Status::Ok);
+}
+
+#[test]
+fn tcp_idle_timeout_reaps_silent_connections_not_active_requests() {
+    let (mut child, addr) = spawn_tcp(&[
+        "--workers",
+        "2",
+        "--idle-timeout-ms",
+        "300",
+        "--handshake-timeout-ms",
+        "300",
+    ]);
+
+    // Never sends a byte: the handshake deadline reaps it.
+    let mut dead = std::net::TcpStream::connect(&addr).expect("connect");
+    // Sends one ping then goes silent: the idle deadline reaps it.
+    let mut idle = std::net::TcpStream::connect(&addr).expect("connect");
+    idle.write_all(b"ping id=i\n").expect("write");
+
+    // Keeps a request in flight across the idle window: never dropped.
+    let mut active = Client::connect(&addr);
+    active.send("load id=L dataset=d gen=aids count=150 seed=5\n");
+    let responses = active.wait(&["L"]);
+    assert_eq!(response(&responses, "L").0.status, Status::Ok);
+    active.send("mine id=M dataset=d min_freq=0.04 max_pvalue=0.05 radius=3\n");
+    let responses = active.wait(&["M"]);
+    assert_eq!(
+        response(&responses, "M").0.status,
+        Status::Ok,
+        "in-flight work must defer the idle reaper"
+    );
+
+    let reap_deadline = std::time::Instant::now() + std::time::Duration::from_secs(30);
+    let (_, eof) = drain(&mut dead, reap_deadline);
+    assert!(
+        eof,
+        "silent connection must be reaped by the handshake deadline"
+    );
+    let (buf, eof) = drain(&mut idle, reap_deadline);
+    assert!(eof, "idle connection must be reaped by the idle deadline");
+    assert!(
+        String::from_utf8_lossy(&buf).contains("id=i op=ping status=ok"),
+        "idle client's one request was answered before the reap"
+    );
+
+    active.send("shutdown id=bye\n");
+    active.wait(&["bye"]);
+    assert!(child.wait().expect("child exits").success());
+}
+
+#[test]
+fn client_dropped_at_write_buffer_cap_never_sees_a_lying_frame() {
+    // A client that stops reading while responses stream at it is
+    // disconnected once its buffered output hits --max-write-buf. The
+    // byte prefix it did receive must split into complete frames plus a
+    // visibly truncated tail — never a frame that parses as complete
+    // with payload bytes missing.
+    // --queue must admit the whole burst: busy rejections are tiny and
+    // would keep the response volume under what kernel buffers absorb.
+    let (mut child, addr) = spawn_tcp(&[
+        "--workers",
+        "2",
+        "--queue",
+        "1024",
+        "--max-write-buf",
+        "4096",
+    ]);
+
+    let mut setup = Client::connect(&addr);
+    setup.send("load id=L dataset=d gen=aids count=200 seed=7\n");
+    let responses = setup.wait(&["L"]);
+    assert_eq!(response(&responses, "L").0.status, Status::Ok);
+
+    // 400 coalesced mines at ~16 KiB per response: ~6 MiB of output,
+    // comfortably past what loopback kernel buffers can absorb for a
+    // reader that never reads, so the server's write side must block and
+    // the 4 KiB userspace cap engages.
+    let mut slow = std::net::TcpStream::connect(&addr).expect("connect");
+    let mut burst = String::new();
+    for i in 0..400 {
+        burst.push_str(&format!(
+            "mine id=s{i} dataset=d min_freq=0.02 max_pvalue=0.1 radius=4\n"
+        ));
+    }
+    slow.write_all(burst.as_bytes()).expect("send burst");
+    // Do not read until the server has mined and shed the connection;
+    // then collect whatever prefix was delivered.
+    std::thread::sleep(std::time::Duration::from_secs(5));
+    let (buf, eof) = drain(
+        &mut slow,
+        std::time::Instant::now() + std::time::Duration::from_secs(60),
+    );
+    assert!(eof, "slow client must be dropped by backpressure");
+    let (complete, truncated_tail) =
+        graphsig_server::chaos::parse_prefix(&buf).expect("no lying complete frame in prefix");
+    // The drop happens mid-stream: we observed *some* bytes and not all
+    // 400 responses.
+    assert!(
+        complete < 400,
+        "cap did not engage: all {complete} responses delivered (tail {truncated_tail})"
+    );
+
+    setup.send("shutdown id=bye\n");
+    setup.wait(&["bye"]);
+    assert!(child.wait().expect("child exits").success());
+}

@@ -118,10 +118,20 @@ pub struct CacheStats {
 /// threads serve requests.
 #[derive(Debug, Default)]
 pub struct PreparedCache {
-    entries: Mutex<HashMap<PreparedKey, Arc<OnceLock<Arc<Prepared>>>>>,
+    entries: Mutex<HashMap<PreparedKey, CacheEntry>>,
     hits: AtomicU64,
     misses: AtomicU64,
     bypasses: AtomicU64,
+    /// Monotonic use counter; each lookup stamps its entry so
+    /// [`evict_lru`](Self::evict_lru) can pick the coldest one.
+    tick: AtomicU64,
+}
+
+/// One memoized window pass plus its recency stamp.
+#[derive(Debug)]
+struct CacheEntry {
+    cell: Arc<OnceLock<Arc<Prepared>>>,
+    last_used: u64,
 }
 
 impl PreparedCache {
@@ -163,10 +173,16 @@ impl PreparedCache {
         db: &GraphDb,
     ) -> (Arc<Prepared>, CacheDisposition) {
         let cell = {
+            let stamp = self.tick.fetch_add(1, Ordering::Relaxed) + 1;
             let mut map = self.entries.lock().unwrap_or_else(|e| e.into_inner());
-            map.entry(PreparedKey::of(cfg))
-                .or_insert_with(|| Arc::new(OnceLock::new()))
-                .clone()
+            let entry = map
+                .entry(PreparedKey::of(cfg))
+                .or_insert_with(|| CacheEntry {
+                    cell: Arc::new(OnceLock::new()),
+                    last_used: 0,
+                });
+            entry.last_used = stamp;
+            entry.cell.clone()
         };
         let mut prepared_here = false;
         let prepared = cell
@@ -198,6 +214,40 @@ impl PreparedCache {
             bypasses: self.bypasses.load(Ordering::Relaxed),
             entries,
         }
+    }
+
+    /// Approximate heap bytes held by every *initialized* cached window
+    /// pass. Entries still being prepared by a racing thread count as 0
+    /// until their `OnceLock` resolves.
+    pub fn approx_bytes(&self) -> u64 {
+        self.entries
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .values()
+            .filter_map(|e| e.cell.get())
+            .map(|p| p.approx_resident_bytes())
+            .sum()
+    }
+
+    /// Evict the least-recently-used initialized entry, returning the
+    /// approximate bytes it freed. `None` when nothing is evictable
+    /// (empty cache, or every entry is mid-preparation). An in-flight
+    /// request holding the evicted `Arc` keeps its clone alive until it
+    /// finishes — eviction drops the cache's reference, never the data
+    /// under a reader.
+    pub fn evict_lru(&self) -> Option<u64> {
+        let mut map = self.entries.lock().unwrap_or_else(|e| e.into_inner());
+        let (key, bytes) = map
+            .iter()
+            .filter_map(|(k, e)| {
+                e.cell
+                    .get()
+                    .map(|p| (e.last_used, *k, p.approx_resident_bytes()))
+            })
+            .min_by_key(|(used, ..)| *used)
+            .map(|(_, k, b)| (k, b))?;
+        map.remove(&key);
+        Some(bytes)
     }
 
     /// Drop every cached window pass (counters are kept — they describe
@@ -313,6 +363,30 @@ mod tests {
         assert_eq!(s.misses, 1, "window pass must be prepared exactly once");
         assert_eq!(s.hits, 3);
         assert_eq!(s.entries, 1);
+    }
+
+    #[test]
+    fn evict_lru_drops_the_coldest_entry_and_reports_bytes() {
+        let data = aids_like(30, 26);
+        let cache = PreparedCache::new();
+        assert_eq!(cache.evict_lru(), None, "empty cache has nothing to evict");
+        cache.mine_outcome(&cfg(), &data.db); // entry A (older)
+        let counting = GraphSigConfig {
+            window: WindowKind::Count { radius: 3 },
+            ..cfg()
+        };
+        cache.mine_outcome(&counting, &data.db); // entry B (newer)
+        cache.mine_outcome(&cfg(), &data.db); // touch A — B is now coldest
+        let total = cache.approx_bytes();
+        assert!(total > 0, "prepared vectors must account as resident bytes");
+        let freed = cache.evict_lru().unwrap_or(0);
+        assert!(freed > 0);
+        assert_eq!(cache.stats().entries, 1);
+        assert_eq!(cache.approx_bytes(), total - freed);
+        // The survivor must be A (the recently touched one): hitting it
+        // again must not re-prepare.
+        let (_, d) = cache.mine_outcome(&cfg(), &data.db);
+        assert_eq!(d, CacheDisposition::Hit, "LRU evicted the wrong entry");
     }
 
     #[test]

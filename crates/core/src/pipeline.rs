@@ -189,6 +189,23 @@ impl Prepared {
         self.rwr_time
     }
 
+    /// Approximate heap bytes held by the cached window pass (discretized
+    /// vectors plus provenance). Estimate for the server's memory
+    /// admission governor, not an allocator audit.
+    pub fn approx_resident_bytes(&self) -> u64 {
+        self.groups
+            .iter()
+            .map(|g| {
+                let vectors: usize = g
+                    .vectors
+                    .iter()
+                    .map(|v| std::mem::size_of::<Vec<u8>>() + v.len())
+                    .sum();
+                std::mem::size_of_val(g) + g.members.len() * 8 + vectors
+            })
+            .sum::<usize>() as u64
+    }
+
     /// Whether the window pass ran to convergence everywhere or was cut
     /// short by the run's budget.
     pub fn completion(&self) -> Completion {

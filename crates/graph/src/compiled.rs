@@ -182,6 +182,22 @@ impl CompiledDb {
     pub fn is_empty(&self) -> bool {
         self.graphs.is_empty()
     }
+
+    /// Approximate heap bytes held by the compiled form (bitset rows,
+    /// degree/label arrays). Estimate for admission control.
+    pub fn approx_resident_bytes(&self) -> u64 {
+        self.graphs
+            .iter()
+            .map(|g| {
+                std::mem::size_of::<CompiledGraph>()
+                    + g.degrees.len() * 4
+                    + g.nlabels.len() * std::mem::size_of::<NodeLabel>()
+                    + g.buckets.len() * 8
+                    + g.elabels.len() * std::mem::size_of::<EdgeLabel>()
+                    + g.adj.len() * 8
+            })
+            .sum::<usize>() as u64
+    }
 }
 
 #[cfg(test)]

@@ -171,6 +171,18 @@ impl GraphDb {
             .unwrap_or(0)
     }
 
+    /// Approximate heap bytes held by the database: the sum of every
+    /// graph's estimate plus a fixed per-graph struct overhead. Used by
+    /// the server's memory admission governor; see
+    /// [`Graph::approx_resident_bytes`] for the accounting policy.
+    pub fn approx_resident_bytes(&self) -> u64 {
+        let per_graph = std::mem::size_of::<Graph>() as u64;
+        self.graphs
+            .iter()
+            .map(|g| per_graph + g.approx_resident_bytes())
+            .sum()
+    }
+
     /// Summary statistics.
     pub fn stats(&self) -> DbStats {
         let total_nodes: usize = self.graphs.iter().map(Graph::node_count).sum();

@@ -95,6 +95,22 @@ impl Graph {
         0..self.node_count() as NodeId
     }
 
+    /// Approximate heap bytes held by this graph: label and edge arrays
+    /// plus one adjacency `Vec` per node. An estimate for admission
+    /// control, not an allocator audit — headers and rounding are ignored.
+    pub fn approx_resident_bytes(&self) -> u64 {
+        let labels = self.node_labels.len() * std::mem::size_of::<NodeLabel>();
+        let edges = self.edges.len() * std::mem::size_of::<Edge>();
+        let adj: usize = self
+            .adj
+            .iter()
+            .map(|a| {
+                std::mem::size_of::<Vec<Adjacent>>() + a.len() * std::mem::size_of::<Adjacent>()
+            })
+            .sum();
+        (labels + edges + adj) as u64
+    }
+
     /// Label of the edge between `u` and `v`, if one exists.
     pub fn edge_label_between(&self, u: NodeId, v: NodeId) -> Option<EdgeLabel> {
         self.adj[u as usize]

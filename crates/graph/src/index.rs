@@ -161,6 +161,23 @@ impl LabelPairIndex {
         &self.entries
     }
 
+    /// Approximate heap bytes held by the index: occurrence and tid
+    /// arrays, plus the compiled bitset database if it has been built.
+    /// Estimate for admission control.
+    pub fn approx_resident_bytes(&self) -> u64 {
+        let entries: usize = self
+            .entries
+            .iter()
+            .map(|e| {
+                std::mem::size_of::<LabelPairEntry>()
+                    + e.occurrences.len() * std::mem::size_of::<EdgeOccurrence>()
+                    + e.tids.len() * 4
+            })
+            .sum();
+        let compiled = self.compiled.get().map_or(0, |c| c.approx_resident_bytes());
+        entries as u64 + compiled
+    }
+
     /// The entry for a canonical key, if present.
     pub fn get(&self, key: LabelTriple) -> Option<&LabelPairEntry> {
         self.entries

@@ -29,9 +29,13 @@
 //! budgets under concurrency, an injected panic, a mid-flight
 //! cancellation, queue-full rejection, and a drained shutdown — every
 //! request must resolve to a structured response with the server alive
-//! until the drain completes.
+//! until the drain completes. [`chaos::run`] goes further: seeded
+//! randomized schedules driving the store fault plane, mid-ingest kills,
+//! the memory admission governor, and connection lifecycle deadlines —
+//! the soak CI gates on via `bench_chaos --smoke`.
 
 pub(crate) mod batch;
+pub mod chaos;
 pub mod protocol;
 pub mod server;
 pub mod smoke;

@@ -10,7 +10,7 @@
 //!
 //! ```text
 //! request  := op (WS key "=" value)*
-//! op       := "load" | "mine" | "freq" | "sweep" | "stats" | "cancel" | "ping" | "shutdown"
+//! op       := "load" | "mine" | "freq" | "sweep" | "stats" | "cancel" | "ping" | "shutdown" | "auth"
 //! key      := [a-z_]+
 //! value    := escaped token (no whitespace)
 //! ```
@@ -30,6 +30,7 @@
 //! | `cancel` | `target=<request id>` |
 //! | `ping` | — |
 //! | `shutdown` | `[drain_ms=]` |
+//! | `auth` | `token=` — authenticate a TCP connection when the server runs with `--auth-token`. Must be the first request on the connection; every other op gets `status=error code=unauthorized` until it succeeds. Stdio connections are exempt (local trust). |
 //!
 //! # Response framing
 //!
@@ -299,6 +300,13 @@ pub enum Request {
         /// Drain deadline override (ms).
         drain_ms: Option<u64>,
     },
+    /// Authenticate a TCP connection (`--auth-token` servers only).
+    Auth {
+        /// Request id.
+        id: String,
+        /// The presented token, compared byte-for-byte.
+        token: String,
+    },
 }
 
 impl Request {
@@ -313,6 +321,7 @@ impl Request {
             Request::Cancel { id, .. } => id,
             Request::Ping { id } => id,
             Request::Shutdown { id, .. } => id,
+            Request::Auth { id, .. } => id,
         }
     }
 
@@ -327,6 +336,7 @@ impl Request {
             Request::Cancel { .. } => "cancel",
             Request::Ping { .. } => "ping",
             Request::Shutdown { .. } => "shutdown",
+            Request::Auth { .. } => "auth",
         }
     }
 }
@@ -569,6 +579,14 @@ pub fn parse_request(line: &str) -> Result<Option<Request>, ProtocolError> {
                     drain_ms,
                 })
             }
+            "auth" => {
+                let token = fields.require("token")?;
+                fields.finish("auth")?;
+                Ok(Request::Auth {
+                    id: id.clone(),
+                    token,
+                })
+            }
             other => Err(err(format!("unknown op '{other}'"))),
         }
     })()
@@ -648,6 +666,15 @@ impl Response {
     pub fn with_field(mut self, key: &'static str, value: impl ToString) -> Self {
         self.fields.push((key, value.to_string()));
         self
+    }
+
+    /// Look up a header field (the server's request-log reads these back
+    /// at completion time).
+    pub fn field(&self, key: &str) -> Option<&str> {
+        self.fields
+            .iter()
+            .find(|(k, _)| *k == key)
+            .map(|(_, v)| v.as_str())
     }
 
     /// Attach the payload (builder-style).
@@ -876,6 +903,18 @@ mod tests {
         assert!(parse_request("load id=3 dataset=d path=x format=csv").is_err());
         assert!(parse_request("load id=4 dataset=d path=x append=maybe").is_err());
         assert!(parse_request("load id=5 dataset=d gen=aids count=5 format=packed").is_err());
+    }
+
+    #[test]
+    fn parses_auth() {
+        let Ok(Some(Request::Auth { id, token })) = parse_request("auth id=1 token=s3cr%3Dt")
+        else {
+            panic!("parse failed");
+        };
+        assert_eq!(id, "1");
+        assert_eq!(token, "s3cr=t");
+        assert!(parse_request("auth id=1").is_err());
+        assert!(parse_request("auth id=1 token=t extra=x").is_err());
     }
 
     #[test]

@@ -111,6 +111,22 @@ pub struct ServerConfig {
     /// Honor the fault-injection request keys (`sleep_ms`, `inject=panic`).
     /// Off by default; smoke tests and CI turn it on.
     pub allow_inject: bool,
+    /// Memory admission ceiling: `load`s that would push the approximate
+    /// resident footprint (databases + prepared-window caches + built
+    /// indexes) past this many bytes are rejected with a structured
+    /// `code=resource_exhausted` error after LRU-evicting cold cache
+    /// entries — the server never OOM-aborts on admission. `None`
+    /// disables the governor.
+    pub max_resident_bytes: Option<u64>,
+    /// Connection auth token. When set, TCP connections must present it
+    /// via `auth token=...` before any other op; stdio connections are
+    /// exempt (local trust).
+    pub auth_token: Option<String>,
+    /// Emit one structured log line per completed request on stderr.
+    pub log: bool,
+    /// The store I/O seam every packed load goes through. Defaults to
+    /// real I/O; the chaos harness swaps in a seeded fault plan.
+    pub io: graphsig_store::Io,
 }
 
 impl Default for ServerConfig {
@@ -123,6 +139,10 @@ impl Default for ServerConfig {
             max_steps_ceiling: None,
             drain_ms: 5_000,
             allow_inject: false,
+            max_resident_bytes: None,
+            auth_token: None,
+            log: false,
+            io: graphsig_store::Io::real(),
         }
     }
 }
@@ -178,6 +198,9 @@ pub(crate) struct Dataset {
     pub(crate) name: String,
     pub(crate) version: u64,
     pub(crate) db: Arc<GraphDb>,
+    /// `db.approx_resident_bytes()`, computed once at load so admission
+    /// checks never re-walk the graphs.
+    db_bytes: u64,
     prepared: PreparedCache,
     /// Merged whole-dataset index, assembled from the slots on first use.
     index: OnceLock<Arc<LabelPairIndex>>,
@@ -208,6 +231,22 @@ impl Dataset {
                 }
             })
             .clone()
+    }
+
+    /// Approximate resident bytes this dataset version pins: the graphs,
+    /// every initialized prepared-window cache entry, each built segment
+    /// index, and the merged index (with its lazily compiled bitset
+    /// database). Estimates, not an allocator audit — the governor's
+    /// admission decisions only need relative magnitudes.
+    fn resident_bytes(&self) -> u64 {
+        let slots: u64 = self
+            .slots
+            .iter()
+            .filter_map(|s| s.index.get())
+            .map(|i| i.approx_resident_bytes())
+            .sum();
+        let merged = self.index.get().map_or(0, |i| i.approx_resident_bytes());
+        self.db_bytes + self.prepared.approx_bytes() + slots + merged
     }
 
     /// `quarantined/total` when the backing store lost shards, else None.
@@ -265,6 +304,8 @@ struct Counters {
     errors: AtomicU64,
     panics: AtomicU64,
     cancel_requests: AtomicU64,
+    /// Prepared-cache entries evicted by the memory governor.
+    evictions: AtomicU64,
     // Accepted (queued) submissions by op.
     op_load: AtomicU64,
     op_mine: AtomicU64,
@@ -376,6 +417,25 @@ impl Server {
         self.inner.dispatch_line(line, out)
     }
 
+    /// Whether connections must authenticate (`--auth-token` configured).
+    pub fn requires_auth(&self) -> bool {
+        self.inner.cfg.auth_token.is_some()
+    }
+
+    /// Feed one request line from a connection that may not have
+    /// authenticated yet. Until `*authed` is true every op except a
+    /// correct `auth` is rejected with `status=error code=unauthorized`
+    /// (the connection stays open so the client can retry). A correct
+    /// `auth` flips `*authed` for the rest of the connection. Used by the
+    /// TCP transport; stdio uses [`Server::dispatch_line`] directly.
+    pub fn dispatch_line_gated(&self, line: &str, authed: &mut bool, out: &SharedWriter) -> bool {
+        if *authed {
+            return self.inner.dispatch_line(line, out);
+        }
+        *authed = self.inner.gate_unauthenticated(line, out);
+        false
+    }
+
     /// Serve one connection: read request lines until EOF or shutdown.
     /// On EOF without a `shutdown` request the connection just closes;
     /// the server (and other connections) keep running.
@@ -468,11 +528,104 @@ impl ServerInner {
     /// panicked, say), the exactly-one-response invariant holds by
     /// no-opping here rather than by every caller reasoning about races.
     fn finish(&self, id: &str, out: &SharedWriter, resp: &Response) {
+        self.finish_as(id, out, resp, "solo", 0, 0);
+    }
+
+    /// [`ServerInner::finish`] with request-log attribution: how this
+    /// request completed (`solo`, `lead`, `rider`, `sweep`) and its
+    /// queue-wait / execution times where the completion path knows them
+    /// (deferred completions — riders, sweep assembly — report zeros; the
+    /// role field says why).
+    fn finish_as(
+        &self,
+        id: &str,
+        out: &SharedWriter,
+        resp: &Response,
+        role: &str,
+        queue_wait_us: u64,
+        exec_us: u64,
+    ) {
         if lock(&self.inflight).remove(id).is_none() {
             return;
         }
         self.counters.served.fetch_add(1, Ordering::Relaxed);
+        self.log_request(resp, role, queue_wait_us, exec_us);
         self.write_response(out, resp);
+    }
+
+    /// One structured stderr line per completed request (`--log`).
+    fn log_request(&self, resp: &Response, role: &str, queue_wait_us: u64, exec_us: u64) {
+        if !self.cfg.log {
+            return;
+        }
+        let f = |key: &str| resp.field(key).unwrap_or("-").to_string();
+        eprintln!(
+            "[graphsig] op={} id={} status={} dataset={} version={} degraded={} \
+             completion={} role={role} queue_wait_us={queue_wait_us} exec_us={exec_us}",
+            crate::protocol::escape(&resp.op),
+            crate::protocol::escape(&resp.id),
+            match resp.status {
+                Status::Ok => "ok",
+                Status::Error => "error",
+                Status::Busy => "busy",
+            },
+            f("dataset"),
+            f("version"),
+            f("degraded"),
+            f("completion"),
+        );
+    }
+
+    /// Handle one line from a connection that has not authenticated.
+    /// Returns the connection's new authed state. Everything except a
+    /// correct `auth` gets `status=error code=unauthorized`; op and id are
+    /// echoed where the line parses so the client can correlate.
+    fn gate_unauthenticated(&self, line: &str, out: &SharedWriter) -> bool {
+        let parsed = match parse_request(line) {
+            Ok(None) => return false, // blank / comment
+            Ok(Some(req)) => req,
+            Err(ProtocolError { id, .. }) => {
+                self.counters.received.fetch_add(1, Ordering::Relaxed);
+                let id = id.as_deref().unwrap_or("-");
+                self.write_response(
+                    out,
+                    &Response::error(id, "?", "authenticate first (auth token=...)")
+                        .with_field("code", "unauthorized"),
+                );
+                return false;
+            }
+        };
+        self.counters.received.fetch_add(1, Ordering::Relaxed);
+        match &parsed {
+            Request::Auth { id, token } => {
+                let ok = self.cfg.auth_token.as_deref() == Some(token.as_str());
+                if ok {
+                    self.write_response(
+                        out,
+                        &Response::new(id, "auth", Status::Ok).with_field("authorized", true),
+                    );
+                } else {
+                    self.write_response(
+                        out,
+                        &Response::error(id, "auth", "bad token")
+                            .with_field("code", "unauthorized"),
+                    );
+                }
+                ok
+            }
+            other => {
+                self.write_response(
+                    out,
+                    &Response::error(
+                        other.id(),
+                        other.op(),
+                        "authenticate first (auth token=...)",
+                    )
+                    .with_field("code", "unauthorized"),
+                );
+                false
+            }
+        }
     }
 
     fn dispatch_line(&self, line: &str, out: &SharedWriter) -> bool {
@@ -490,6 +643,23 @@ impl ServerInner {
         match &request {
             Request::Ping { id } => {
                 self.write_response(out, &Response::new(id, "ping", Status::Ok));
+                false
+            }
+            Request::Auth { id, token } => {
+                // Reaching here means the connection is already trusted
+                // (stdio, or a TCP connection past its gate). Re-auth is
+                // validated anyway so a client can probe its token.
+                match &self.cfg.auth_token {
+                    Some(expected) if expected != token => self.write_response(
+                        out,
+                        &Response::error(id, "auth", "bad token")
+                            .with_field("code", "unauthorized"),
+                    ),
+                    _ => self.write_response(
+                        out,
+                        &Response::new(id, "auth", Status::Ok).with_field("authorized", true),
+                    ),
+                }
                 false
             }
             Request::Cancel { id, target } => {
@@ -515,7 +685,7 @@ impl ServerInner {
                             ctx.version,
                             ctx.degraded.as_deref(),
                         );
-                        self.finish(&rider.id, &rider.out, &resp);
+                        self.finish_as(&rider.id, &rider.out, &resp, "rider", 0, 0);
                     }
                 }
                 self.write_response(
@@ -655,25 +825,25 @@ impl ServerInner {
             submitted,
         } = job;
         let (id, op) = (request.id().to_string(), request.op());
+        let waited_us = submitted.elapsed().as_micros() as u64;
         self.counters
             .queue_wait_us
-            .fetch_add(submitted.elapsed().as_micros() as u64, Ordering::Relaxed);
+            .fetch_add(waited_us, Ordering::Relaxed);
         let exec_started = Instant::now();
         // try_par_map with a single item runs inline under catch_unwind:
         // a panicking handler yields a structured error, not a dead worker.
         let result = graphsig_core::try_par_map(1, std::slice::from_ref(&request), |req| {
             self.execute(req, &token, submitted, &out)
         });
-        self.counters
-            .exec_us
-            .fetch_add(exec_started.elapsed().as_micros() as u64, Ordering::Relaxed);
+        let exec_us = exec_started.elapsed().as_micros() as u64;
+        self.counters.exec_us.fetch_add(exec_us, Ordering::Relaxed);
         match result {
             // `None` means deferred: this request attached to a coalesced
             // run, led one (and already finished every rider), or fanned
             // out into sweep segments. Someone else owns the response.
             Ok(mut v) => {
                 if let Some(resp) = v.pop().flatten() {
-                    self.finish(&id, &out, &resp);
+                    self.finish_as(&id, &out, &resp, "solo", waited_us, exec_us);
                 }
             }
             Err(panicked) => {
@@ -685,7 +855,8 @@ impl ServerInner {
                     Some(riders) => {
                         for rider in riders {
                             let resp = Response::error(&rider.id, op, msg.clone());
-                            self.finish(&rider.id, &rider.out, &resp);
+                            let role = if rider.id == id { "lead" } else { "rider" };
+                            self.finish_as(&rider.id, &rider.out, &resp, role, 0, 0);
                         }
                     }
                     None => self.finish(&id, &out, &Response::error(&id, op, msg)),
@@ -746,7 +917,7 @@ impl ServerInner {
                 .with_payload(payload)
             }
         };
-        self.finish(&flight.id, &flight.out, &resp);
+        self.finish_as(&flight.id, &flight.out, &resp, "sweep", 0, 0);
     }
 
     /// Stop intake and drain. Returns whether the drain deadline forced
@@ -822,6 +993,53 @@ impl ServerInner {
             .ok_or_else(|| format!("unknown dataset '{name}' (load it first)"))
     }
 
+    /// Approximate resident bytes across every dataset except `except`
+    /// (the name a `load` is about to replace — its memory is freed by the
+    /// replacement, so it does not count against the new version).
+    fn resident_bytes_excluding(&self, except: &str) -> u64 {
+        lock(&self.datasets)
+            .values()
+            .filter(|d| d.name != except)
+            .map(|d| d.resident_bytes())
+            .sum()
+    }
+
+    /// Total approximate resident bytes (stats reporting).
+    fn resident_bytes_total(&self) -> u64 {
+        lock(&self.datasets)
+            .values()
+            .map(|d| d.resident_bytes())
+            .sum()
+    }
+
+    /// Evict one cold prepared-cache entry under memory pressure: the
+    /// least-recently-used initialized entry of whichever dataset frees
+    /// the most bytes (deterministic name tiebreak). Returns the bytes
+    /// freed, or `None` when no dataset has an evictable entry left.
+    fn evict_coldest_prepared(&self, except: &str) -> Option<u64> {
+        let candidates: Vec<Arc<Dataset>> = {
+            let mut v: Vec<Arc<Dataset>> = lock(&self.datasets)
+                .values()
+                .filter(|d| d.name != except)
+                .cloned()
+                .collect();
+            v.sort_by(|a, b| {
+                b.prepared
+                    .approx_bytes()
+                    .cmp(&a.prepared.approx_bytes())
+                    .then_with(|| a.name.cmp(&b.name))
+            });
+            v
+        };
+        for d in candidates {
+            if let Some(freed) = d.prepared.evict_lru() {
+                self.counters.evictions.fetch_add(1, Ordering::Relaxed);
+                return Some(freed);
+            }
+        }
+        None
+    }
+
     /// Run one request. `Some` is the response for *this* request id;
     /// `None` means the handler deferred — it attached to a coalesced run,
     /// led one and already responded to every rider via `finish`, or
@@ -866,6 +1084,8 @@ impl ServerInner {
         };
         let base_len = db.len();
         let mut store = None;
+        // Transient-fault retries spent on this load's store I/O.
+        let mut retries: Option<u64> = None;
         // Shard boundaries of this load's packed ingest (absolute gids),
         // so appended shards get per-shard slots exactly like fresh ones.
         let mut shard_ranges: Option<Vec<std::ops::Range<usize>>> = None;
@@ -882,13 +1102,20 @@ impl ServerInner {
                 }
             }
             (LoadSource::Path(path), LoadFormat::Packed) => {
-                // Lenient open: damaged shards are quarantined (moved
-                // aside, reported) and the dataset serves the survivors in
-                // an explicitly degraded state.
-                let opened = match graphsig_store::open_lenient(std::path::Path::new(path)) {
+                // Lenient open through the server's I/O seam: damaged
+                // shards are quarantined (moved aside, reported) and the
+                // dataset serves the survivors in an explicitly degraded
+                // state; transient faults are retried with backoff and
+                // surface only as a `retries=` count on the response.
+                let retries_before = self.cfg.io.retries();
+                let opened = match graphsig_store::open_lenient_with(
+                    std::path::Path::new(path),
+                    &self.cfg.io,
+                ) {
                     Ok(o) => o,
                     Err(e) => return Response::error(&r.id, "load", e.to_string()),
                 };
+                retries = Some(self.cfg.io.retries() - retries_before);
                 store = Some(StoreInfo {
                     manifest_shards: opened.manifest.shards.len(),
                     quarantined: opened.report.quarantined.len(),
@@ -967,6 +1194,35 @@ impl ServerInner {
             .as_ref()
             .filter(|s| s.quarantined > 0)
             .map(|s| format!("{}/{}", s.quarantined, s.manifest_shards));
+        let db_bytes = db.approx_resident_bytes();
+        // Memory admission: would making this version resident push the
+        // server past its ceiling? Cold prepared-cache entries are LRU
+        // evicted first; if the graphs alone still do not fit, the load is
+        // rejected with a structured error — the server never OOM-aborts
+        // and the previous dataset version (if any) keeps serving.
+        if let Some(max) = self.cfg.max_resident_bytes {
+            let mut resident = self.resident_bytes_excluding(&r.dataset);
+            while resident + db_bytes > max {
+                match self.evict_coldest_prepared(&r.dataset) {
+                    Some(freed) => resident = resident.saturating_sub(freed),
+                    None => break,
+                }
+            }
+            if resident + db_bytes > max {
+                return Response::error(
+                    &r.id,
+                    "load",
+                    format!(
+                        "resident ceiling exceeded: loading {db_bytes} bytes over \
+                         {resident} resident would pass max_resident_bytes={max}"
+                    ),
+                )
+                .with_field("code", "resource_exhausted")
+                .with_field("requested_bytes", db_bytes)
+                .with_field("resident_bytes", resident)
+                .with_field("max_resident_bytes", max);
+            }
+        }
         let version = {
             let mut datasets = lock(&self.datasets);
             let version = datasets.get(&r.dataset).map_or(1, |d| d.version + 1);
@@ -979,6 +1235,7 @@ impl ServerInner {
                     name: r.dataset.clone(),
                     version,
                     db: Arc::new(db),
+                    db_bytes,
                     prepared: PreparedCache::new(),
                     index: OnceLock::new(),
                     slots,
@@ -992,7 +1249,11 @@ impl ServerInner {
             .with_field("version", version)
             .with_field("graphs", graphs)
             .with_field("loaded", loaded)
+            .with_field("resident_bytes", db_bytes)
             .with_field("parse_ms", started.elapsed().as_millis());
+        if let Some(n) = retries {
+            resp = resp.with_field("retries", n);
+        }
         if let Some((shards, quarantined, disk_bytes, store_version)) = store_fields {
             resp = resp
                 .with_field("shards", shards)
@@ -1103,11 +1364,22 @@ impl ServerInner {
                 // cancels, or on forced drain). Server default ceilings
                 // still apply, anchored to the leader's submission.
                 let budget = self.budget_for(&r.budget, &group, submitted);
+                let waited_us = submitted.elapsed().as_micros() as u64;
+                let run_started = Instant::now();
                 let run = self.run_mine(r, &cfg, budget, &group, &dataset);
+                let exec_us = run_started.elapsed().as_micros() as u64;
                 // Closing the flight is the linearization point: riders
                 // collected here get their response below; a cancel racing
                 // past it finds no flight and the rider responds normally.
                 let riders = self.coalescer.finish(&key);
+                let role_of = |rider: &Rider| if rider.id == r.id { "lead" } else { "rider" };
+                let times_of = |rider: &Rider| {
+                    if rider.id == r.id {
+                        (waited_us, exec_us)
+                    } else {
+                        (0, 0)
+                    }
+                };
                 match run {
                     MineRun::Cancelled => {
                         for rider in riders {
@@ -1117,7 +1389,8 @@ impl ServerInner {
                                 dataset.version,
                                 degraded.as_deref(),
                             );
-                            self.finish(&rider.id, &rider.out, &resp);
+                            let (w, e) = times_of(&rider);
+                            self.finish_as(&rider.id, &rider.out, &resp, role_of(&rider), w, e);
                         }
                     }
                     MineRun::Done(outcome, disposition) => {
@@ -1129,7 +1402,8 @@ impl ServerInner {
                                 disposition,
                                 rider.top,
                             );
-                            self.finish(&rider.id, &rider.out, &resp);
+                            let (w, e) = times_of(&rider);
+                            self.finish_as(&rider.id, &rider.out, &resp, role_of(&rider), w, e);
                         }
                     }
                 }
@@ -1266,8 +1540,13 @@ impl ServerInner {
         match dataset {
             None => {
                 let snap = self.snapshot();
-                Response::new(id, "stats", Status::Ok)
-                    .with_field("datasets", lock(&self.datasets).len())
+                // Taken before the response chain: a `lock(..)` temporary
+                // inside the chain would live to the end of the whole
+                // expression and deadlock `resident_bytes_total` below.
+                let dataset_count = lock(&self.datasets).len();
+                let resident = self.resident_bytes_total();
+                let mut resp = Response::new(id, "stats", Status::Ok)
+                    .with_field("datasets", dataset_count)
                     .with_field("received", snap.received)
                     .with_field("served", snap.served)
                     .with_field("busy_rejected", snap.busy_rejected)
@@ -1287,6 +1566,13 @@ impl ServerInner {
                     .with_field("op_freq", self.counters.op_freq.load(Ordering::Relaxed))
                     .with_field("op_sweep", self.counters.op_sweep.load(Ordering::Relaxed))
                     .with_field("op_stats", self.counters.op_stats.load(Ordering::Relaxed))
+                    .with_field("resident_bytes", resident)
+                    .with_field("evictions", self.counters.evictions.load(Ordering::Relaxed))
+                    .with_field("store_retries", self.cfg.io.retries());
+                if let Some(max) = self.cfg.max_resident_bytes {
+                    resp = resp.with_field("max_resident_bytes", max);
+                }
+                resp
             }
             Some(name) => match self.dataset(name) {
                 Err(e) => Response::error(id, "stats", e),
@@ -1307,7 +1593,8 @@ impl ServerInner {
                         .with_field("prepared_hits", cache.hits)
                         .with_field("prepared_misses", cache.misses)
                         .with_field("prepared_bypasses", cache.bypasses)
-                        .with_field("prepared_entries", cache.entries);
+                        .with_field("prepared_entries", cache.entries)
+                        .with_field("resident_bytes", d.resident_bytes());
                     if let Some(info) = &d.store {
                         resp = resp
                             .with_field("shards", info.manifest_shards - info.quarantined)

@@ -47,7 +47,7 @@
 
 use std::io::{Read, Write};
 use std::net::{TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
@@ -65,6 +65,19 @@ pub struct TransportConfig {
     /// Poll timeout (ms): the latency floor for noticing server
     /// termination; also the scan period of the non-Linux fallback.
     pub poll_timeout_ms: u64,
+    /// Reap a connection that has been silent this long (ms) with no
+    /// request in flight and nothing left to deliver. `None` lets idle
+    /// connections sit forever (the pre-deadline behavior).
+    pub idle_timeout_ms: Option<u64>,
+    /// Reap a connection that has not completed a single request line this
+    /// long (ms) after accept — bounds pre-first-request loitering (and,
+    /// under `--auth-token`, unauthenticated camping).
+    pub handshake_timeout_ms: Option<u64>,
+    /// Drop a connection whose buffered response bytes make no progress to
+    /// the socket for this many consecutive poll ticks (a live-but-stalled
+    /// reader; distinct from the `max_write_buf` overflow case). At the
+    /// default 20 ms poll that is ~10 s of zero progress.
+    pub write_stall_ticks: u32,
 }
 
 impl Default for TransportConfig {
@@ -73,6 +86,9 @@ impl Default for TransportConfig {
             max_connections: 1024,
             max_write_buf: 8 * 1024 * 1024,
             poll_timeout_ms: 20,
+            idle_timeout_ms: None,
+            handshake_timeout_ms: None,
+            write_stall_ticks: 500,
         }
     }
 }
@@ -84,6 +100,9 @@ struct ConnOut {
     buf: Mutex<Vec<u8>>,
     failed: AtomicBool,
     max_buf: usize,
+    /// Total bytes delivered to the socket — the write-stall detector
+    /// watches this for progress while the buffer is non-empty.
+    flushed: AtomicU64,
 }
 
 impl ConnOut {
@@ -105,6 +124,7 @@ impl ConnOut {
                     return;
                 }
             };
+            self.flushed.fetch_add(off as u64, Ordering::Relaxed);
         }
         if off < data.len() {
             buf.extend_from_slice(&data[off..]);
@@ -127,6 +147,7 @@ impl ConnOut {
         }
         match write_some(&self.stream, &buf) {
             Some(n) => {
+                self.flushed.fetch_add(n as u64, Ordering::Relaxed);
                 buf.drain(..n);
             }
             None => {
@@ -183,24 +204,46 @@ struct Conn {
     /// No more reads (client EOF or protocol violation); the connection
     /// drains its remaining responses and closes.
     eof: bool,
+    /// Accept time (handshake deadline anchor).
+    created: Instant,
+    /// Last moment bytes arrived from the client (idle deadline anchor).
+    last_activity: Instant,
+    /// At least one complete request line was dispatched — the handshake
+    /// deadline no longer applies.
+    seen_request: bool,
+    /// Past the auth gate (vacuously true without `--auth-token`).
+    authed: bool,
+    /// Consecutive poll ticks with buffered output and zero socket
+    /// progress (write-stall detector state).
+    stall_ticks: u32,
+    /// `out.flushed` as of the last stall check.
+    last_flushed: u64,
 }
 
 impl Conn {
-    fn new(stream: TcpStream, max_write_buf: usize) -> std::io::Result<Self> {
+    fn new(stream: TcpStream, max_write_buf: usize, authed: bool) -> std::io::Result<Self> {
         stream.set_nonblocking(true)?;
         let out = Arc::new(ConnOut {
             stream: stream.try_clone()?,
             buf: Mutex::new(Vec::new()),
             failed: AtomicBool::new(false),
             max_buf: max_write_buf,
+            flushed: AtomicU64::new(0),
         });
         let writer: SharedWriter = Arc::new(Mutex::new(Box::new(ConnWriter(Arc::clone(&out)))));
+        let now = Instant::now();
         Ok(Conn {
             stream,
             out,
             writer,
             rd: Vec::new(),
             eof: false,
+            created: now,
+            last_activity: now,
+            seen_request: false,
+            authed,
+            stall_ticks: 0,
+            last_flushed: 0,
         })
     }
 
@@ -211,7 +254,10 @@ impl Conn {
         loop {
             match (&self.stream).read(&mut chunk) {
                 Ok(0) => return false,
-                Ok(n) => self.rd.extend_from_slice(&chunk[..n]),
+                Ok(n) => {
+                    self.rd.extend_from_slice(&chunk[..n]);
+                    self.last_activity = Instant::now();
+                }
                 Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return true,
                 Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
                 Err(_) => return false,
@@ -253,7 +299,7 @@ pub fn serve(listener: TcpListener, server: &Server, cfg: TransportConfig) -> st
         let accept_slot = conns.len() < cfg.max_connections;
         let ready = wait_ready(&listener, &conns, accept_slot, cfg.poll_timeout_ms);
         if ready.accept {
-            accept_burst(&listener, &mut conns, &cfg);
+            accept_burst(&listener, &mut conns, server, &cfg);
         }
         let mut shutdown = false;
         for (i, conn) in conns.iter_mut().enumerate() {
@@ -264,7 +310,8 @@ pub fn serve(listener: TcpListener, server: &Server, cfg: TransportConfig) -> st
                 conn.eof = true;
             }
             while let Some(line) = conn.next_line() {
-                if server.dispatch_line(&line, &conn.writer) {
+                conn.seen_request = true;
+                if server.dispatch_line_gated(&line, &mut conn.authed, &conn.writer) {
                     shutdown = true;
                     conn.eof = true;
                     break;
@@ -289,6 +336,7 @@ pub fn serve(listener: TcpListener, server: &Server, cfg: TransportConfig) -> st
                 conn.out.try_flush();
             }
         }
+        reap_deadlined(&mut conns, &cfg);
         conns.retain(|c| !(c.out.failed.load(Ordering::Relaxed) || c.eof && c.drained()));
         if shutdown {
             final_flush(&mut conns);
@@ -297,17 +345,70 @@ pub fn serve(listener: TcpListener, server: &Server, cfg: TransportConfig) -> st
     }
 }
 
-fn accept_burst(listener: &TcpListener, conns: &mut Vec<Conn>, cfg: &TransportConfig) {
+fn accept_burst(
+    listener: &TcpListener,
+    conns: &mut Vec<Conn>,
+    server: &Server,
+    cfg: &TransportConfig,
+) {
     while conns.len() < cfg.max_connections {
         match listener.accept() {
             Ok((stream, _addr)) => {
-                if let Ok(conn) = Conn::new(stream, cfg.max_write_buf) {
+                if let Ok(conn) = Conn::new(stream, cfg.max_write_buf, !server.requires_auth()) {
                     conns.push(conn);
                 }
             }
             Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
             Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
             Err(_) => break,
+        }
+    }
+}
+
+/// Enforce the connection lifecycle deadlines once per poll tick: the
+/// handshake deadline on connections that never completed a request, the
+/// idle deadline on quiescent connections (only when no response is owed
+/// — a connection waiting on a long mine is busy, not idle), and the
+/// write-stall detector on connections whose buffered bytes make no
+/// progress. Deadlined connections are marked failed and dropped by the
+/// retain that follows; everyone else is untouched, so active requests on
+/// other connections proceed.
+fn reap_deadlined(conns: &mut [Conn], cfg: &TransportConfig) {
+    for conn in conns.iter_mut() {
+        if conn.out.failed.load(Ordering::Relaxed) || conn.eof {
+            continue;
+        }
+        if let Some(ms) = cfg.handshake_timeout_ms {
+            if !conn.seen_request && conn.created.elapsed() >= Duration::from_millis(ms) {
+                conn.out.failed.store(true, Ordering::Relaxed);
+                continue;
+            }
+        }
+        // Delivering response bytes counts as activity: without this, a
+        // request whose execution outlives the idle window would expire
+        // the idle clock the instant its response drains (the anchor
+        // would still be the request line that started it).
+        let flushed = conn.out.flushed.load(Ordering::Relaxed);
+        let progressed = flushed != conn.last_flushed;
+        if progressed {
+            conn.last_flushed = flushed;
+            conn.stall_ticks = 0;
+            conn.last_activity = Instant::now();
+        }
+        if let Some(ms) = cfg.idle_timeout_ms {
+            let quiescent = Arc::strong_count(&conn.writer) == 1 && !conn.out.pending();
+            if quiescent && conn.last_activity.elapsed() >= Duration::from_millis(ms) {
+                conn.out.failed.store(true, Ordering::Relaxed);
+                continue;
+            }
+        }
+        if !conn.out.pending() {
+            conn.stall_ticks = 0;
+        } else if !progressed {
+            conn.stall_ticks += 1;
+            if conn.stall_ticks >= cfg.write_stall_ticks {
+                conn.out.failed.store(true, Ordering::Relaxed);
+            }
         }
     }
 }

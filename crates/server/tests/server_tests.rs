@@ -512,3 +512,149 @@ fn eof_shutdown_via_connection_loop_drains() {
     assert!(server.is_terminated());
     server.join();
 }
+
+#[test]
+fn governor_rejects_oversized_loads_evicts_cold_caches_and_keeps_serving() {
+    let server = Server::new(ServerConfig {
+        workers: 2,
+        queue_capacity: 16,
+        max_resident_bytes: Some(4 * 1024 * 1024),
+        ..ServerConfig::default()
+    });
+    let sink = Sink::default();
+    let out = writer(&sink);
+
+    // A dataset that fits, mined once to warm its prepared cache.
+    server.dispatch_line("load id=l1 dataset=d gen=aids count=80 seed=9", &out);
+    server.dispatch_line(
+        "mine id=m1 dataset=d min_freq=0.05 max_pvalue=0.05 radius=3",
+        &out,
+    );
+    let responses = wait_all(&sink, &["l1".into(), "m1".into()]);
+    let (l1, _) = responses.iter().find(|(h, _)| h.id == "l1").unwrap();
+    assert_eq!(l1.status, Status::Ok);
+    let (m1, body1) = responses.iter().find(|(h, _)| h.id == "m1").unwrap();
+    assert_eq!(m1.status, Status::Ok);
+    let body1 = body1.clone();
+
+    // A load that cannot fit even after eviction: structured rejection
+    // that discloses the accounting, with the server still up.
+    server.dispatch_line("load id=big dataset=huge gen=aids count=9000 seed=1", &out);
+    let responses = wait_all(&sink, &["big".into()]);
+    let (big, _) = responses.iter().find(|(h, _)| h.id == "big").unwrap();
+    assert_eq!(big.status, Status::Error, "{big:?}");
+    assert_eq!(big.field("code"), Some("resource_exhausted"));
+    for key in ["requested_bytes", "resident_bytes", "max_resident_bytes"] {
+        assert!(big.field(key).is_some(), "rejection must report {key}");
+    }
+
+    // The attempt LRU-evicted the cold prepared cache before giving up,
+    // and stats exposes both the eviction count and residency.
+    server.dispatch_line("stats id=s", &out);
+    let responses = wait_all(&sink, &["s".into()]);
+    let (s, _) = responses.iter().find(|(h, _)| h.id == "s").unwrap();
+    assert_eq!(s.status, Status::Ok);
+    assert!(
+        s.field("evictions").and_then(|v| v.parse::<u64>().ok()) >= Some(1),
+        "eviction attempt must be counted: {s:?}"
+    );
+    assert!(
+        s.field("resident_bytes")
+            .and_then(|v| v.parse::<u64>().ok())
+            > Some(0),
+        "{s:?}"
+    );
+    assert_eq!(s.field("max_resident_bytes"), Some("4194304"));
+    assert_eq!(
+        s.field("datasets"),
+        Some("1"),
+        "rejected load must not register"
+    );
+
+    // Mining after the rejection (and the cache eviction) still serves
+    // byte-identical results.
+    server.dispatch_line(
+        "mine id=m2 dataset=d min_freq=0.05 max_pvalue=0.05 radius=3",
+        &out,
+    );
+    let responses = wait_all(&sink, &["m2".into()]);
+    let (m2, body2) = responses.iter().find(|(h, _)| h.id == "m2").unwrap();
+    assert_eq!(m2.status, Status::Ok);
+    assert_eq!(
+        body2, &body1,
+        "mine after eviction must match the warm-cache run"
+    );
+
+    server.shutdown_now();
+    server.join();
+}
+
+#[test]
+fn admitted_load_within_ceiling_succeeds() {
+    let server = Server::new(ServerConfig {
+        workers: 1,
+        max_resident_bytes: Some(64 * 1024 * 1024),
+        ..ServerConfig::default()
+    });
+    let sink = Sink::default();
+    let out = writer(&sink);
+    server.dispatch_line("load id=l dataset=d gen=aids count=200 seed=2", &out);
+    let responses = wait_all(&sink, &["l".into()]);
+    let (l, _) = responses.iter().find(|(h, _)| h.id == "l").unwrap();
+    assert_eq!(l.status, Status::Ok, "{l:?}");
+    server.shutdown_now();
+    server.join();
+}
+
+#[test]
+fn packed_load_retries_transient_store_faults_and_reports_the_count() {
+    use graphsig_store::{FaultPlan, Io};
+
+    // Pack a store with clean I/O, then serve it through a seeded
+    // transient fault plane: the load must succeed by backoff and report
+    // how many retries it spent.
+    let dir = std::env::temp_dir().join(format!("graphsig-srv-retry-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let db = graphsig_datagen::aids_like(60, 17).db;
+    graphsig_store::pack_with(&dir, &db, 16, &Io::real()).expect("pack");
+
+    let io = Io::with_plan(FaultPlan::new(0xFAB).transient(400).transient_burst(2));
+    let server = Server::new(ServerConfig {
+        workers: 1,
+        io: io.clone(),
+        ..ServerConfig::default()
+    });
+    let sink = Sink::default();
+    let out = writer(&sink);
+    server.dispatch_line(
+        &format!("load id=lp dataset=p path={} format=packed", dir.display()),
+        &out,
+    );
+    let responses = wait_all(&sink, &["lp".into()]);
+    let (lp, _) = responses.iter().find(|(h, _)| h.id == "lp").unwrap();
+    assert_eq!(
+        lp.status,
+        Status::Ok,
+        "transient faults must be absorbed: {lp:?}"
+    );
+    let reported: u64 = lp
+        .field("retries")
+        .expect("load reports retries")
+        .parse()
+        .expect("numeric retries");
+    assert!(reported > 0, "seeded plan must have injected retries");
+    assert_eq!(lp.field("graphs"), Some("60"));
+
+    // stats surfaces the cumulative store retry count.
+    server.dispatch_line("stats id=s", &out);
+    let responses = wait_all(&sink, &["s".into()]);
+    let (s, _) = responses.iter().find(|(h, _)| h.id == "s").unwrap();
+    assert!(
+        s.field("store_retries").and_then(|v| v.parse::<u64>().ok()) >= Some(reported),
+        "{s:?}"
+    );
+
+    server.shutdown_now();
+    server.join();
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -25,12 +25,14 @@
 //! text input. See DESIGN.md §5f for the full format grammar and protocol.
 
 mod error;
+pub mod faults;
 mod format;
 mod manifest;
 mod shard;
 mod store;
 
 pub use error::StoreError;
+pub use faults::{FaultPlan, Io, IoStats, MAX_IO_ATTEMPTS};
 pub use format::crc64;
 pub use manifest::{Manifest, ShardMeta, MANIFEST_MAGIC, MANIFEST_NAME, MANIFEST_VERSION};
 pub use shard::{
@@ -38,7 +40,8 @@ pub use shard::{
     SHARD_VERSION,
 };
 pub use store::{
-    append, open_lenient, open_strict, pack, read_manifest, verify, LoadedShard, OpenedStore,
+    append, append_with, open_lenient, open_lenient_with, open_strict, open_strict_with, pack,
+    pack_with, read_manifest, read_manifest_with, verify, verify_with, LoadedShard, OpenedStore,
     PackSummary, QuarantinedShard, ShardStatus, StoreReport, VerifyReport, DEFAULT_SHARD_SIZE,
     QUARANTINE_SUFFIX, SHARD_EXT, TMP_SUFFIX,
 };
